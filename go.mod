@@ -1,0 +1,3 @@
+module pangenomicsbench
+
+go 1.22

@@ -1,0 +1,39 @@
+// Package align implements every dynamic-programming alignment kernel in
+// PangenomicsBench: the Seq2Seq baselines (striped Smith-Waterman, Myers's
+// bitvector, the wavefront algorithm) and their Seq2Graph extensions (GSSW,
+// GBV, GWFA), plus partial order alignment (POA) for the graph-building
+// pipelines. Reference DP oracles used by the tests and as correctness
+// baselines live in oracle.go.
+package align
+
+import (
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/graph"
+)
+
+// Result is a local-alignment outcome on a linear reference.
+type Result struct {
+	Score    int
+	RefEnd   int // exclusive end on the reference
+	QueryEnd int // exclusive end on the query
+	RefBegin int
+	QueryBeg int
+	Cigar    bio.Cigar
+}
+
+// GraphResult is a local-alignment outcome on a graph reference.
+type GraphResult struct {
+	Score     int
+	Path      []graph.NodeID // nodes visited, in order
+	EndNode   graph.NodeID
+	EndOffset int // exclusive end offset within EndNode
+	QueryEnd  int
+	Cigar     bio.Cigar
+}
+
+// EditResult is an edit-distance outcome (GBV, WFA, GWFA).
+type EditResult struct {
+	Distance int
+	EndNode  graph.NodeID // graph kernels only
+	EndRef   int          // linear kernels: exclusive end on the reference
+}

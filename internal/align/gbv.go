@@ -1,0 +1,161 @@
+package align
+
+import (
+	"container/heap"
+
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/graph"
+	"pangenomicsbench/internal/perf"
+)
+
+// GBV is the Graph Myers's Bitvector kernel from GraphAligner (paper §3):
+// bit-parallel semi-global edit distance of a query chunk (≤64 bp) against a
+// possibly cyclic sequence graph. Each node's column states are computed
+// with Myers steps; a node's entry state is the element-wise minimum over
+// its parents' exit states ("merge operations between parent cells",
+// Fig. 4b). Because the graph may be cyclic, a node whose parents improve is
+// pushed on a priority queue and recomputed until all scores stabilize —
+// the source of the kernel's unpredictable branching (§5.2).
+func GBV(g *graph.Graph, query []byte, probe *perf.Probe) (EditResult, error) {
+	if _, err := NewPeq(query); err != nil {
+		return EditResult{}, err
+	}
+	eq, _ := NewPeq(query)
+	m := len(query)
+	n := g.NumNodes()
+	if n == 0 {
+		return EditResult{Distance: m}, nil
+	}
+
+	as := perf.NewAddrSpace()
+	stateBase := as.Alloc(n * (m + 1) * 8)
+	stateStride := uintptr((m + 1) * 8)
+
+	// fresh is the free-start profile D[j] = j.
+	fresh := make([]int, m+1)
+	for j := range fresh {
+		fresh[j] = j
+	}
+
+	in := make([][]int, n+1)       // cached merged entry profiles
+	out := make([]myersState, n+1) // exit states
+	hasOut := make([]bool, n+1)
+	inQueue := make([]bool, n+1)
+
+	pq := &gbvHeap{}
+	for id := 1; id <= n; id++ {
+		heap.Push(pq, gbvItem{graph.NodeID(id), m})
+		inQueue[id] = true
+	}
+
+	best := EditResult{Distance: m}
+	scratch := make([]int, m+1)
+	merged := make([]int, m+1)
+
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(gbvItem)
+		id := it.node
+		inQueue[id] = false
+		probe.Op(perf.ScalarInt, 6) // heap pop bookkeeping
+		probe.Frontend(4)           // data-dependent dispatch on queue order
+
+		// Merge the entry profile: fresh start ∪ parents' exits.
+		copy(merged, fresh)
+		for _, p := range g.In(id) {
+			if !hasOut[p] {
+				probe.TakeBranch(0x80, false)
+				continue
+			}
+			probe.TakeBranch(0x80, true)
+			probe.Load(uintptr(stateBase)+uintptr(p-1)*stateStride, (m+1)*8)
+			prof := out[p].profile(m, scratch)
+			for j := 0; j <= m; j++ {
+				if prof[j] < merged[j] {
+					probe.TakeBranch(0x81, true)
+					merged[j] = prof[j]
+				} else {
+					probe.TakeBranch(0x81, false)
+				}
+			}
+			probe.Op(perf.ScalarInt, m+1)
+		}
+
+		if in[id] != nil && equalProfile(in[id], merged) {
+			probe.TakeBranch(0x82, false)
+			continue // entry unchanged: exit unchanged
+		}
+		probe.TakeBranch(0x82, true)
+		if in[id] == nil {
+			in[id] = make([]int, m+1)
+		}
+		copy(in[id], merged)
+
+		// Step the column through the node's bases.
+		st := fromProfile(merged)
+		seq := g.Seq(id)
+		for i, b := range seq {
+			st.step(eq[bio.Code(b)], m, probe)
+			// Row state read-modify-write: each row's bitvectors live in
+			// the per-node state block.
+			rowAddr := uintptr(stateBase) + uintptr(id-1)*stateStride + uintptr((i*16)%int(stateStride))
+			probe.Load(rowAddr, 16)
+			probe.Store(rowAddr, 16)
+			if st.score < best.Distance {
+				probe.TakeBranch(0x83, true)
+				best = EditResult{Distance: st.score, EndNode: id}
+			} else {
+				probe.TakeBranch(0x83, false)
+			}
+		}
+
+		changed := !hasOut[id] || st != out[id]
+		probe.TakeBranch(0x84, changed)
+		if !changed {
+			continue
+		}
+		out[id] = st
+		hasOut[id] = true
+		probe.Store(uintptr(stateBase)+uintptr(id-1)*stateStride, (m+1)*8)
+
+		for _, c := range g.Out(id) {
+			if !inQueue[c] {
+				heap.Push(pq, gbvItem{c, st.score})
+				inQueue[c] = true
+				probe.Op(perf.ScalarInt, 8)
+			}
+		}
+	}
+	// The empty-alignment answer for zero-length nodes is already m.
+	if best.Distance == m {
+		best.EndNode = 0
+	}
+	return best, nil
+}
+
+func equalProfile(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type gbvItem struct {
+	node graph.NodeID
+	prio int
+}
+
+type gbvHeap []gbvItem
+
+func (h gbvHeap) Len() int            { return len(h) }
+func (h gbvHeap) Less(i, j int) bool  { return h[i].prio < h[j].prio }
+func (h gbvHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *gbvHeap) Push(x interface{}) { *h = append(*h, x.(gbvItem)) }
+func (h *gbvHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,75 @@
+package align
+
+import (
+	"fmt"
+
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/graph"
+	"pangenomicsbench/internal/perf"
+)
+
+// GSSWLean is the optimization case study §6.1 proposes: within a node the
+// DP rows have linear dependencies, so they need not be written back to the
+// full matrix — only each node's boundary (last-row) state must be kept for
+// its children. This variant therefore skips the swizzle write-back of
+// every intra-node row, eliminating the memory stalls the paper measured
+// (≈3× those of SSW), at the cost of returning score and end position only
+// (no traceback).
+func GSSWLean(g *graph.Graph, query []byte, sc bio.Scoring, probe *perf.Probe) (GraphResult, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return GraphResult{}, fmt.Errorf("align: GSSWLean requires an acyclic graph: %w", err)
+	}
+	if len(query) == 0 || g.NumNodes() == 0 {
+		return GraphResult{}, nil
+	}
+	pf := NewProfile(query, sc)
+	segLen := pf.segLen
+	as := perf.NewAddrSpace()
+	st := newSSWState(pf, sc, probe, as)
+
+	// Boundary states only: one striped (H, D) pair per node.
+	lastH := make([][]vec, g.NumNodes()+1)
+	lastD := make([][]vec, g.NumNodes()+1)
+	boundaryBase := as.Alloc((g.NumNodes() + 1) * segLen * Lanes * 4)
+
+	best := GraphResult{}
+	for _, id := range order {
+		seq := g.Seq(id)
+		parents := g.In(id)
+		for seg := 0; seg < segLen; seg++ {
+			var h, d vec
+			for pi, p := range parents {
+				probe.Load(uintptr(boundaryBase)+uintptr((int(p)*segLen+seg)*Lanes*4), Lanes*4)
+				if pi == 0 {
+					h, d = lastH[p][seg], lastD[p][seg]
+				} else {
+					h.maxWith(&lastH[p][seg])
+					d.maxWith(&lastD[p][seg])
+				}
+				probe.Op(perf.Vector, 2)
+			}
+			st.hLoad[seg] = h
+			st.e[seg] = d
+		}
+		probe.TakeBranch(0x64, len(parents) > 0)
+
+		for row := 0; row < len(seq); row++ {
+			var colMax vec
+			st.column(bio.Code(seq[row]), &colMax)
+			// No write-back: the striped registers simply roll forward.
+			if hm := int(colMax.horizontalMax()); hm > best.Score {
+				probe.TakeBranch(0x65, true)
+				best.Score = hm
+				best.EndNode = id
+				best.EndOffset = row + 1
+			} else {
+				probe.TakeBranch(0x65, false)
+			}
+		}
+		lastH[id] = append([]vec(nil), st.hLoad...)
+		lastD[id] = append([]vec(nil), st.e...)
+		probe.Store(uintptr(boundaryBase)+uintptr(int(id)*segLen*Lanes*4), segLen*Lanes*4)
+	}
+	return best, nil
+}

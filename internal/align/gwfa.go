@@ -1,0 +1,174 @@
+package align
+
+import (
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/graph"
+	"pangenomicsbench/internal/perf"
+)
+
+// gwfaKey identifies one diagonal of one node's DP matrix (Fig. 4e: every
+// node has its own matrix; diagonals expand across edges into child nodes).
+type gwfaKey struct {
+	node graph.NodeID
+	k    int32 // diagonal = queryPos - nodeOffset
+}
+
+// GWFA is the Graph Wavefront Algorithm used by Minigraph to bridge gaps
+// between anchors (paper §3, [35]): non-affine (unit-cost) alignment of
+// query against the graph starting at offset 0 of node start, consuming the
+// whole query, ending anywhere. When a diagonal reaches the end of a node it
+// expands into each child node, scattering the wavefront across per-node
+// matrices — the irregular access pattern §5.2 attributes to GWFA.
+func GWFA(g *graph.Graph, start graph.NodeID, query []byte, probe *perf.Probe) (EditResult, error) {
+	if !g.Valid(start) {
+		return EditResult{}, errInvalidStart(start)
+	}
+	m := int32(len(query))
+	if m == 0 {
+		return EditResult{Distance: 0, EndNode: start}, nil
+	}
+	qc := bio.Encode2Bit(query)
+	as := perf.NewAddrSpace()
+	// Wavefront state is scattered across per-node structures, so its
+	// footprint grows with the graph region the wavefront reaches
+	// (§5.2: chromosome-scale gaps cover more nodes → more memory
+	// divergence).
+	wfFoot := uint64(g.NumNodes()) * 64
+	if wfFoot < 1<<14 {
+		wfFoot = 1 << 14
+	}
+	wfBase := as.Alloc(int(wfFoot))
+
+	// furthest[key] = furthest query offset reached on that diagonal at any
+	// score so far (monotone; used to prune dominated points).
+	furthest := make(map[gwfaKey]int32)
+	cur := make(map[gwfaKey]int32)
+
+	type point struct {
+		key gwfaKey
+		q   int32
+	}
+
+	improve := func(wf map[gwfaKey]int32, key gwfaKey, q int32) bool {
+		probe.Load(uintptr(wfBase)+uintptr((uint64(uint32(key.node))*64+uint64(uint32(key.k))*8)%wfFoot), 8)
+		// Per-point bookkeeping: diagonal/offset arithmetic, bounds checks,
+		// hash/index computation of the per-node wavefront slot.
+		probe.Op(perf.ScalarInt, 14)
+		probe.Dep(1) // offset comparison chain
+		// No branch recorded here: the real GWFA computes new wavefront
+		// offsets with unconditional max operations; the dominance check
+		// below is an artifact of this map-based implementation.
+		if old, ok := furthest[key]; ok && old >= q {
+			return false
+		}
+		furthest[key] = q
+		if old, ok := wf[key]; !ok || q > old {
+			wf[key] = q
+		}
+		probe.Store(uintptr(wfBase)+uintptr((uint64(uint32(key.node))*64+uint64(uint32(key.k))*8+8)%wfFoot), 8)
+		return true
+	}
+
+	// extend pushes a point as far as exact matches allow, expanding into
+	// children at node ends; returns true if the query end was reached.
+	var extend func(wf map[gwfaKey]int32, key gwfaKey, q int32) bool
+	extend = func(wf map[gwfaKey]int32, key gwfaKey, q int32) bool {
+		seq := g.Seq(key.node)
+		off := q - key.k
+		matched := 0
+		for int(off) < len(seq) && q < m && bio.Code(seq[off]) == qc[q] {
+			off++
+			q++
+			matched++
+		}
+		// Extension cost: load + compare + advance per matched base (the
+		// comparison loop body), one exit branch per extension run.
+		probe.Op(perf.ScalarInt, 4*matched+4)
+		probe.Load(uintptr(wfBase)+uintptr(uint64(q)%wfFoot), 4)
+		probe.TakeBranch(0xa1, matched > 0)
+		if old, ok := wf[key]; !ok || q > old {
+			wf[key] = q
+			furthest[key] = maxI32(furthest[key], q)
+		}
+		if q == m {
+			return true
+		}
+		if int(off) == len(seq) {
+			// Diagonal expansion into children (blue diagonal, Fig. 4e).
+			for _, c := range g.Out(key.node) {
+				ck := gwfaKey{c, q}
+				probe.Op(perf.ScalarInt, 4)
+				if improve(wf, ck, q) {
+					if extend(wf, ck, q) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+
+	if improve(cur, gwfaKey{start, 0}, 0); extend(cur, gwfaKey{start, 0}, 0) {
+		return EditResult{Distance: 0, EndNode: start}, nil
+	}
+
+	for s := 1; ; s++ {
+		next := make(map[gwfaKey]int32)
+		var pts []point
+		for key, q := range cur {
+			pts = append(pts, point{key, q})
+		}
+		if len(pts) == 0 {
+			// Wavefront died (fully dominated): distance is bounded by
+			// inserting the whole remaining query; fall back to worst case.
+			return EditResult{Distance: int(m), EndNode: start}, nil
+		}
+		for _, pt := range pts {
+			seq := g.Seq(pt.key.node)
+			off := pt.q - pt.key.k
+			L := int32(len(seq))
+			// Mismatch: advance both (same diagonal).
+			if off < L && pt.q < m {
+				improve(next, pt.key, pt.q+1)
+			}
+			// Insertion: consume query only (diagonal k+1).
+			if pt.q < m {
+				improve(next, gwfaKey{pt.key.node, pt.key.k + 1}, pt.q+1)
+			}
+			// Deletion: consume node base only (diagonal k-1).
+			if off < L {
+				improve(next, gwfaKey{pt.key.node, pt.key.k - 1}, pt.q)
+			}
+			// Per-point wavefront arithmetic: three-way max, bounds
+			// clipping, node-length lookups. These carry a dependency
+			// chain (each successor offset derives from the max), which
+			// is what keeps GWFA core-bound (§5.2).
+			probe.Op(perf.ScalarInt, 16)
+			probe.Dep(3)
+		}
+		// Extend pass over the new wavefront.
+		var keys []gwfaKey
+		for key := range next {
+			keys = append(keys, key)
+		}
+		for _, key := range keys {
+			if extend(next, key, next[key]) {
+				return EditResult{Distance: s, EndNode: key.node}, nil
+			}
+		}
+		cur = next
+	}
+}
+
+func maxI32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+type errInvalidStart graph.NodeID
+
+func (e errInvalidStart) Error() string {
+	return "align: GWFA start node out of range"
+}

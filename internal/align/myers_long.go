@@ -1,0 +1,84 @@
+package align
+
+import (
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/perf"
+)
+
+// MyersLong is the unrestricted-length variant of Myers's bit-parallel
+// algorithm (blocked 64-bit words with carry propagation, as in Myers's
+// original unrestricted algorithm and edlib): semi-global edit distance of
+// a query of any length against ref, matches free to start anywhere on the
+// reference. GraphAligner's production code uses the single-word kernel on
+// 64 bp slices (the GBV path); this blocked form covers whole long reads in
+// one pass and serves as a cross-check.
+func MyersLong(ref, query []byte, probe *perf.Probe) EditResult {
+	m := len(query)
+	if m == 0 {
+		return EditResult{Distance: 0}
+	}
+	nBlocks := (m + 63) / 64
+	// Per-block Peq masks.
+	peq := make([][5]uint64, nBlocks)
+	for j, b := range query {
+		c := bio.Code(b)
+		if c != bio.BaseN {
+			peq[j/64][c] |= 1 << uint(j%64)
+		}
+	}
+	// Per-block top-bit masks (the last block may be partial).
+	top := make([]uint64, nBlocks)
+	for b := 0; b < nBlocks; b++ {
+		bits := 64
+		if b == nBlocks-1 {
+			bits = m - 64*b
+		}
+		top[b] = 1 << uint(bits-1)
+	}
+
+	pv := make([]uint64, nBlocks)
+	mv := make([]uint64, nBlocks)
+	for b := range pv {
+		pv[b] = ^uint64(0)
+	}
+	score := m
+	best := EditResult{Distance: score, EndRef: 0}
+
+	for i, rb := range ref {
+		c := bio.Code(rb)
+		hin := 0 // search variant: top boundary delta is 0
+		for b := 0; b < nBlocks; b++ {
+			eq := peq[b][c]
+			xv := eq | mv[b]
+			if hin < 0 {
+				eq |= 1
+			}
+			xh := (((eq & pv[b]) + pv[b]) ^ pv[b]) | eq
+			ph := mv[b] | ^(xh | pv[b])
+			mh := pv[b] & xh
+			hout := 0
+			if ph&top[b] != 0 {
+				hout = 1
+			} else if mh&top[b] != 0 {
+				hout = -1
+			}
+			ph <<= 1
+			mh <<= 1
+			if hin == 1 {
+				ph |= 1
+			} else if hin == -1 {
+				mh |= 1
+			}
+			pv[b] = mh | ^(xv | ph)
+			mv[b] = ph & xv
+			hin = hout
+			probe.Op(perf.ScalarInt, 14)
+		}
+		score += hin
+		probe.TakeBranch(0x71, hin < 0)
+		if score < best.Distance {
+			best = EditResult{Distance: score, EndRef: i + 1}
+		}
+	}
+	return best
+}

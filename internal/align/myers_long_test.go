@@ -1,0 +1,67 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMyersLongMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 80; i++ {
+		ref := randSeq(rng, 50+rng.Intn(400))
+		// Queries straddling multiples of 64 to exercise block boundaries.
+		qlen := []int{1, 63, 64, 65, 127, 128, 129, 200, 300}[i%9]
+		if qlen > len(ref) {
+			qlen = len(ref)
+		}
+		start := rng.Intn(len(ref) - qlen + 1)
+		query := mutate(rng, ref[start:start+qlen], 0.1)
+		want := EditDistanceFull(ref, query)
+		got := MyersLong(ref, query, nil)
+		if got.Distance != want.Distance {
+			t.Fatalf("case %d (qlen %d): MyersLong %d != oracle %d", i, len(query), got.Distance, want.Distance)
+		}
+	}
+}
+
+func TestMyersLongAgreesWithMyers64(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for i := 0; i < 40; i++ {
+		ref := randSeq(rng, 30+rng.Intn(200))
+		query := mutate(rng, ref[rng.Intn(len(ref)/2):], 0.1)
+		if len(query) > 64 {
+			query = query[:64]
+		}
+		short, err := Myers64(ref, query, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		long := MyersLong(ref, query, nil)
+		if short.Distance != long.Distance {
+			t.Fatalf("case %d: Myers64 %d != MyersLong %d", i, short.Distance, long.Distance)
+		}
+	}
+}
+
+func TestMyersLongEmpty(t *testing.T) {
+	if got := MyersLong([]byte("ACGT"), nil, nil); got.Distance != 0 {
+		t.Fatalf("empty query distance %d", got.Distance)
+	}
+	query := []byte("ACGT")
+	if got := MyersLong(nil, query, nil); got.Distance != 4 {
+		t.Fatalf("empty ref distance %d", got.Distance)
+	}
+}
+
+func TestMyersLongProperty(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		r1, r2 := rand.New(rand.NewSource(s1)), rand.New(rand.NewSource(s2))
+		ref := randSeq(r1, 1+r1.Intn(150))
+		query := randSeq(r2, 1+r2.Intn(150))
+		return MyersLong(ref, query, nil).Distance == EditDistanceFull(ref, query).Distance
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

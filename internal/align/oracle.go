@@ -1,0 +1,260 @@
+package align
+
+import (
+	"container/heap"
+
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/graph"
+)
+
+// SmithWaterman is the plain O(nm) affine-gap local aligner (Gotoh). It is
+// the correctness oracle for SSW and GSSW and the conceptual ancestor of
+// both (paper §3, "Graph SIMD Smith-Waterman").
+func SmithWaterman(ref, query []byte, sc bio.Scoring) Result {
+	n, m := len(ref), len(query)
+	const negInf = -(1 << 29)
+	H := make([][]int, n+1)
+	E := make([][]int, n+1) // gap consuming query (horizontal)
+	F := make([][]int, n+1) // gap consuming reference (vertical)
+	for i := 0; i <= n; i++ {
+		H[i] = make([]int, m+1)
+		E[i] = make([]int, m+1)
+		F[i] = make([]int, m+1)
+		for j := 0; j <= m; j++ {
+			E[i][j], F[i][j] = negInf, negInf
+		}
+	}
+	best := Result{}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			E[i][j] = max2(H[i][j-1]-sc.GapOpen, E[i][j-1]-sc.GapExtend)
+			F[i][j] = max2(H[i-1][j]-sc.GapOpen, F[i-1][j]-sc.GapExtend)
+			h := H[i-1][j-1] + sc.Substitution(ref[i-1], query[j-1])
+			h = max2(h, E[i][j])
+			h = max2(h, F[i][j])
+			if h < 0 {
+				h = 0
+			}
+			H[i][j] = h
+			if h > best.Score {
+				best = Result{Score: h, RefEnd: i, QueryEnd: j}
+			}
+		}
+	}
+	if best.Score == 0 {
+		return best
+	}
+	best.Cigar, best.RefBegin, best.QueryBeg = traceback(H, E, F, ref, query, sc, best.RefEnd, best.QueryEnd)
+	return best
+}
+
+// traceback walks an affine H/E/F matrix set from (i,j) back to a zero cell.
+func traceback(H, E, F [][]int, ref, query []byte, sc bio.Scoring, i, j int) (bio.Cigar, int, int) {
+	var c bio.Cigar
+	state := 'H'
+	for i > 0 && j > 0 {
+		switch state {
+		case 'H':
+			h := H[i][j]
+			if h == 0 {
+				i, j = -i, -j // sentinel exit below
+			} else if h == H[i-1][j-1]+sc.Substitution(ref[i-1], query[j-1]) {
+				if bio.Code(ref[i-1]) == bio.Code(query[j-1]) && bio.Code(ref[i-1]) != bio.BaseN {
+					c = c.Append(bio.CigarEq, 1)
+				} else {
+					c = c.Append(bio.CigarX, 1)
+				}
+				i, j = i-1, j-1
+			} else if h == E[i][j] {
+				state = 'E'
+			} else {
+				state = 'F'
+			}
+		case 'E':
+			c = c.Append(bio.CigarIns, 1)
+			if E[i][j] == H[i][j-1]-sc.GapOpen {
+				state = 'H'
+			}
+			j--
+		case 'F':
+			c = c.Append(bio.CigarDel, 1)
+			if F[i][j] == H[i-1][j]-sc.GapOpen {
+				state = 'H'
+			}
+			i--
+		}
+		if i < 0 {
+			i, j = -i, -j
+			break
+		}
+	}
+	return c.Reverse(), i, j
+}
+
+// EditDistanceFull computes the unit-cost semi-global edit distance DP
+// (free start anywhere on the reference — row 0 is zero) and returns the
+// minimum distance of aligning the whole query, with the best reference end.
+// Oracle for Myers's bitvector.
+func EditDistanceFull(ref, query []byte) EditResult {
+	n, m := len(ref), len(query)
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	best := EditResult{Distance: prev[m], EndRef: 0}
+	for i := 1; i <= n; i++ {
+		cur[0] = 0 // free start on reference
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if bio.Code(ref[i-1]) == bio.Code(query[j-1]) && bio.Code(ref[i-1]) != bio.BaseN {
+				cost = 0
+			}
+			cur[j] = min3(prev[j-1]+cost, prev[j]+1, cur[j-1]+1)
+		}
+		if cur[m] < best.Distance {
+			best = EditResult{Distance: cur[m], EndRef: i}
+		}
+		prev, cur = cur, prev
+	}
+	return best
+}
+
+// GlobalEditDistance is the classic global (Levenshtein) DP, used as the
+// oracle for WFA.
+func GlobalEditDistance(a, b []byte) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if bio.Code(a[i-1]) == bio.Code(b[j-1]) && bio.Code(a[i-1]) != bio.BaseN {
+				cost = 0
+			}
+			cur[j] = min3(prev[j-1]+cost, prev[j]+1, cur[j-1]+1)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// GraphEditDistance computes the minimum semi-global edit distance of query
+// against graph g — the alignment may start at any position of any node and
+// end anywhere, but must consume the whole query. It runs Dijkstra over the
+// alignment graph of states (node, offset, queryPos), which is correct even
+// on cyclic graphs, and serves as the oracle for GBV.
+func GraphEditDistance(g *graph.Graph, query []byte) EditResult {
+	var seeds []gstate
+	for id := 1; id <= g.NumNodes(); id++ {
+		for off := 0; off <= len(g.Seq(graph.NodeID(id))); off++ {
+			seeds = append(seeds, gstate{graph.NodeID(id), int32(off), 0})
+		}
+	}
+	return graphEdit(g, query, seeds)
+}
+
+// GraphEditDistanceFrom is the fixed-start variant: the alignment must begin
+// at offset 0 of node start and consume the whole query, ending anywhere.
+// Oracle for GWFA.
+func GraphEditDistanceFrom(g *graph.Graph, start graph.NodeID, query []byte) EditResult {
+	return graphEdit(g, query, []gstate{{start, 0, 0}})
+}
+
+type gstate struct {
+	node graph.NodeID
+	off  int32 // offset into node sequence (0..len)
+	q    int32 // query position consumed (0..m)
+}
+
+func graphEdit(g *graph.Graph, query []byte, seeds []gstate) EditResult {
+	type state = gstate
+	m := int32(len(query))
+	dist := make(map[state]int)
+	pq := &stateHeap{}
+	push := func(s state, d int) {
+		if old, ok := dist[s]; ok && old <= d {
+			return
+		}
+		dist[s] = d
+		heap.Push(pq, stateItem{s.node, s.off, s.q, d})
+	}
+	for _, s := range seeds {
+		push(s, 0)
+	}
+	best := EditResult{Distance: int(m)} // aligning against nothing
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(stateItem)
+		s := state{it.node, it.off, it.q}
+		if d, ok := dist[s]; !ok || it.d > d {
+			continue
+		}
+		if s.q == m {
+			if it.d < best.Distance {
+				best = EditResult{Distance: it.d, EndNode: s.node}
+			}
+			continue
+		}
+		if it.d >= best.Distance {
+			continue
+		}
+		seq := g.Seq(s.node)
+		if int(s.off) < len(seq) {
+			// Match / mismatch and deletion within the node.
+			cost := 1
+			if bio.Code(seq[s.off]) == bio.Code(query[s.q]) && bio.Code(seq[s.off]) != bio.BaseN {
+				cost = 0
+			}
+			push(state{s.node, s.off + 1, s.q + 1}, it.d+cost)
+			push(state{s.node, s.off + 1, s.q}, it.d+1) // deletion (skip ref base)
+		} else {
+			// At node end: hop to children at offset 0 for free.
+			for _, c := range g.Out(s.node) {
+				push(state{c, 0, s.q}, it.d)
+			}
+		}
+		// Insertion (consume query only).
+		push(state{s.node, s.off, s.q + 1}, it.d+1)
+	}
+	return best
+}
+
+type stateItem struct {
+	node graph.NodeID
+	off  int32
+	q    int32
+	d    int
+}
+
+type stateHeap []stateItem
+
+func (h stateHeap) Len() int            { return len(h) }
+func (h stateHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h stateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *stateHeap) Push(x interface{}) { *h = append(*h, x.(stateItem)) }
+func (h *stateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func min3(a, b, c int) int { return min2(min2(a, b), c) }

@@ -1,0 +1,372 @@
+package align
+
+import (
+	"fmt"
+
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/perf"
+)
+
+// POA is a partial order alignment graph (the paper's [20]/POA kernels used
+// by Cactus graph induction and smoothXG polishing). Nodes hold single
+// bases; sequences are aligned to the graph with dynamic programming over
+// the DAG and merged in, so the graph accumulates a multiple alignment.
+// An adaptive band (abPOA-style) restricts each rank's DP columns around
+// the best diagonal when Band > 0.
+type POA struct {
+	nodes []poaNode
+	// Band is the adaptive band half-width; 0 or negative disables banding.
+	Band int
+	// Scoring uses Match / Mismatch and GapOpen as a linear per-base gap
+	// penalty (POA here is non-affine, like the seeded variants in
+	// smoothXG's default configuration).
+	Scoring bio.Scoring
+
+	nseq int
+}
+
+type poaNode struct {
+	base      byte
+	out       []int
+	in        []int
+	outWeight []int // parallel to out: number of sequences using the edge
+	alignedTo []int // nodes representing other bases at the same column
+	weight    int   // sequences passing through the node
+}
+
+// NewPOA returns an empty POA graph with default scoring (match 2,
+// mismatch 4, gap 4).
+func NewPOA() *POA {
+	return &POA{Scoring: bio.Scoring{Match: 2, Mismatch: 4, GapOpen: 4, GapExtend: 4}}
+}
+
+// NumNodes returns the node count.
+func (p *POA) NumNodes() int { return len(p.nodes) }
+
+// NumSequences returns how many sequences were added.
+func (p *POA) NumSequences() int { return p.nseq }
+
+// AddSequence aligns seq to the graph and merges it in. The first sequence
+// becomes the backbone.
+func (p *POA) AddSequence(seq []byte, probe *perf.Probe) error {
+	if len(seq) == 0 {
+		return fmt.Errorf("align: POA cannot add an empty sequence")
+	}
+	if len(p.nodes) == 0 {
+		prev := -1
+		for _, b := range seq {
+			id := p.newNode(b)
+			if prev >= 0 {
+				p.addEdge(prev, id)
+			}
+			prev = id
+		}
+		p.nseq++
+		return nil
+	}
+	ops := p.alignToGraph(seq, probe)
+	p.merge(seq, ops)
+	p.nseq++
+	return nil
+}
+
+func (p *POA) newNode(b byte) int {
+	p.nodes = append(p.nodes, poaNode{base: b, weight: 1})
+	return len(p.nodes) - 1
+}
+
+func (p *POA) addEdge(from, to int) {
+	n := &p.nodes[from]
+	for i, t := range n.out {
+		if t == to {
+			n.outWeight[i]++
+			return
+		}
+	}
+	n.out = append(n.out, to)
+	n.outWeight = append(n.outWeight, 1)
+	p.nodes[to].in = append(p.nodes[to].in, from)
+}
+
+// topoOrder returns node indices in topological order (the graph is a DAG
+// by construction).
+func (p *POA) topoOrder() []int {
+	n := len(p.nodes)
+	indeg := make([]int, n)
+	for i := range p.nodes {
+		for _, t := range p.nodes[i].out {
+			indeg[t]++
+		}
+	}
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, t := range p.nodes[u].out {
+			indeg[t]--
+			if indeg[t] == 0 {
+				queue = append(queue, t)
+			}
+		}
+	}
+	return order
+}
+
+// poaOp is one traceback operation of a sequence-to-POA alignment.
+type poaOp struct {
+	node int // graph node (-1 for insertions)
+	qpos int // query position (-1 for deletions)
+}
+
+// alignToGraph runs global DP of seq against the DAG and returns the
+// alignment operations in order.
+func (p *POA) alignToGraph(seq []byte, probe *perf.Probe) []poaOp {
+	const negInf = -(1 << 29)
+	order := p.topoOrder()
+	rank := make([]int, len(p.nodes))
+	for r, id := range order {
+		rank[id] = r
+	}
+	m := len(seq)
+	gap := p.Scoring.GapOpen
+
+	// score[r][j]: best alignment of seq[:j] ending at node order[r]
+	// (node consumed). Row -1 (virtual start) is gaps only.
+	score := make([][]int, len(order))
+	fromNode := make([][]int32, len(order)) // predecessor rank, -1 = start
+	fromJ := make([][]int8, len(order))     // 0 diag, 1 del (gap in seq), 2 ins
+
+	// Adaptive band bookkeeping.
+	lo, hi := 0, m
+	for r, id := range order {
+		score[r] = make([]int, m+1)
+		fromNode[r] = make([]int32, m+1)
+		fromJ[r] = make([]int8, m+1)
+		nd := &p.nodes[id]
+
+		if p.Band > 0 {
+			center := r * m / max2(len(order), 1)
+			lo, hi = center-p.Band, center+p.Band
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > m {
+				hi = m
+			}
+		}
+
+		for j := 0; j <= m; j++ {
+			score[r][j] = negInf
+		}
+		for j := lo; j <= hi; j++ {
+			best, bn, bj := negInf, int32(-2), int8(0)
+			// Predecessor values: virtual start or any in-edge node.
+			preds := nd.in
+			if len(preds) == 0 {
+				if j > 0 {
+					d := -(j-1)*gap + p.Scoring.Substitution(nd.base, seq[j-1])
+					if d > best {
+						best, bn, bj = d, -1, 0
+					}
+				}
+				// Node consumed against a gap, with j query bases also
+				// gapped before it.
+				if d := -(j + 1) * gap; d > best {
+					best, bn, bj = d, -1, 1
+				}
+			}
+			for _, pre := range preds {
+				pr := rank[pre]
+				if j > 0 {
+					d := score[pr][j-1] + p.Scoring.Substitution(nd.base, seq[j-1])
+					if d > best {
+						best, bn, bj = d, int32(pr), 0
+					}
+				}
+				if v := score[pr][j] - gap; v > best { // delete node base
+					best, bn, bj = v, int32(pr), 1
+				}
+				probe.Op(perf.ScalarInt, 4)
+			}
+			if j > 0 {
+				if v := score[r][j-1] - gap; v > best { // insert query base
+					best, bn, bj = v, int32(r), 2
+				}
+			}
+			score[r][j] = best
+			fromNode[r][j] = bn
+			fromJ[r][j] = bj
+			probe.Op(perf.ScalarInt, 3)
+		}
+		probe.TakeBranch(0xb0, len(nd.in) > 1)
+	}
+
+	// Best end: any sink node at j = m (global in the query, free end on
+	// the graph among sinks).
+	bestR, bestScore := -1, negInf
+	for r, id := range order {
+		if len(p.nodes[id].out) == 0 && score[r][m] > bestScore {
+			bestScore, bestR = score[r][m], r
+		}
+	}
+	if bestR < 0 {
+		// All sinks banded out: fall back to the global best at j = m.
+		for r := range order {
+			if score[r][m] > bestScore {
+				bestScore, bestR = score[r][m], r
+			}
+		}
+	}
+
+	// Traceback.
+	var rev []poaOp
+	r, j := bestR, m
+	for r >= 0 {
+		bn, bj := fromNode[r][j], fromJ[r][j]
+		switch bj {
+		case 0: // diagonal: node aligned to seq[j-1]
+			rev = append(rev, poaOp{order[r], j - 1})
+			// Leading insertions when the path started mid-query.
+			if bn == -1 {
+				for q := j - 2; q >= 0; q-- {
+					rev = append(rev, poaOp{-1, q})
+				}
+				r, j = -1, 0
+				continue
+			}
+			r, j = int(bn), j-1
+		case 1: // node consumed against gap
+			rev = append(rev, poaOp{order[r], -1})
+			if bn == -1 {
+				for q := j - 1; q >= 0; q-- {
+					rev = append(rev, poaOp{-1, q})
+				}
+				r = -1
+				continue
+			}
+			r = int(bn)
+		case 2: // query base inserted
+			rev = append(rev, poaOp{-1, j - 1})
+			j--
+		}
+	}
+	// Reverse into forward order.
+	ops := make([]poaOp, len(rev))
+	for i := range rev {
+		ops[i] = rev[len(rev)-1-i]
+	}
+	return ops
+}
+
+// merge threads the aligned sequence through the graph, fusing matches,
+// attaching mismatches as aligned alternatives, and inserting new nodes for
+// insertions.
+func (p *POA) merge(seq []byte, ops []poaOp) {
+	// Ranks of the pre-merge graph guard against creating cycles when
+	// reusing aligned-alternative nodes out of topological order.
+	rank := make([]int, len(p.nodes))
+	for r, id := range p.topoOrder() {
+		rank[id] = r
+	}
+	lastExistingRank := -1
+	prev := -1
+	link := func(id int) {
+		if prev >= 0 && id >= 0 {
+			p.addEdge(prev, id)
+		}
+		if id >= 0 {
+			prev = id
+			if id < len(rank) {
+				lastExistingRank = rank[id]
+			}
+		}
+	}
+	for _, op := range ops {
+		switch {
+		case op.node >= 0 && op.qpos >= 0:
+			b := seq[op.qpos]
+			nd := &p.nodes[op.node]
+			if bio.Code(nd.base) == bio.Code(b) {
+				nd.weight++
+				link(op.node)
+				break
+			}
+			// Mismatch: reuse an aligned alternative with this base (when
+			// topologically safe), or create one.
+			target := -1
+			for _, alt := range nd.alignedTo {
+				if bio.Code(p.nodes[alt].base) == bio.Code(b) &&
+					(alt >= len(rank) || rank[alt] > lastExistingRank) {
+					target = alt
+					break
+				}
+			}
+			if target < 0 {
+				target = p.newNode(b)
+				// Cross-register the aligned group.
+				group := append([]int{op.node}, nd.alignedTo...)
+				for _, gmem := range group {
+					p.nodes[gmem].alignedTo = append(p.nodes[gmem].alignedTo, target)
+					p.nodes[target].alignedTo = append(p.nodes[target].alignedTo, gmem)
+				}
+			} else {
+				p.nodes[target].weight++
+			}
+			link(target)
+		case op.node < 0 && op.qpos >= 0:
+			// Insertion: a brand-new node.
+			id := p.newNode(seq[op.qpos])
+			link(id)
+		default:
+			// Deletion: the sequence skips this node; nothing to add.
+		}
+	}
+}
+
+// Consensus returns the heaviest path through the graph: dynamic programming
+// over topological order maximizing accumulated node and edge weights.
+func (p *POA) Consensus() []byte {
+	if len(p.nodes) == 0 {
+		return nil
+	}
+	order := p.topoOrder()
+	best := make([]int, len(p.nodes))
+	next := make([]int, len(p.nodes))
+	for i := range next {
+		next[i] = -1
+	}
+	// Walk in reverse topological order.
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		nd := &p.nodes[id]
+		best[id] = nd.weight
+		bestChild, bestVal := -1, 0
+		for ei, t := range nd.out {
+			v := best[t] + nd.outWeight[ei]
+			if v > bestVal {
+				bestVal, bestChild = v, t
+			}
+		}
+		best[id] += bestVal
+		next[id] = bestChild
+	}
+	// Best start among sources.
+	start, startVal := -1, -1
+	for _, id := range order {
+		if len(p.nodes[id].in) == 0 && best[id] > startVal {
+			startVal, start = best[id], id
+		}
+	}
+	var out []byte
+	for id := start; id >= 0; id = next[id] {
+		out = append(out, p.nodes[id].base)
+	}
+	return out
+}

@@ -1,0 +1,7 @@
+package align
+
+import "pangenomicsbench/internal/perf"
+
+// newCountingProbe returns a probe without cache or branch simulators:
+// counters only, cheap enough for store-count comparisons.
+func newCountingProbe() *perf.Probe { return &perf.Probe{} }

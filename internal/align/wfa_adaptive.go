@@ -1,0 +1,115 @@
+package align
+
+import (
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/perf"
+)
+
+// WFAEditAdaptive is the wavefront algorithm with the WFA-adaptive pruning
+// heuristic of WFA2-lib: diagonals whose furthest-reaching point lags the
+// wavefront's best anti-diagonal by more than cutoff cells are dropped.
+// Pruning trades exactness for speed on divergent pairs — the result is an
+// upper bound on the true edit distance, exact in practice for cutoffs
+// comfortably above the alignment's maximum local divergence.
+func WFAEditAdaptive(a, b []byte, cutoff int, probe *perf.Probe) int {
+	n, m := len(a), len(b)
+	if n == 0 {
+		return m
+	}
+	if m == 0 {
+		return n
+	}
+	if cutoff < 1 {
+		cutoff = 1
+	}
+	ca, cb := bio.Encode2Bit(a), bio.Encode2Bit(b)
+	goalK := n - m
+	bias := m
+	cur := make([]int, n+m+1)
+	next := make([]int, n+m+1)
+	for i := range cur {
+		cur[i] = -1
+	}
+	lo, hi := 0, 0
+	cur[bias] = 0
+
+	for s := 0; ; s++ {
+		bestAnti := -1
+		for k := lo; k <= hi; k++ {
+			if cur[k+bias] < 0 {
+				continue
+			}
+			i := cur[k+bias]
+			j := i - k
+			for i < n && j < m && ca[i] == cb[j] {
+				i++
+				j++
+			}
+			probe.Op(perf.ScalarInt, 2+(i-cur[k+bias]))
+			cur[k+bias] = i
+			if anti := 2*i - k; anti > bestAnti {
+				bestAnti = anti
+			}
+		}
+		if goalK >= lo && goalK <= hi && cur[goalK+bias] >= n {
+			return s
+		}
+		// Adaptive reduction: drop diagonals lagging the best anti-diagonal.
+		for k := lo; k <= hi; k++ {
+			if cur[k+bias] < 0 {
+				continue
+			}
+			anti := 2*cur[k+bias] - k
+			if bestAnti-anti > cutoff {
+				probe.TakeBranch(0x92, true)
+				cur[k+bias] = -1
+			} else {
+				probe.TakeBranch(0x92, false)
+			}
+		}
+		for lo <= hi && cur[lo+bias] < 0 {
+			lo++
+		}
+		for hi >= lo && cur[hi+bias] < 0 {
+			hi--
+		}
+		if lo > hi {
+			// Everything pruned (pathological cutoff): give the trivial
+			// upper bound.
+			return n + m
+		}
+
+		nlo, nhi := lo-1, hi+1
+		if nlo < -m {
+			nlo = -m
+		}
+		if nhi > n {
+			nhi = n
+		}
+		for k := nlo; k <= nhi; k++ {
+			best := -1
+			if k-1 >= lo && k-1 <= hi && cur[k-1+bias] >= 0 {
+				best = cur[k-1+bias] + 1
+			}
+			if k >= lo && k <= hi && cur[k+bias] >= 0 && cur[k+bias]+1 > best {
+				best = cur[k+bias] + 1
+			}
+			if k+1 >= lo && k+1 <= hi && cur[k+1+bias] >= 0 && cur[k+1+bias] > best {
+				best = cur[k+1+bias]
+			}
+			if best > n {
+				best = n
+			}
+			if best >= 0 && best-k > m {
+				best = m + k
+			}
+			if best >= 0 && best-k < 0 {
+				best = -1
+			}
+			next[k+bias] = best
+			probe.Op(perf.ScalarInt, 6)
+		}
+		lo, hi = nlo, nhi
+		cur, next = next, cur
+	}
+}

@@ -1,0 +1,57 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWFAAdaptiveExactOnModerateDivergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for i := 0; i < 60; i++ {
+		a := randSeq(rng, 100+rng.Intn(400))
+		b := mutate(rng, a, 0.05)
+		want := GlobalEditDistance(a, b)
+		if got := WFAEditAdaptive(a, b, 200, nil); got != want {
+			t.Fatalf("case %d: adaptive %d != exact %d (generous cutoff)", i, got, want)
+		}
+	}
+}
+
+func TestWFAAdaptiveIsUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for i := 0; i < 40; i++ {
+		a := randSeq(rng, 50+rng.Intn(200))
+		b := randSeq(rng, 50+rng.Intn(200)) // unrelated: heavy divergence
+		exact := GlobalEditDistance(a, b)
+		got := WFAEditAdaptive(a, b, 20, nil)
+		if got < exact {
+			t.Fatalf("case %d: adaptive %d below exact %d", i, got, exact)
+		}
+	}
+}
+
+func TestWFAAdaptivePrunesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	a := randSeq(rng, 2000)
+	b := mutate(rng, a, 0.10)
+	exactProbe := newCountingProbe()
+	WFAEdit(a, b, exactProbe)
+	adaptProbe := newCountingProbe()
+	WFAEditAdaptive(a, b, 100, adaptProbe)
+	if adaptProbe.Instructions() >= exactProbe.Instructions() {
+		t.Fatalf("adaptive (%d instr) should do less work than exact (%d instr)",
+			adaptProbe.Instructions(), exactProbe.Instructions())
+	}
+}
+
+func TestWFAAdaptiveEdges(t *testing.T) {
+	if WFAEditAdaptive(nil, []byte("AC"), 10, nil) != 2 {
+		t.Fatal("empty a")
+	}
+	if WFAEditAdaptive([]byte("AC"), nil, 10, nil) != 2 {
+		t.Fatal("empty b")
+	}
+	if WFAEditAdaptive([]byte("ACGT"), []byte("ACGT"), 0, nil) != 0 {
+		t.Fatal("identical with clamped cutoff")
+	}
+}

@@ -1,0 +1,254 @@
+package align
+
+import (
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/perf"
+)
+
+// WFAAffine computes the global gap-affine alignment penalty between a and
+// b with the full wavefront algorithm of Marco-Sola et al. (the paper's
+// [17], the algorithm inside WFA2-lib and wfmash): three wavefront families
+// (M: match/mismatch, I: insertion, D: deletion) advance by penalty score.
+// Penalties follow the usual WFA convention: matches are free, a mismatch
+// costs Mismatch, and a gap of length l costs GapOpen + l·GapExtend.
+// The returned value is the minimum total penalty.
+func WFAAffine(a, b []byte, pen bio.Scoring, probe *perf.Probe) int {
+	n, m := len(a), len(b)
+	x := pen.Mismatch
+	o := pen.GapOpen
+	e := pen.GapExtend
+	if x < 1 {
+		x = 1
+	}
+	if e < 1 {
+		e = 1
+	}
+	if n == 0 {
+		if m == 0 {
+			return 0
+		}
+		return o + m*e
+	}
+	if m == 0 {
+		return o + n*e
+	}
+	ca, cb := bio.Encode2Bit(a), bio.Encode2Bit(b)
+
+	// Wavefronts indexed by score: wf[s][k] = furthest offset (i on a) on
+	// diagonal k = i - j, or -1. Stored sparsely per score because only
+	// scores reachable by combinations of x, o+e and e matter.
+	type wavefront struct {
+		lo, hi int
+		m      []int32 // match wavefront offsets (index k - lo)
+		i      []int32 // insertion (gap in a → consumes b)
+		d      []int32 // deletion (gap in b → consumes a)
+	}
+	const none = int32(-1)
+	newWF := func(lo, hi int) *wavefront {
+		w := &wavefront{lo: lo, hi: hi,
+			m: make([]int32, hi-lo+1),
+			i: make([]int32, hi-lo+1),
+			d: make([]int32, hi-lo+1)}
+		for idx := range w.m {
+			w.m[idx], w.i[idx], w.d[idx] = none, none, none
+		}
+		return w
+	}
+	wfs := map[int]*wavefront{}
+	get := func(s int) *wavefront {
+		if s < 0 {
+			return nil
+		}
+		return wfs[s]
+	}
+	mAt := func(w *wavefront, k int) int32 {
+		if w == nil || k < w.lo || k > w.hi {
+			return none
+		}
+		return w.m[k-w.lo]
+	}
+	iAt := func(w *wavefront, k int) int32 {
+		if w == nil || k < w.lo || k > w.hi {
+			return none
+		}
+		return w.i[k-w.lo]
+	}
+	dAt := func(w *wavefront, k int) int32 {
+		if w == nil || k < w.lo || k > w.hi {
+			return none
+		}
+		return w.d[k-w.lo]
+	}
+
+	extend := func(w *wavefront) bool {
+		for k := w.lo; k <= w.hi; k++ {
+			off := w.m[k-w.lo]
+			if off < 0 {
+				continue
+			}
+			i := int(off)
+			j := i - k
+			for i < n && j < m && ca[i] == cb[j] {
+				probe.TakeBranch(0x95, true)
+				i++
+				j++
+			}
+			probe.TakeBranch(0x95, false)
+			probe.Op(perf.ScalarInt, 3)
+			w.m[k-w.lo] = int32(i)
+			if i >= n && i-k >= m {
+				return true
+			}
+		}
+		return false
+	}
+
+	goalK := n - m
+	w0 := newWF(0, 0)
+	w0.m[0] = 0
+	wfs[0] = w0
+	if extend(w0) {
+		return 0
+	}
+
+	maxScore := o + e*(n+m) + x // worst case bound
+	for s := 1; s <= maxScore; s++ {
+		wx := get(s - x)      // mismatch source
+		woe := get(s - o - e) // gap-open source
+		we := get(s - e)      // gap-extend source
+		if wx == nil && woe == nil && we == nil {
+			continue
+		}
+		lo, hi := 1<<30, -(1 << 30)
+		grow := func(w *wavefront) {
+			if w == nil {
+				return
+			}
+			if w.lo-1 < lo {
+				lo = w.lo - 1
+			}
+			if w.hi+1 > hi {
+				hi = w.hi + 1
+			}
+		}
+		grow(wx)
+		grow(woe)
+		grow(we)
+		if lo < -m {
+			lo = -m
+		}
+		if hi > n {
+			hi = n
+		}
+		if lo > hi {
+			continue
+		}
+		w := newWF(lo, hi)
+		for k := lo; k <= hi; k++ {
+			// With k = i - j and offsets on i: an insertion consumes b only
+			// (j+1, k decreases), so diagonal k's insertion sources sit on
+			// k+1 with the offset unchanged; a deletion consumes a only
+			// (i+1, k increases), sourcing from k-1 with offset+1.
+			ins := maxI32x(mAt(woe, k+1), iAt(we, k+1))
+			del := none
+			if v := mAt(woe, k-1); v >= 0 {
+				del = v + 1
+			}
+			if v := dAt(we, k-1); v >= 0 && v+1 > del {
+				del = v + 1
+			}
+			mm := none
+			if v := mAt(wx, k); v >= 0 {
+				mm = v + 1
+			}
+			best := maxI32x(maxI32x(ins, del), mm)
+			// Clip to the matrix.
+			if best > int32(n) {
+				best = int32(n)
+			}
+			if best >= 0 && int(best)-k > m {
+				best = int32(m + k)
+			}
+			if best >= 0 && int(best)-k < 0 {
+				best, ins, del = none, none, none
+			}
+			w.i[k-lo] = clipOff(ins, n, m, k)
+			w.d[k-lo] = clipOff(del, n, m, k)
+			w.m[k-lo] = best
+			probe.Op(perf.ScalarInt, 10)
+		}
+		wfs[s] = w
+		if extend(w) {
+			return s
+		}
+		if v := mAt(w, goalK); v >= int32(n) {
+			return s
+		}
+		delete(wfs, s-o-e-x) // drop wavefronts no longer reachable
+	}
+	return maxScore
+}
+
+func maxI32x(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clipOff(v int32, n, m, k int) int32 {
+	if v < 0 {
+		return -1
+	}
+	if v > int32(n) {
+		v = int32(n)
+	}
+	if int(v)-k > m || int(v)-k < 0 {
+		return -1
+	}
+	return v
+}
+
+// AffineGlobalOracle is the O(nm) gap-affine global alignment penalty DP
+// (Gotoh, minimizing), the correctness oracle for WFAAffine.
+func AffineGlobalOracle(a, b []byte, pen bio.Scoring) int {
+	n, m := len(a), len(b)
+	const inf = 1 << 29
+	x, o, e := pen.Mismatch, pen.GapOpen, pen.GapExtend
+	if x < 1 {
+		x = 1
+	}
+	if e < 1 {
+		e = 1
+	}
+	M := make([][]int, n+1)
+	I := make([][]int, n+1) // gap in a (consumes b)
+	D := make([][]int, n+1) // gap in b (consumes a)
+	for i := 0; i <= n; i++ {
+		M[i] = make([]int, m+1)
+		I[i] = make([]int, m+1)
+		D[i] = make([]int, m+1)
+		for j := 0; j <= m; j++ {
+			M[i][j], I[i][j], D[i][j] = inf, inf, inf
+		}
+	}
+	M[0][0] = 0
+	for j := 1; j <= m; j++ {
+		I[0][j] = o + j*e
+		M[0][j] = I[0][j]
+	}
+	for i := 1; i <= n; i++ {
+		D[i][0] = o + i*e
+		M[i][0] = D[i][0]
+		for j := 1; j <= m; j++ {
+			I[i][j] = min2(M[i][j-1]+o+e, I[i][j-1]+e)
+			D[i][j] = min2(M[i-1][j]+o+e, D[i-1][j]+e)
+			sub := x
+			if bio.Code(a[i-1]) == bio.Code(b[j-1]) && bio.Code(a[i-1]) != bio.BaseN {
+				sub = 0
+			}
+			M[i][j] = min3(M[i-1][j-1]+sub, I[i][j], D[i][j])
+		}
+	}
+	return M[n][m]
+}

@@ -1,0 +1,138 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pangenomicsbench/internal/bio"
+)
+
+var affinePen = bio.Scoring{Match: 0, Mismatch: 4, GapOpen: 6, GapExtend: 2}
+
+func TestWFAAffineKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"ACGT", "ACGT", 0},
+		{"ACGT", "ACCT", 4},        // one mismatch
+		{"ACGT", "ACG", 8},         // one-base gap: open 6 + extend 2
+		{"ACGT", "AC", 10},         // two-base gap: 6 + 2·2
+		{"AAAA", "TTTT", 16},       // four mismatches
+		{"ACGTACGT", "ACGACGT", 8}, // internal deletion
+		{"A", "T", 4},
+	}
+	for _, c := range cases {
+		if got := WFAAffine([]byte(c.a), []byte(c.b), affinePen, nil); got != c.want {
+			t.Errorf("WFAAffine(%s, %s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestWFAAffineEmpty(t *testing.T) {
+	if got := WFAAffine(nil, nil, affinePen, nil); got != 0 {
+		t.Fatalf("empty/empty = %d", got)
+	}
+	if got := WFAAffine(nil, []byte("ACG"), affinePen, nil); got != 6+3*2 {
+		t.Fatalf("empty/ACG = %d", got)
+	}
+	if got := WFAAffine([]byte("ACG"), nil, affinePen, nil); got != 6+3*2 {
+		t.Fatalf("ACG/empty = %d", got)
+	}
+}
+
+func TestWFAAffineMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 100; i++ {
+		a := randSeq(rng, 1+rng.Intn(120))
+		b := mutate(rng, a, 0.12)
+		want := AffineGlobalOracle(a, b, affinePen)
+		if got := WFAAffine(a, b, affinePen, nil); got != want {
+			t.Fatalf("case %d: WFAAffine %d != oracle %d (a=%s b=%s)", i, got, want, a, b)
+		}
+	}
+}
+
+func TestWFAAffineRandomProperty(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		r1, r2 := rand.New(rand.NewSource(s1)), rand.New(rand.NewSource(s2))
+		a, b := randSeq(r1, 1+r1.Intn(40)), randSeq(r2, 1+r2.Intn(40))
+		return WFAAffine(a, b, affinePen, nil) == AffineGlobalOracle(a, b, affinePen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWFAAffineDifferentPenalties(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	pens := []bio.Scoring{
+		{Match: 0, Mismatch: 1, GapOpen: 1, GapExtend: 1},
+		{Match: 0, Mismatch: 2, GapOpen: 0, GapExtend: 1}, // zero open
+		{Match: 0, Mismatch: 5, GapOpen: 10, GapExtend: 1},
+	}
+	for _, pen := range pens {
+		for i := 0; i < 25; i++ {
+			a := randSeq(rng, 1+rng.Intn(60))
+			b := mutate(rng, a, 0.15)
+			want := AffineGlobalOracle(a, b, pen)
+			if got := WFAAffine(a, b, pen, nil); got != want {
+				t.Fatalf("pen %+v: WFAAffine %d != oracle %d (a=%s b=%s)", pen, got, want, a, b)
+			}
+		}
+	}
+}
+
+func TestGSSWLeanMatchesGSSWScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	sc := bio.DefaultScoring
+	for i := 0; i < 60; i++ {
+		g := randomSmallDAG(rng)
+		paths := allPathSeqs(g)
+		query := mutate(rng, paths[rng.Intn(len(paths))], 0.1)
+		if len(query) > 64 {
+			query = query[:64]
+		}
+		full, err := GSSW(g, query, sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lean, err := GSSWLean(g, query, sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lean.Score != full.Score {
+			t.Fatalf("case %d: lean score %d != full %d", i, lean.Score, full.Score)
+		}
+	}
+}
+
+func TestGSSWLeanRejectsCycles(t *testing.T) {
+	g := linearGraph([]byte("ACGT"), 2)
+	g.AddEdge(2, 1)
+	if _, err := GSSWLean(g, []byte("AC"), bio.DefaultScoring, nil); err == nil {
+		t.Fatal("cycle must be rejected")
+	}
+}
+
+// TestGSSWLeanFewerStores is the §6.1 optimization claim: dropping the
+// intra-node write-back removes most memory stores.
+func TestGSSWLeanFewerStores(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	g := linearGraph(randSeq(rng, 400), 30)
+	query := randSeq(rng, 100)
+	sc := bio.DefaultScoring
+
+	fullProbe := newCountingProbe()
+	if _, err := GSSW(g, query, sc, fullProbe); err != nil {
+		t.Fatal(err)
+	}
+	leanProbe := newCountingProbe()
+	if _, err := GSSWLean(g, query, sc, leanProbe); err != nil {
+		t.Fatal(err)
+	}
+	if leanProbe.Stores*4 > fullProbe.Stores {
+		t.Fatalf("lean stores %d should be ≪ full stores %d", leanProbe.Stores, fullProbe.Stores)
+	}
+}

@@ -1,0 +1,162 @@
+package bio
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Record is a named sequence, optionally with per-base qualities (FASTQ).
+type Record struct {
+	Name string // identifier up to the first whitespace
+	Desc string // remainder of the header line, if any
+	Seq  []byte
+	Qual []byte // nil for FASTA records
+}
+
+// ReadFasta parses FASTA records from r. It accepts multi-line sequences and
+// blank lines between records.
+func ReadFasta(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<28)
+	var recs []Record
+	var cur *Record
+	line := 0
+	for sc.Scan() {
+		line++
+		text := bytes.TrimRight(sc.Bytes(), "\r\n ")
+		if len(text) == 0 {
+			continue
+		}
+		if text[0] == '>' {
+			recs = append(recs, Record{})
+			cur = &recs[len(recs)-1]
+			cur.Name, cur.Desc = splitHeader(string(text[1:]))
+			if cur.Name == "" {
+				return nil, fmt.Errorf("bio: line %d: empty FASTA header", line)
+			}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("bio: line %d: sequence data before first FASTA header", line)
+		}
+		if !IsDNA(text) {
+			return nil, fmt.Errorf("bio: line %d: non-DNA characters in sequence %q", line, cur.Name)
+		}
+		cur.Seq = append(cur.Seq, text...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bio: reading FASTA: %w", err)
+	}
+	return recs, nil
+}
+
+// WriteFasta writes records in FASTA format with the given line width
+// (width <= 0 means a single line per sequence).
+func WriteFasta(w io.Writer, recs []Record, width int) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		if rec.Desc != "" {
+			fmt.Fprintf(bw, ">%s %s\n", rec.Name, rec.Desc)
+		} else {
+			fmt.Fprintf(bw, ">%s\n", rec.Name)
+		}
+		seq := rec.Seq
+		if width <= 0 {
+			bw.Write(seq)
+			bw.WriteByte('\n')
+			continue
+		}
+		for len(seq) > 0 {
+			n := width
+			if n > len(seq) {
+				n = len(seq)
+			}
+			bw.Write(seq[:n])
+			bw.WriteByte('\n')
+			seq = seq[n:]
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFastq parses FASTQ records from r. Sequences and qualities must be
+// single-line (the common modern convention).
+func ReadFastq(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<28)
+	var recs []Record
+	line := 0
+	next := func() ([]byte, bool) {
+		for sc.Scan() {
+			line++
+			t := bytes.TrimRight(sc.Bytes(), "\r\n")
+			if len(t) > 0 {
+				out := make([]byte, len(t))
+				copy(out, t)
+				return out, true
+			}
+		}
+		return nil, false
+	}
+	for {
+		hdr, ok := next()
+		if !ok {
+			break
+		}
+		if hdr[0] != '@' {
+			return nil, fmt.Errorf("bio: line %d: FASTQ header must start with '@'", line)
+		}
+		seq, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("bio: line %d: truncated FASTQ record", line)
+		}
+		plus, ok := next()
+		if !ok || plus[0] != '+' {
+			return nil, fmt.Errorf("bio: line %d: expected '+' separator", line)
+		}
+		qual, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("bio: line %d: missing FASTQ quality line", line)
+		}
+		if len(qual) != len(seq) {
+			return nil, fmt.Errorf("bio: line %d: quality length %d != sequence length %d", line, len(qual), len(seq))
+		}
+		var rec Record
+		rec.Name, rec.Desc = splitHeader(string(hdr[1:]))
+		rec.Seq, rec.Qual = seq, qual
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bio: reading FASTQ: %w", err)
+	}
+	return recs, nil
+}
+
+// WriteFastq writes records in FASTQ format. Records without qualities get
+// a constant quality of 'I' (Q40).
+func WriteFastq(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		qual := rec.Qual
+		if qual == nil {
+			qual = bytes.Repeat([]byte{'I'}, len(rec.Seq))
+		}
+		if rec.Desc != "" {
+			fmt.Fprintf(bw, "@%s %s\n%s\n+\n%s\n", rec.Name, rec.Desc, rec.Seq, qual)
+		} else {
+			fmt.Fprintf(bw, "@%s\n%s\n+\n%s\n", rec.Name, rec.Seq, qual)
+		}
+	}
+	return bw.Flush()
+}
+
+func splitHeader(h string) (name, desc string) {
+	h = strings.TrimSpace(h)
+	if i := strings.IndexAny(h, " \t"); i >= 0 {
+		return h[:i], strings.TrimSpace(h[i+1:])
+	}
+	return h, ""
+}

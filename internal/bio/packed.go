@@ -1,0 +1,70 @@
+package bio
+
+import "fmt"
+
+// Packed is a 2-bit-packed DNA sequence (4 bases per byte). Positions that
+// held N are recorded separately so packing round-trips losslessly for
+// sequences containing unknown bases.
+type Packed struct {
+	data []byte
+	n    int
+	ns   map[int]struct{} // positions that were N
+}
+
+// Pack packs an ASCII sequence into 2-bit form.
+func Pack(seq []byte) *Packed {
+	p := &Packed{data: make([]byte, (len(seq)+3)/4), n: len(seq)}
+	for i, b := range seq {
+		c := codeOf[b]
+		if c == BaseN {
+			if p.ns == nil {
+				p.ns = make(map[int]struct{})
+			}
+			p.ns[i] = struct{}{}
+			c = BaseA
+		}
+		p.data[i>>2] |= c << uint((i&3)*2)
+	}
+	return p
+}
+
+// Len returns the number of bases.
+func (p *Packed) Len() int { return p.n }
+
+// Code returns the 2-bit code (or BaseN) at position i.
+func (p *Packed) Code(i int) byte {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("bio: packed index %d out of range [0,%d)", i, p.n))
+	}
+	if _, ok := p.ns[i]; ok {
+		return BaseN
+	}
+	return (p.data[i>>2] >> uint((i&3)*2)) & 3
+}
+
+// At returns the ASCII base at position i.
+func (p *Packed) At(i int) byte { return Base(p.Code(i)) }
+
+// Unpack returns the full ASCII sequence.
+func (p *Packed) Unpack() []byte {
+	out := make([]byte, p.n)
+	for i := 0; i < p.n; i++ {
+		out[i] = p.At(i)
+	}
+	return out
+}
+
+// Slice returns the ASCII bases in [lo, hi).
+func (p *Packed) Slice(lo, hi int) []byte {
+	if lo < 0 || hi > p.n || lo > hi {
+		panic(fmt.Sprintf("bio: packed slice [%d,%d) out of range [0,%d)", lo, hi, p.n))
+	}
+	out := make([]byte, hi-lo)
+	for i := lo; i < hi; i++ {
+		out[i-lo] = p.At(i)
+	}
+	return out
+}
+
+// Bytes returns the packed backing storage (shared, do not mutate).
+func (p *Packed) Bytes() []byte { return p.data }

@@ -1,0 +1,56 @@
+package bio
+
+import "fmt"
+
+// Scoring is an affine-gap alignment scoring scheme. Match is a bonus
+// (positive), Mismatch / GapOpen / GapExtend are penalties (positive values,
+// subtracted by the aligners). GapOpen is the cost of the first base of a
+// gap, GapExtend the cost of each subsequent base.
+type Scoring struct {
+	Match     int
+	Mismatch  int
+	GapOpen   int
+	GapExtend int
+}
+
+// DefaultScoring mirrors the defaults of the SSW library used by vg
+// (match 1, mismatch 4, gap open 6, gap extend 1).
+var DefaultScoring = Scoring{Match: 1, Mismatch: 4, GapOpen: 6, GapExtend: 1}
+
+// Validate reports whether the scheme is usable by the aligners.
+func (s Scoring) Validate() error {
+	if s.Match <= 0 {
+		return fmt.Errorf("bio: match bonus must be positive, got %d", s.Match)
+	}
+	if s.Mismatch < 0 || s.GapOpen < 0 || s.GapExtend < 0 {
+		return fmt.Errorf("bio: penalties must be non-negative: %+v", s)
+	}
+	return nil
+}
+
+// Substitution returns the score contribution of aligning bases a and b.
+// N never matches.
+func (s Scoring) Substitution(a, b byte) int {
+	ca, cb := Code(a), Code(b)
+	if ca == cb && ca != BaseN {
+		return s.Match
+	}
+	return -s.Mismatch
+}
+
+// Matrix returns the 5x5 substitution matrix over 2-bit codes (N row/column
+// always -Mismatch), in the layout used by the striped Smith-Waterman
+// kernels.
+func (s Scoring) Matrix() [25]int8 {
+	var m [25]int8
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i == j && i != BaseN {
+				m[i*5+j] = int8(s.Match)
+			} else {
+				m[i*5+j] = int8(-s.Mismatch)
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,212 @@
+// Package chain implements the clustering and chaining stage of the mapping
+// pipelines (Fig. 1.2). Seq2Seq chaining measures the distance between
+// seeds by coordinate subtraction; Seq2Graph chaining must use shortest-path
+// lengths through the reference graph (§2.1) — the central computational
+// difference between the two pipelines.
+package chain
+
+import (
+	"sort"
+
+	"pangenomicsbench/internal/graph"
+	"pangenomicsbench/internal/perf"
+)
+
+// Anchor is one seed hit: a query position matched to a reference position
+// (linear) or a node offset (graph).
+type Anchor struct {
+	QPos   int
+	RPos   int // linear reference position, or path-space position
+	Node   graph.NodeID
+	Offset int // offset within Node (graph anchors)
+	Len    int
+}
+
+// Chain is a scored co-linear group of anchors.
+type Chain struct {
+	Anchors []Anchor
+	Score   int
+}
+
+// Linear chains anchors on a linear reference with 1D dynamic programming
+// (minimap-style): anchors sorted by reference position; an anchor extends a
+// chain when both query and reference advance, with a gap-difference
+// penalty.
+func Linear(anchors []Anchor, maxGap int, probe *perf.Probe) []Chain {
+	if len(anchors) == 0 {
+		return nil
+	}
+	a := append([]Anchor(nil), anchors...)
+	sort.Slice(a, func(i, j int) bool {
+		if a[i].RPos != a[j].RPos {
+			return a[i].RPos < a[j].RPos
+		}
+		return a[i].QPos < a[j].QPos
+	})
+	n := len(a)
+	score := make([]int, n)
+	prev := make([]int, n)
+	for i := range a {
+		score[i] = a[i].Len
+		prev[i] = -1
+		// Bounded lookback, as minimap2 does.
+		lo := i - 50
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < i; j++ {
+			probe.Load(uintptr(0x200000)+uintptr(j*24), 24)
+			dr := a[i].RPos - a[j].RPos
+			dq := a[i].QPos - a[j].QPos
+			if dq <= 0 || dr <= 0 || dr > maxGap || dq > maxGap {
+				probe.TakeBranch(0x31, false)
+				continue
+			}
+			probe.TakeBranch(0x31, true)
+			gap := dr - dq
+			if gap < 0 {
+				gap = -gap
+			}
+			s := score[j] + a[i].Len - gap/2
+			if s > score[i] {
+				score[i] = s
+				prev[i] = j
+			}
+			probe.Op(perf.ScalarInt, 8)
+		}
+	}
+	return collectChains(a, score, prev)
+}
+
+// GraphChains clusters graph anchors by graph locality: two anchors belong
+// to the same cluster when the shortest path between their nodes (in base
+// pairs) is consistent with their query distance. This replaces coordinate
+// subtraction with graph traversal — the expensive step §2.1 highlights.
+func GraphChains(g *graph.Graph, anchors []Anchor, maxGap int, probe *perf.Probe) []Chain {
+	if len(anchors) == 0 {
+		return nil
+	}
+	a := append([]Anchor(nil), anchors...)
+	sort.Slice(a, func(i, j int) bool { return a[i].QPos < a[j].QPos })
+	n := len(a)
+	score := make([]int, n)
+	prev := make([]int, n)
+	// Memoized distance oracle ("memoization in large data structures",
+	// §2.1).
+	type dkey struct{ a, b graph.NodeID }
+	memo := map[dkey]int{}
+	dist := func(x, y graph.NodeID) int {
+		if x == y {
+			return 0
+		}
+		k := dkey{x, y}
+		probe.Load(uintptr(0x300000)+uintptr(uint32(x)*131+uint32(y))%(1<<20), 8)
+		if d, ok := memo[k]; ok {
+			probe.TakeBranch(0x32, true)
+			return d
+		}
+		probe.TakeBranch(0x32, false)
+		d := g.ShortestPathLenBounded(x, y, maxGap)
+		probe.Op(perf.ScalarInt, 30) // graph traversal work
+		memo[k] = d
+		return d
+	}
+	for i := range a {
+		score[i] = a[i].Len
+		prev[i] = -1
+		lo := i - 30
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < i; j++ {
+			dq := a[i].QPos - a[j].QPos
+			if dq <= 0 || dq > maxGap {
+				probe.TakeBranch(0x33, false)
+				continue
+			}
+			probe.TakeBranch(0x33, true)
+			var dr int
+			if a[i].Node == a[j].Node {
+				dr = a[i].Offset - a[j].Offset
+			} else {
+				between := dist(a[j].Node, a[i].Node)
+				if between < 0 {
+					continue // unreachable: different cluster
+				}
+				dr = (len(g.Seq(a[j].Node)) - a[j].Offset) + between + a[i].Offset
+			}
+			if dr <= 0 || dr > maxGap {
+				continue
+			}
+			gap := dr - dq
+			if gap < 0 {
+				gap = -gap
+			}
+			s := score[j] + a[i].Len - gap/2
+			if s > score[i] {
+				score[i] = s
+				prev[i] = j
+			}
+			probe.Op(perf.ScalarInt, 10)
+		}
+	}
+	return collectChains(a, score, prev)
+}
+
+// collectChains extracts disjoint chains by repeatedly taking the best
+// unused chain end.
+func collectChains(a []Anchor, score, prev []int) []Chain {
+	n := len(a)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return score[order[x]] > score[order[y]] })
+	used := make([]bool, n)
+	var chains []Chain
+	for _, end := range order {
+		if used[end] {
+			continue
+		}
+		var rev []Anchor
+		ok := true
+		for i := end; i >= 0; i = prev[i] {
+			if used[i] {
+				ok = false
+				break
+			}
+			rev = append(rev, a[i])
+		}
+		if !ok {
+			continue
+		}
+		for i := end; i >= 0; i = prev[i] {
+			used[i] = true
+		}
+		ch := Chain{Score: score[end], Anchors: make([]Anchor, len(rev))}
+		for i := range rev {
+			ch.Anchors[i] = rev[len(rev)-1-i]
+		}
+		chains = append(chains, ch)
+	}
+	return chains
+}
+
+// Filter keeps the top chains by score, dropping those below frac of the
+// best score and returning at most maxChains — the filtering stage of
+// Fig. 1 (some tools' aggressive pruning, §2.1).
+func Filter(chains []Chain, frac float64, maxChains int) []Chain {
+	if len(chains) == 0 {
+		return nil
+	}
+	sort.Slice(chains, func(i, j int) bool { return chains[i].Score > chains[j].Score })
+	cut := int(float64(chains[0].Score) * frac)
+	var out []Chain
+	for _, c := range chains {
+		if c.Score < cut || len(out) >= maxChains {
+			break
+		}
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package chain
+
+import (
+	"testing"
+
+	"pangenomicsbench/internal/graph"
+)
+
+func TestLinearChainsColinearAnchors(t *testing.T) {
+	// Perfectly co-linear anchors chain together.
+	anchors := []Anchor{
+		{QPos: 0, RPos: 100, Len: 15},
+		{QPos: 20, RPos: 120, Len: 15},
+		{QPos: 40, RPos: 140, Len: 15},
+	}
+	chains := Linear(anchors, 1000, nil)
+	if len(chains) != 1 {
+		t.Fatalf("chains = %d, want 1", len(chains))
+	}
+	if len(chains[0].Anchors) != 3 {
+		t.Fatalf("anchor count = %d", len(chains[0].Anchors))
+	}
+	if chains[0].Score != 45 {
+		t.Fatalf("score = %d, want 45 (no gap penalty)", chains[0].Score)
+	}
+	// Anchors must come out in query order.
+	for i := 1; i < len(chains[0].Anchors); i++ {
+		if chains[0].Anchors[i].QPos <= chains[0].Anchors[i-1].QPos {
+			t.Fatal("chain not in query order")
+		}
+	}
+}
+
+func TestLinearSplitsDistantAnchors(t *testing.T) {
+	anchors := []Anchor{
+		{QPos: 0, RPos: 100, Len: 15},
+		{QPos: 20, RPos: 900000, Len: 15}, // far away: separate chain
+	}
+	chains := Linear(anchors, 1000, nil)
+	if len(chains) != 2 {
+		t.Fatalf("chains = %d, want 2", len(chains))
+	}
+}
+
+func TestLinearEmpty(t *testing.T) {
+	if Linear(nil, 100, nil) != nil {
+		t.Fatal("empty anchors must yield no chains")
+	}
+}
+
+func TestGraphChainsFollowGraphDistance(t *testing.T) {
+	// Graph: 1(50bp) → 2(50bp) → 3(50bp). Anchors on nodes 1 and 3 are
+	// ~100bp apart in the graph; a query distance of ~100 chains them.
+	g := graph.New()
+	g.AddNode(make([]byte, 50))
+	g.AddNode(make([]byte, 50))
+	g.AddNode(make([]byte, 50))
+	for i := range []int{0, 1} {
+		g.AddEdge(graph.NodeID(i+1), graph.NodeID(i+2))
+	}
+	fill(g)
+	anchors := []Anchor{
+		{QPos: 0, Node: 1, Offset: 10, Len: 15},
+		{QPos: 100, Node: 3, Offset: 10, Len: 15},
+	}
+	chains := GraphChains(g, anchors, 500, nil)
+	if len(chains) != 1 || len(chains[0].Anchors) != 2 {
+		t.Fatalf("graph-consistent anchors should form one chain: %+v", chains)
+	}
+	// Unreachable node pair must not chain.
+	g2 := graph.New()
+	g2.AddNode(make([]byte, 50))
+	g2.AddNode(make([]byte, 50))
+	fill(g2)
+	anchors2 := []Anchor{
+		{QPos: 0, Node: 2, Offset: 10, Len: 15},
+		{QPos: 100, Node: 1, Offset: 10, Len: 15},
+	}
+	chains2 := GraphChains(g2, anchors2, 500, nil)
+	if len(chains2) != 2 {
+		t.Fatalf("unreachable anchors must split: %d chains", len(chains2))
+	}
+}
+
+// fill replaces zero bytes with 'A' so sequences are valid.
+func fill(g *graph.Graph) {
+	for id := 1; id <= g.NumNodes(); id++ {
+		seq := g.Seq(graph.NodeID(id))
+		for i := range seq {
+			seq[i] = 'A'
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	chains := []Chain{{Score: 100}, {Score: 90}, {Score: 10}, {Score: 5}}
+	out := Filter(chains, 0.5, 10)
+	if len(out) != 2 {
+		t.Fatalf("frac filter kept %d, want 2", len(out))
+	}
+	out = Filter(chains, 0.0, 3)
+	if len(out) != 3 {
+		t.Fatalf("count filter kept %d, want 3", len(out))
+	}
+	if Filter(nil, 0.5, 3) != nil {
+		t.Fatal("empty filter")
+	}
+}
+
+func TestChainsAreDisjoint(t *testing.T) {
+	anchors := []Anchor{
+		{QPos: 0, RPos: 100, Len: 15},
+		{QPos: 20, RPos: 120, Len: 15},
+		{QPos: 0, RPos: 5000, Len: 15},
+		{QPos: 20, RPos: 5020, Len: 15},
+	}
+	chains := Linear(anchors, 1000, nil)
+	if len(chains) != 2 {
+		t.Fatalf("chains = %d, want 2", len(chains))
+	}
+	total := 0
+	for _, c := range chains {
+		total += len(c.Anchors)
+	}
+	if total != 4 {
+		t.Fatalf("anchors used %d times, want 4 (disjoint)", total)
+	}
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"pangenomicsbench/internal/perf"
+)
+
+// suite is shared across tests (expensive to build).
+var testSuite *Suite
+
+func getSuite(t testing.TB) *Suite {
+	t.Helper()
+	if testSuite == nil {
+		s, err := NewSuite(Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testSuite = s
+	}
+	return testSuite
+}
+
+func TestNewSuiteScales(t *testing.T) {
+	for _, sc := range []Scale{Small, Bench, Large} {
+		cfg := ConfigFor(sc)
+		if cfg.RefLen <= 0 || cfg.Haplotypes < 2 {
+			t.Fatalf("scale %d config invalid: %+v", sc, cfg)
+		}
+	}
+	s := getSuite(t)
+	if len(s.ShortReads) == 0 || len(s.LongReads) == 0 {
+		t.Fatal("suite has no reads")
+	}
+	if s.Pop.Graph.NumNodes() == 0 {
+		t.Fatal("suite has no graph")
+	}
+}
+
+func TestKernelRegistry(t *testing.T) {
+	s := getSuite(t)
+	ks, err := s.Kernels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"GSSW": true, "GBWT": true, "GBV": true, "GWFA-lr": true, "GWFA-cr": true, "TC": true, "PGSGD": true}
+	for _, k := range ks {
+		delete(want, k.Name)
+		if k.Inputs <= 0 {
+			t.Fatalf("kernel %s has no inputs", k.Name)
+		}
+		if _, err := TimeKernel(k); err != nil {
+			t.Fatalf("kernel %s failed: %v", k.Name, err)
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing kernels: %v", want)
+	}
+}
+
+func TestProfileKernelProducesEvents(t *testing.T) {
+	s := getSuite(t)
+	ks, err := s.Kernels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ks {
+		rep, err := ProfileKernel(k)
+		if err != nil {
+			t.Fatalf("profile %s: %v", k.Name, err)
+		}
+		if rep.Instructions == 0 {
+			t.Fatalf("kernel %s recorded no instructions", k.Name)
+		}
+		td := rep.TopDown
+		sum := td.Retiring + td.FrontEndBound + td.BadSpeculation + td.CoreBound + td.MemoryBound
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("kernel %s top-down sums to %v", k.Name, sum)
+		}
+		if td.IPC <= 0 || td.IPC > 4 {
+			t.Fatalf("kernel %s IPC %v out of range", k.Name, td.IPC)
+		}
+	}
+}
+
+// TestCharacterizationShapes verifies the paper's key qualitative findings
+// on the profiled kernels.
+func TestCharacterizationShapes(t *testing.T) {
+	s := getSuite(t)
+	reports, err := s.profileAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for i, r := range reports {
+		byName[r.Kernel] = i
+	}
+	get := func(name string) int {
+		i, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing report %s", name)
+		}
+		return i
+	}
+	pgsgd := reports[get("PGSGD")]
+	tc := reports[get("TC")]
+	gbwt := reports[get("GBWT")]
+	gssw := reports[get("GSSW")]
+
+	// (1) PGSGD is the memory-bound outlier with the lowest IPC.
+	for _, r := range reports {
+		if r.Kernel == "PGSGD" {
+			continue
+		}
+		if pgsgd.TopDown.IPC >= r.TopDown.IPC {
+			t.Errorf("PGSGD IPC %.2f should be the lowest (vs %s %.2f)",
+				pgsgd.TopDown.IPC, r.Kernel, r.TopDown.IPC)
+		}
+	}
+	if pgsgd.TopDown.MemoryBound < 0.2 {
+		t.Errorf("PGSGD should be memory bound, got %.2f", pgsgd.TopDown.MemoryBound)
+	}
+	// (2) PGSGD has the worst L3 MPKI (random full-graph accesses).
+	for _, r := range reports {
+		if r.Kernel == "PGSGD" {
+			continue
+		}
+		if pgsgd.L3MPKI <= r.L3MPKI {
+			t.Errorf("PGSGD L3 MPKI %.2f should exceed %s's %.2f", pgsgd.L3MPKI, r.Kernel, r.L3MPKI)
+		}
+	}
+	// (3) TC has the highest retiring fraction and IPC among CPU kernels.
+	if tc.TopDown.IPC < gssw.TopDown.IPC {
+		t.Errorf("TC IPC %.2f should exceed GSSW %.2f", tc.TopDown.IPC, gssw.TopDown.IPC)
+	}
+	// (4) GBWT is not memory bound (§5.2's surprise).
+	if gbwt.TopDown.MemoryBound > 0.3 {
+		t.Errorf("GBWT should not be memory bound, got %.2f", gbwt.TopDown.MemoryBound)
+	}
+	// (5) GSSW is vector-heavy, PGSGD scalar-FP-heavy, GBV scalar-heavy.
+	if gssw.Mix[perf.Vector] < 0.15 {
+		t.Errorf("GSSW vector mix %.2f too low", gssw.Mix[perf.Vector])
+	}
+	if pgsgd.Mix[perf.ScalarFP] < 0.15 {
+		t.Errorf("PGSGD scalar-FP mix %.2f too low", pgsgd.Mix[perf.ScalarFP])
+	}
+	// (6) DP kernels rarely miss L3 (cache-friendly subgraphs).
+	for _, name := range []string{"GSSW", "GBV"} {
+		r := reports[get(name)]
+		if r.L3MPKI > 1.0 {
+			t.Errorf("%s L3 MPKI %.2f too high for local subgraphs", name, r.L3MPKI)
+		}
+	}
+}
+
+func TestExperimentDispatch(t *testing.T) {
+	s := getSuite(t)
+	if _, err := s.Run("nonsense"); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	for _, id := range []string{"table2-3", "table4"} {
+		tbl, err := s.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+		if !strings.Contains(tbl.Render(), tbl.Title) {
+			t.Fatalf("%s render missing title", id)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: VgMap, VgGiraffe, GraphAligner, Minigraph-lr, Minigraph-cr,
+	// BWA-MEM2.
+	est := map[string]float64{}
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est[row[0]] = v
+	}
+	if len(est) < 5 {
+		t.Fatalf("too few tools in table1: %v", est)
+	}
+	// Headline orderings from the paper: VgMap slowest Seq2Graph tool;
+	// the Seq2Seq baseline fastest.
+	if est["VgMap"] <= est["VgGiraffe"] {
+		t.Errorf("VgMap (%f) should be slower than VgGiraffe (%f)", est["VgMap"], est["VgGiraffe"])
+	}
+	if est["BWA-MEM2"] >= est["VgMap"] {
+		t.Errorf("BWA-MEM2 (%f) should be faster than VgMap (%f)", est["BWA-MEM2"], est["VgMap"])
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string][]string{}
+	for _, row := range tbl.Rows {
+		rows[row[0]] = row
+	}
+	parse := func(cell string) float64 {
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+		return v
+	}
+	// GraphAligner: alignment dominates.
+	if ga, ok := rows["GraphAligner"]; ok {
+		if parse(ga[4]) < 50 {
+			t.Errorf("GraphAligner align share %.1f%% should dominate", parse(ga[4]))
+		}
+	} else {
+		t.Error("missing GraphAligner row")
+	}
+	// Giraffe: filter is a major stage.
+	if gf, ok := rows["VgGiraffe"]; ok {
+		if parse(gf[3]) < 15 {
+			t.Errorf("Giraffe filter share %.1f%% should be substantial", parse(gf[3]))
+		}
+	} else {
+		t.Error("missing VgGiraffe row")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string][]string{}
+	for _, row := range tbl.Rows {
+		rows[row[0]] = row
+	}
+	val := func(row []string, i int) float64 {
+		v, _ := strconv.ParseFloat(row[i], 64)
+		return v
+	}
+	// Minigraph-cr must be flat at 1.0.
+	if cr, ok := rows["Minigraph-cr"]; ok {
+		if val(cr, 4) != 1 {
+			t.Errorf("Minigraph-cr must not scale, got %v", cr)
+		}
+	} else {
+		t.Error("missing Minigraph-cr")
+	}
+	// Mapping tools scale well to 28 threads.
+	if g, ok := rows["VgGiraffe"]; ok {
+		if val(g, 3) < 4 {
+			t.Errorf("VgGiraffe 28-thread speedup %v too low", val(g, 3))
+		}
+	}
+	// seqwish plateaus: 56-thread speedup well below the mapping tools'.
+	if sw, ok := rows["seqwish"]; ok {
+		if g, ok2 := rows["VgGiraffe"]; ok2 && val(sw, 4) > val(g, 4)/2 {
+			t.Errorf("seqwish (%v) should scale far worse than Giraffe (%v)", val(sw, 4), val(g, 4))
+		}
+	} else {
+		t.Error("missing seqwish")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-lane fraction must increase monotonically-ish from the first
+	// to the last row, ending in the paper's divergent regime.
+	first, _ := strconv.ParseFloat(tbl.Rows[0][4], 64)
+	last, _ := strconv.ParseFloat(tbl.Rows[len(tbl.Rows)-1][4], 64)
+	if last <= first {
+		t.Errorf("divergence should grow with length: %v → %v", first, last)
+	}
+	if last < 0.6 {
+		t.Errorf("10k single-lane fraction %v below expected regime", last)
+	}
+	// GPU advantage must shrink with length.
+	s0, _ := strconv.ParseFloat(tbl.Rows[0][3], 64)
+	sn, _ := strconv.ParseFloat(tbl.Rows[len(tbl.Rows)-1][3], 64)
+	if sn >= s0 {
+		t.Errorf("GPU speedup should shrink with length: %v → %v", s0, sn)
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(cell string) float64 {
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+		return v
+	}
+	var tsuOcc, pgsgdOcc, pgsgdWarp, pgsgd256Occ float64
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "TSU":
+			tsuOcc = parse(row[1])
+		case "PGSGD (block 1024)":
+			pgsgdOcc = parse(row[1])
+			pgsgdWarp = parse(row[3])
+		case "PGSGD (block 256)":
+			pgsgd256Occ = parse(row[1])
+		}
+	}
+	if tsuOcc < 32 || tsuOcc > 34 {
+		t.Errorf("TSU occupancy %v, want ≈ 33%%", tsuOcc)
+	}
+	if pgsgdOcc < 66 || pgsgdOcc > 67 {
+		t.Errorf("PGSGD occupancy %v, want ≈ 66.7%%", pgsgdOcc)
+	}
+	if pgsgdWarp < 80 {
+		t.Errorf("PGSGD warp utilization %v, want high (warp merging)", pgsgdWarp)
+	}
+	if pgsgd256Occ <= pgsgdOcc {
+		t.Errorf("block 256 occupancy %v should exceed block 1024's %v", pgsgd256Occ, pgsgdOcc)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(cell string) float64 {
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+		return v
+	}
+	var ssw, gssw []string
+	for _, row := range tbl.Rows {
+		if row[0] == "SSW" {
+			ssw = row
+		}
+		if row[0] == "GSSW" {
+			gssw = row
+		}
+	}
+	if ssw == nil || gssw == nil {
+		t.Fatal("missing rows")
+	}
+	// GSSW must show more memory pressure than SSW (more stores, more
+	// memory-bound slots).
+	if parse(gssw[7]) <= parse(ssw[7]) {
+		t.Errorf("GSSW stores/instr %v should exceed SSW %v", gssw[7], ssw[7])
+	}
+	if parse(gssw[5]) < parse(ssw[5]) {
+		t.Errorf("GSSW memory-bound %v should be >= SSW %v", gssw[5], ssw[5])
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	mCycles, _ := strconv.ParseFloat(tbl.Rows[0][3], 64)
+	sCycles, _ := strconv.ParseFloat(tbl.Rows[1][3], 64)
+	mSub, _ := strconv.ParseFloat(tbl.Rows[0][2], 64)
+	sSub, _ := strconv.ParseFloat(tbl.Rows[1][2], 64)
+	if sSub >= mSub {
+		t.Errorf("split-graph subgraphs (%v bp) should be smaller than M-graph's (%v bp)", sSub, mSub)
+	}
+	if sCycles >= mCycles {
+		t.Errorf("split-graph GSSW cycles (%v) should be fewer than M-graph's (%v)", sCycles, mCycles)
+	}
+}

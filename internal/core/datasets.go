@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/gfa"
+)
+
+// ExportDatasets writes the suite's datasets to dir in standard formats —
+// the counterpart of the paper's dataset-generation scripts (§4.2: "We
+// include this code to generate new kernel datasets so researchers can
+// analyze their own workloads"): the reference and assemblies as FASTA,
+// the reads as FASTQ, and the pangenome graph as GFA. It returns the
+// written file names.
+func (s *Suite) ExportDatasets(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	writeFile := func(name string, fn func(f *os.File) error) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("core: writing %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		written = append(written, name)
+		return nil
+	}
+
+	if err := writeFile("reference.fa", func(f *os.File) error {
+		return bio.WriteFasta(f, []bio.Record{{Name: "ref", Seq: s.Pop.Ref}}, 80)
+	}); err != nil {
+		return nil, err
+	}
+
+	names, seqs := s.Pop.AssemblyView()
+	asm := make([]bio.Record, len(names))
+	for i := range names {
+		asm[i] = bio.Record{Name: names[i], Seq: seqs[i]}
+	}
+	if err := writeFile("assemblies.fa", func(f *os.File) error {
+		return bio.WriteFasta(f, asm, 80)
+	}); err != nil {
+		return nil, err
+	}
+
+	toRecords := func(reads []readLike) []bio.Record {
+		out := make([]bio.Record, len(reads))
+		for i, r := range reads {
+			out[i] = bio.Record{
+				Name: r.name,
+				Desc: fmt.Sprintf("hap=%d pos=%d", r.hap, r.pos),
+				Seq:  r.seq,
+			}
+		}
+		return out
+	}
+	var short, long []readLike
+	for _, r := range s.ShortReads {
+		short = append(short, readLike{r.Name, r.Hap, r.Pos, r.Seq})
+	}
+	for _, r := range s.LongReads {
+		long = append(long, readLike{r.Name, r.Hap, r.Pos, r.Seq})
+	}
+	if err := writeFile("short_reads.fq", func(f *os.File) error {
+		return bio.WriteFastq(f, toRecords(short))
+	}); err != nil {
+		return nil, err
+	}
+	if err := writeFile("long_reads.fq", func(f *os.File) error {
+		return bio.WriteFastq(f, toRecords(long))
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := writeFile("pangenome.gfa", func(f *os.File) error {
+		return gfa.Write(f, s.Pop.Graph)
+	}); err != nil {
+		return nil, err
+	}
+	return written, nil
+}
+
+type readLike struct {
+	name     string
+	hap, pos int
+	seq      []byte
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/gfa"
+)
+
+func TestExportDatasets(t *testing.T) {
+	s := getSuite(t)
+	dir := t.TempDir()
+	files, err := s.ExportDatasets(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"reference.fa": true, "assemblies.fa": true,
+		"short_reads.fq": true, "long_reads.fq": true, "pangenome.gfa": true,
+	}
+	for _, f := range files {
+		delete(want, f)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing exports: %v", want)
+	}
+
+	// Round-trip checks: the written files parse back to the same data.
+	rf, err := os.Open(filepath.Join(dir, "reference.fa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	recs, err := bio.ReadFasta(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || len(recs[0].Seq) != len(s.Pop.Ref) {
+		t.Fatalf("reference round trip failed: %d records", len(recs))
+	}
+
+	qf, err := os.Open(filepath.Join(dir, "short_reads.fq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qf.Close()
+	reads, err := bio.ReadFastq(qf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != len(s.ShortReads) {
+		t.Fatalf("short reads: %d != %d", len(reads), len(s.ShortReads))
+	}
+
+	gf, err := os.Open(filepath.Join(dir, "pangenome.gfa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gf.Close()
+	g, err := gfa.Read(gf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != s.Pop.Graph.NumNodes() || len(g.Paths()) != len(s.Pop.Graph.Paths()) {
+		t.Fatal("graph round trip failed")
+	}
+}

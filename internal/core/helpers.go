@@ -1,0 +1,34 @@
+package core
+
+import (
+	"pangenomicsbench/internal/build"
+	"pangenomicsbench/internal/gensim"
+	"pangenomicsbench/internal/seqmap"
+)
+
+// pairMatches adapts build.PairMatches for corpus capture.
+func pairMatches(ia int, a []byte, ib int, b []byte, k, w int) ([]build.MatchBlock, error) {
+	blocks, _, err := build.PairMatches(ia, a, ib, b, k, w, nil)
+	return blocks, err
+}
+
+// sswMapper wraps the Seq2Seq baseline for SSW input capture.
+type sswMapper struct {
+	m *seqmap.Mapper
+}
+
+func newSeqMapper(ref []byte, k, w int) (*sswMapper, error) {
+	m, err := seqmap.NewMapper(ref, k, w)
+	if err != nil {
+		return nil, err
+	}
+	return &sswMapper{m: m}, nil
+}
+
+func (s *sswMapper) captureSSW(reads []gensim.Read) ([][]byte, [][]byte, error) {
+	var cap seqmap.SSWCapture
+	for _, r := range reads {
+		s.m.Map(r.Seq, nil, &cap)
+	}
+	return cap.Refs, cap.Queries, nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pangenomicsbench/internal/align"
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/gbwt"
+	"pangenomicsbench/internal/layout"
+	"pangenomicsbench/internal/perf"
+)
+
+// Kernel is one benchmark-suite entry (Table 3): a named kernel with its
+// parent tool, input count, and a runner that executes the whole corpus,
+// optionally instrumented.
+type Kernel struct {
+	Name       string
+	ParentTool string
+	InputType  string
+	Inputs     int
+	// Run executes the kernel over its corpus; probe may be nil.
+	Run func(probe *perf.Probe) error
+}
+
+// Kernels builds the CPU kernel registry over the suite's corpora. The set
+// mirrors Table 3's CPU rows: GSSW, GBWT, GBV, GWFA-lr, GWFA-cr, TC, PGSGD.
+func (s *Suite) Kernels() ([]Kernel, error) {
+	var ks []Kernel
+
+	gssw, err := s.GSSWInputs()
+	if err != nil {
+		return nil, err
+	}
+	ks = append(ks, Kernel{
+		Name: "GSSW", ParentTool: "Vg Map", InputType: "Read Fragment", Inputs: len(gssw),
+		Run: func(p *perf.Probe) error {
+			sc := bio.DefaultScoring
+			for _, in := range gssw {
+				if _, err := align.GSSW(in.Sub, in.Query, sc, p); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+
+	gbwtIn, err := s.GBWTInputs()
+	if err != nil {
+		return nil, err
+	}
+	idx, err := gbwt.Build(s.Pop.Graph)
+	if err != nil {
+		return nil, err
+	}
+	ks = append(ks, Kernel{
+		Name: "GBWT", ParentTool: "Vg Giraffe", InputType: "GBWT Query", Inputs: len(gbwtIn),
+		Run: func(p *perf.Probe) error {
+			for _, q := range gbwtIn {
+				idx.Find(q.Nodes, p)
+			}
+			return nil
+		},
+	})
+
+	gbv, err := s.GBVInputs()
+	if err != nil {
+		return nil, err
+	}
+	ks = append(ks, Kernel{
+		Name: "GBV", ParentTool: "GraphAligner", InputType: "Clusters", Inputs: len(gbv),
+		Run: func(p *perf.Probe) error {
+			for _, in := range gbv {
+				if _, err := align.GBV(in.Sub, in.Query, p); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+
+	for _, mode := range []struct {
+		name string
+		chr  bool
+		in   string
+	}{{"GWFA-lr", false, "Read Gaps"}, {"GWFA-cr", true, "Chrom Gaps"}} {
+		inputs, err := s.GWFAInputs(mode.chr)
+		if err != nil {
+			return nil, err
+		}
+		ks = append(ks, Kernel{
+			Name: mode.name, ParentTool: "Minigraph", InputType: mode.in, Inputs: len(inputs),
+			Run: func(p *perf.Probe) error {
+				for _, in := range inputs {
+					q := in.Query
+					if len(q) > 2000 {
+						q = q[:2000]
+					}
+					if _, err := align.GWFA(in.G, in.Start, q, p); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		})
+	}
+
+	tcBuilder, err := s.TCBuilder()
+	if err != nil {
+		return nil, err
+	}
+	ks = append(ks, Kernel{
+		Name: "TC", ParentTool: "PGGB", InputType: "Alignments", Inputs: int(tcBuilder.Total()),
+		Run: func(p *perf.Probe) error {
+			tcBuilder.Transclose(p)
+			return nil
+		},
+	})
+
+	lg, err := s.LayoutGraph()
+	if err != nil {
+		return nil, err
+	}
+	ks = append(ks, Kernel{
+		Name: "PGSGD", ParentTool: "PGGB", InputType: "Pangenome", Inputs: lg.NumNodes(),
+		Run: func(p *perf.Probe) error {
+			l, err := layout.New(lg, 31)
+			if err != nil {
+				return err
+			}
+			params := layout.DefaultParams(lg)
+			params.Iterations = 4
+			params.UpdatesPerIter = 100_000
+			l.Run(params, p)
+			return nil
+		},
+	})
+
+	return ks, nil
+}
+
+// TimeKernel measures a kernel's uninstrumented wall time.
+func TimeKernel(k Kernel) (time.Duration, error) {
+	t0 := time.Now()
+	if err := k.Run(nil); err != nil {
+		return 0, err
+	}
+	return time.Since(t0), nil
+}
+
+// ProfileKernel runs a kernel instrumented and reduces the event stream to
+// a perf report (Fig. 6/7/8, Table 6).
+func ProfileKernel(k Kernel) (perf.Report, error) {
+	probe := perf.NewProbe()
+	if err := k.Run(probe); err != nil {
+		return perf.Report{}, err
+	}
+	if probe.Instructions() == 0 {
+		return perf.Report{}, fmt.Errorf("core: kernel %s recorded no instructions", k.Name)
+	}
+	return perf.NewReport(k.Name, probe), nil
+}

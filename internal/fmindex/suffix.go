@@ -1,0 +1,71 @@
+// Package fmindex implements the classic FM-Index over base-pair text used
+// by Seq2Seq mappers (the paper's [34], BWA's core): suffix array, Burrows-
+// Wheeler transform, occurrence table and backward search. The GBWT package
+// reuses its suffix-array construction over integer alphabets.
+package fmindex
+
+import "sort"
+
+// SuffixArrayInts builds the suffix array of an integer sequence by prefix
+// doubling (Manber-Myers, O(n log² n)). Values may be any non-negative
+// integers; the caller is responsible for appending a unique smallest
+// sentinel if needed.
+func SuffixArrayInts(text []int32) []int32 {
+	n := len(text)
+	if n == 0 {
+		return nil
+	}
+	sa := make([]int32, n)
+	rank := make([]int32, n)
+	tmp := make([]int32, n)
+	for i := range sa {
+		sa[i] = int32(i)
+	}
+
+	// Initial ranks: compress the raw values.
+	sorted := append([]int32(nil), text...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	uniq := sorted[:0]
+	var last int32 = -1
+	for _, v := range sorted {
+		if v != last {
+			uniq = append(uniq, v)
+			last = v
+		}
+	}
+	for i, v := range text {
+		rank[i] = int32(sort.Search(len(uniq), func(j int) bool { return uniq[j] >= v }))
+	}
+
+	for k := 1; ; k *= 2 {
+		key := func(i int32) (int32, int32) {
+			second := int32(-1)
+			if int(i)+k < n {
+				second = rank[int(i)+k]
+			}
+			return rank[i], second
+		}
+		sort.Slice(sa, func(a, b int) bool {
+			r1a, r2a := key(sa[a])
+			r1b, r2b := key(sa[b])
+			if r1a != r1b {
+				return r1a < r1b
+			}
+			return r2a < r2b
+		})
+		tmp[sa[0]] = 0
+		for i := 1; i < n; i++ {
+			r1a, r2a := key(sa[i-1])
+			r1b, r2b := key(sa[i])
+			tmp[sa[i]] = tmp[sa[i-1]]
+			if r1a != r1b || r2a != r2b {
+				tmp[sa[i]]++
+			}
+		}
+		copy(rank, tmp)
+		if int(rank[sa[n-1]]) == n-1 {
+			break
+		}
+	}
+	return sa
+}

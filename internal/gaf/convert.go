@@ -1,0 +1,52 @@
+package gaf
+
+import (
+	"fmt"
+
+	"pangenomicsbench/internal/align"
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/graph"
+)
+
+// FromGraphResult converts a GSSW-style graph alignment into a GAF record.
+// The record's path interval covers the aligned bases along the result's
+// node path.
+func FromGraphResult(readName string, readLen int, g *graph.Graph, r align.GraphResult) (Record, error) {
+	if len(r.Path) == 0 || r.Score <= 0 {
+		return Record{}, fmt.Errorf("gaf: unaligned result for %q", readName)
+	}
+	pathLen := 0
+	for _, id := range r.Path {
+		pathLen += len(g.Seq(id))
+	}
+	refSpan := r.Cigar.RefLen()
+	qSpan := r.Cigar.QueryLen()
+	endInPath := pathLen - (len(g.Seq(r.EndNode)) - r.EndOffset)
+	matches := 0
+	blockLen := 0
+	for _, e := range r.Cigar {
+		blockLen += e.Len
+		if e.Op == bio.CigarEq {
+			matches += e.Len
+		}
+	}
+	rec := Record{
+		QueryName:  readName,
+		QueryLen:   readLen,
+		QueryStart: r.QueryEnd - qSpan,
+		QueryEnd:   r.QueryEnd,
+		Strand:     '+',
+		Path:       r.Path,
+		PathLen:    pathLen,
+		PathStart:  endInPath - refSpan,
+		PathEnd:    endInPath,
+		Matches:    matches,
+		BlockLen:   blockLen,
+		MapQ:       60,
+		Cigar:      r.Cigar.String(),
+	}
+	if err := rec.Validate(); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,65 @@
+package gaf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pangenomicsbench/internal/align"
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/graph"
+)
+
+func TestFromGraphResult(t *testing.T) {
+	// Linear graph spelling a known reference; align an exact read.
+	rng := rand.New(rand.NewSource(5))
+	ref := make([]byte, 200)
+	for i := range ref {
+		ref[i] = "ACGT"[rng.Intn(4)]
+	}
+	g := graph.New()
+	var prev graph.NodeID
+	for off := 0; off < len(ref); off += 25 {
+		id := g.AddNode(ref[off : off+25])
+		if prev != 0 {
+			g.AddEdge(prev, id)
+		}
+		prev = id
+	}
+	read := ref[40:140]
+	res, err := align.GSSW(g, read, bio.DefaultScoring, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := FromGraphResult("r1", len(read), g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Matches != len(read) {
+		t.Fatalf("matches = %d, want %d (exact read)", rec.Matches, len(read))
+	}
+	if rec.QueryStart != 0 || rec.QueryEnd != len(read) {
+		t.Fatalf("query interval [%d,%d)", rec.QueryStart, rec.QueryEnd)
+	}
+	// The path slice between PathStart and PathEnd must spell the read.
+	var pathSeq []byte
+	for _, id := range rec.Path {
+		pathSeq = append(pathSeq, g.Seq(id)...)
+	}
+	if !bytes.Equal(pathSeq[rec.PathStart:rec.PathEnd], read) {
+		t.Fatal("GAF path interval does not spell the read")
+	}
+	// And it must serialize.
+	var buf bytes.Buffer
+	if err := Write(&buf, []Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromGraphResultUnaligned(t *testing.T) {
+	g := graph.New()
+	g.AddNode([]byte("ACGT"))
+	if _, err := FromGraphResult("r", 4, g, align.GraphResult{}); err == nil {
+		t.Fatal("unaligned result must be rejected")
+	}
+}

@@ -1,0 +1,168 @@
+// Package gaf reads and writes the Graph Alignment Format (GAF), the
+// PAF-derived text format the real Seq2Graph tools (GraphAligner, vg
+// giraffe, minigraph) emit for graph alignments. A record describes a query
+// segment aligned to an oriented node path.
+package gaf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pangenomicsbench/internal/graph"
+)
+
+// Record is one GAF line.
+type Record struct {
+	QueryName  string
+	QueryLen   int
+	QueryStart int  // 0-based, inclusive
+	QueryEnd   int  // exclusive
+	Strand     byte // '+' or '-'
+	Path       []graph.NodeID
+	PathLen    int // total bases of the path
+	PathStart  int
+	PathEnd    int
+	Matches    int
+	BlockLen   int
+	MapQ       int
+	// Cigar holds the optional cg:Z tag value (SAM-style), empty if absent.
+	Cigar string
+}
+
+// Validate checks the record's internal consistency.
+func (r Record) Validate() error {
+	if r.QueryName == "" {
+		return fmt.Errorf("gaf: empty query name")
+	}
+	if r.QueryStart < 0 || r.QueryEnd < r.QueryStart || r.QueryEnd > r.QueryLen {
+		return fmt.Errorf("gaf: query interval [%d,%d) outside [0,%d)", r.QueryStart, r.QueryEnd, r.QueryLen)
+	}
+	if len(r.Path) == 0 {
+		return fmt.Errorf("gaf: empty path")
+	}
+	if r.PathStart < 0 || r.PathEnd < r.PathStart || r.PathEnd > r.PathLen {
+		return fmt.Errorf("gaf: path interval [%d,%d) outside [0,%d)", r.PathStart, r.PathEnd, r.PathLen)
+	}
+	if r.Strand != '+' && r.Strand != '-' {
+		return fmt.Errorf("gaf: bad strand %q", r.Strand)
+	}
+	if r.Matches > r.BlockLen {
+		return fmt.Errorf("gaf: matches %d exceed block length %d", r.Matches, r.BlockLen)
+	}
+	if r.MapQ < 0 || r.MapQ > 255 {
+		return fmt.Errorf("gaf: mapq %d outside [0,255]", r.MapQ)
+	}
+	return nil
+}
+
+// pathString renders the oriented path, e.g. ">1>5>7".
+func (r Record) pathString() string {
+	var b strings.Builder
+	for _, id := range r.Path {
+		fmt.Fprintf(&b, ">%d", id)
+	}
+	return b.String()
+}
+
+// Write emits records as GAF lines.
+func Write(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		fmt.Fprintf(bw, "%s\t%d\t%d\t%d\t%c\t%s\t%d\t%d\t%d\t%d\t%d\t%d",
+			r.QueryName, r.QueryLen, r.QueryStart, r.QueryEnd, r.Strand,
+			r.pathString(), r.PathLen, r.PathStart, r.PathEnd,
+			r.Matches, r.BlockLen, r.MapQ)
+		if r.Cigar != "" {
+			fmt.Fprintf(bw, "\tcg:Z:%s", r.Cigar)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// Read parses GAF lines.
+func Read(rd io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r\n")
+		if text == "" || text[0] == '#' {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) < 12 {
+			return nil, fmt.Errorf("gaf: line %d: %d fields, need 12", line, len(fields))
+		}
+		var r Record
+		r.QueryName = fields[0]
+		var err error
+		if r.QueryLen, err = strconv.Atoi(fields[1]); err != nil {
+			return nil, fmt.Errorf("gaf: line %d: bad query length: %w", line, err)
+		}
+		if r.QueryStart, err = strconv.Atoi(fields[2]); err != nil {
+			return nil, fmt.Errorf("gaf: line %d: bad query start: %w", line, err)
+		}
+		if r.QueryEnd, err = strconv.Atoi(fields[3]); err != nil {
+			return nil, fmt.Errorf("gaf: line %d: bad query end: %w", line, err)
+		}
+		if len(fields[4]) != 1 {
+			return nil, fmt.Errorf("gaf: line %d: bad strand %q", line, fields[4])
+		}
+		r.Strand = fields[4][0]
+		if r.Path, err = parsePath(fields[5]); err != nil {
+			return nil, fmt.Errorf("gaf: line %d: %w", line, err)
+		}
+		ints := []*int{&r.PathLen, &r.PathStart, &r.PathEnd, &r.Matches, &r.BlockLen, &r.MapQ}
+		for i, p := range ints {
+			if *p, err = strconv.Atoi(fields[6+i]); err != nil {
+				return nil, fmt.Errorf("gaf: line %d: bad field %d: %w", line, 6+i, err)
+			}
+		}
+		for _, tag := range fields[12:] {
+			if strings.HasPrefix(tag, "cg:Z:") {
+				r.Cigar = tag[5:]
+			}
+		}
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("gaf: line %d: %w", line, err)
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parsePath(s string) ([]graph.NodeID, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty path")
+	}
+	var out []graph.NodeID
+	i := 0
+	for i < len(s) {
+		if s[i] != '>' {
+			return nil, fmt.Errorf("only forward-oriented paths supported (%q)", s)
+		}
+		j := i + 1
+		for j < len(s) && s[j] != '>' && s[j] != '<' {
+			j++
+		}
+		id, err := strconv.Atoi(s[i+1 : j])
+		if err != nil || id < 1 {
+			return nil, fmt.Errorf("bad path step %q", s[i:j])
+		}
+		out = append(out, graph.NodeID(id))
+		i = j
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package gaf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pangenomicsbench/internal/graph"
+)
+
+func sample() Record {
+	return Record{
+		QueryName:  "read1",
+		QueryLen:   150,
+		QueryStart: 0,
+		QueryEnd:   150,
+		Strand:     '+',
+		Path:       []graph.NodeID{3, 7, 9},
+		PathLen:    200,
+		PathStart:  20,
+		PathEnd:    170,
+		Matches:    148,
+		BlockLen:   150,
+		MapQ:       60,
+		Cigar:      "148=2X",
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := []Record{sample()}
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ">3>7>9") {
+		t.Fatalf("path not rendered: %q", buf.String())
+	}
+	if !strings.Contains(buf.String(), "cg:Z:148=2X") {
+		t.Fatal("cigar tag missing")
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("records = %d", len(out))
+	}
+	got := out[0]
+	if got.QueryName != "read1" || got.Matches != 148 || got.Cigar != "148=2X" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if len(got.Path) != 3 || got.Path[1] != 7 {
+		t.Fatalf("path mismatch: %v", got.Path)
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	cases := []func(*Record){
+		func(r *Record) { r.QueryName = "" },
+		func(r *Record) { r.QueryEnd = 200 }, // beyond query length
+		func(r *Record) { r.Path = nil },
+		func(r *Record) { r.Strand = 'x' },
+		func(r *Record) { r.Matches = 1000 }, // > block length
+		func(r *Record) { r.MapQ = 300 },
+		func(r *Record) { r.PathEnd = 500 },
+	}
+	for i, mod := range cases {
+		r := sample()
+		mod(&r)
+		var buf bytes.Buffer
+		if err := Write(&buf, []Record{r}); err == nil {
+			t.Errorf("case %d: invalid record accepted", i)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"read1\t10\t0\t5", // too few fields
+		"read1\tx\t0\t5\t+\t>1\t10\t0\t5\t5\t5\t60",  // bad int
+		"read1\t10\t0\t5\t+\t<1\t10\t0\t5\t5\t5\t60", // reverse orientation
+		"read1\t10\t0\t5\t+\t\t10\t0\t5\t5\t5\t60",   // empty path
+		"read1\t10\t0\t5\t++\t>1\t10\t0\t5\t5\t5\t60",
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) accepted invalid input", in)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlank(t *testing.T) {
+	in := "# header\n\nread1\t10\t0\t5\t+\t>1>2\t10\t0\t5\t5\t5\t60\n"
+	recs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+}

@@ -1,0 +1,110 @@
+package gbwt
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pangenomicsbench/internal/graph"
+)
+
+func TestLocateKnown(t *testing.T) {
+	// Paths: a = 1,2,3,2,3 ; b = 2,3,4. Subpath (2,3) occurs at a[1], a[3]
+	// and b[0] — Locate on Find((2,3)) must name the step of node 3.
+	g := buildHaploGraph(t, 4, [][]graph.NodeID{{1, 2, 3, 2, 3}, {2, 3, 4}})
+	idx, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := idx.Find([]graph.NodeID{2, 3}, nil)
+	if st.Size() != 3 {
+		t.Fatalf("occurrences = %d, want 3", st.Size())
+	}
+	got := idx.Locate(st, nil)
+	sort.Slice(got, func(i, j int) bool {
+		if got[i].Path != got[j].Path {
+			return got[i].Path < got[j].Path
+		}
+		return got[i].Step < got[j].Step
+	})
+	want := []PathPosition{{0, 2}, {0, 4}, {1, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("Locate = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Locate = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLocateMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(8)
+		var paths [][]graph.NodeID
+		for p := 0; p < 1+rng.Intn(4); p++ {
+			path := make([]graph.NodeID, 2+rng.Intn(12))
+			for i := range path {
+				path[i] = graph.NodeID(1 + rng.Intn(n))
+			}
+			paths = append(paths, path)
+		}
+		g := buildHaploGraph(t, n, paths)
+		idx, err := Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Query: a window from a random path.
+		p := paths[rng.Intn(len(paths))]
+		qlen := 1 + rng.Intn(3)
+		if qlen > len(p) {
+			qlen = len(p)
+		}
+		start := rng.Intn(len(p) - qlen + 1)
+		query := p[start : start+qlen]
+
+		// Brute-force end positions.
+		type pp struct{ path, step int32 }
+		want := map[pp]int{}
+		for pi, path := range paths {
+			for i := 0; i+len(query) <= len(path); i++ {
+				match := true
+				for j := range query {
+					if path[i+j] != query[j] {
+						match = false
+						break
+					}
+				}
+				if match {
+					want[pp{int32(pi), int32(i + len(query) - 1)}]++
+				}
+			}
+		}
+		st, _ := idx.Find(query, nil)
+		got := idx.Locate(st, nil)
+		gotCount := map[pp]int{}
+		for _, g := range got {
+			gotCount[pp{g.Path, g.Step}]++
+		}
+		if len(gotCount) != len(want) {
+			t.Fatalf("trial %d: Locate %v, want %v", trial, gotCount, want)
+		}
+		for k, v := range want {
+			if gotCount[k] != v {
+				t.Fatalf("trial %d: Locate %v, want %v", trial, gotCount, want)
+			}
+		}
+	}
+}
+
+func TestLocateEmptyState(t *testing.T) {
+	g := buildHaploGraph(t, 2, [][]graph.NodeID{{1, 2}})
+	idx, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Locate(State{Node: 99}, nil); got != nil {
+		t.Fatal("unknown node must locate nothing")
+	}
+}

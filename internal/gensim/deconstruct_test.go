@@ -1,0 +1,88 @@
+package gensim
+
+import (
+	"bytes"
+	"testing"
+
+	"pangenomicsbench/internal/graph"
+)
+
+// TestDeconstructRecoversSimulatedVariants closes the loop: the variants the
+// simulator planted must be recoverable from the pangenome graph by walking
+// the reference path (vg-deconstruct style). Every SNP must be found with
+// exact position and alleles; indels must be found at their positions.
+func TestDeconstructRecoversSimulatedVariants(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefLen = 40_000
+	cfg.Haplotypes = 6
+	p, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, err := graph.Deconstruct(p.Graph, "ref", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPos := map[int][]graph.Site{}
+	for _, s := range sites {
+		byPos[s.RefPos] = append(byPos[s.RefPos], s)
+	}
+
+	carried := func(vi int) bool {
+		for _, h := range p.Haplotypes {
+			if h.Carries[vi] {
+				return true
+			}
+		}
+		return false
+	}
+
+	checked, found := 0, 0
+	for vi, v := range p.Variants {
+		if !carried(vi) {
+			continue // variant absent from every haplotype: no bubble
+		}
+		checked++
+		ok := false
+		for _, s := range byPos[v.Pos] {
+			switch v.Kind {
+			case SNP:
+				if bytes.Equal(s.Ref, v.Ref) && altsContain(s.Alts, v.Alt) {
+					ok = true
+				}
+			case Insertion:
+				if len(s.Ref) == 0 && altsContain(s.Alts, v.Alt) {
+					ok = true
+				}
+			case Deletion:
+				if bytes.Equal(s.Ref, v.Ref) && altsContain(s.Alts, nil) {
+					ok = true
+				}
+			}
+		}
+		if ok {
+			found++
+		} else if v.Kind == SNP {
+			t.Errorf("SNP at %d (%s→%s) not recovered", v.Pos, v.Ref, v.Alt)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no carried variants to check")
+	}
+	if float64(found)/float64(checked) < 0.9 {
+		t.Fatalf("recovered only %d/%d carried variants", found, checked)
+	}
+	// No large excess of spurious sites.
+	if len(sites) > checked*2+10 {
+		t.Fatalf("%d sites for %d carried variants: too many spurious calls", len(sites), checked)
+	}
+}
+
+func altsContain(alts [][]byte, want []byte) bool {
+	for _, a := range alts {
+		if bytes.Equal(a, want) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,293 @@
+// Package gensim is the dataset substrate of the reproduction: a
+// deterministic simulator of a diploid population that stands in for the
+// paper's HPRC pangenome and HG002 read sets (see DESIGN.md §1). It builds
+// an ancestral reference, samples variants (SNPs, indels, structural
+// variants), derives haplotypes, constructs the pangenome graph those
+// haplotypes imply, and simulates Illumina-like short reads and HiFi-like
+// long reads with known truth.
+package gensim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pangenomicsbench/internal/graph"
+)
+
+// VariantKind enumerates the simulated variant classes.
+type VariantKind int
+
+// Variant classes.
+const (
+	SNP VariantKind = iota
+	Insertion
+	Deletion
+)
+
+// Variant is one site of variation against the reference.
+type Variant struct {
+	Kind VariantKind
+	Pos  int    // reference position of the site
+	Ref  []byte // reference allele (empty for insertions)
+	Alt  []byte // alternate allele (empty for deletions)
+	Freq float64
+}
+
+// Config controls the simulation. The zero value is invalid; use
+// DefaultConfig as a base.
+type Config struct {
+	RefLen     int
+	Haplotypes int
+	SNPRate    float64 // per-base probability of a SNP site
+	IndelRate  float64 // per-base probability of a small indel site
+	SVRate     float64 // per-base probability of a structural variant site
+	MaxIndel   int
+	MaxSV      int
+	Seed       int64
+	// MaxNodeLen splits long graph nodes into chains of at most this many
+	// base pairs, matching real Minigraph-Cactus graphs whose nodes average
+	// ~27 bp (paper §6.2). 0 disables splitting.
+	MaxNodeLen int
+}
+
+// DefaultConfig mirrors human-like variation density at laptop scale.
+func DefaultConfig() Config {
+	return Config{
+		RefLen:     200_000,
+		Haplotypes: 8,
+		SNPRate:    0.001,
+		IndelRate:  0.0002,
+		SVRate:     0.00001,
+		MaxIndel:   12,
+		MaxSV:      500,
+		Seed:       42,
+		MaxNodeLen: 32,
+	}
+}
+
+// Haplotype is one simulated genome copy.
+type Haplotype struct {
+	Name string
+	Seq  []byte
+	// Carries[i] reports whether this haplotype has variant i.
+	Carries []bool
+}
+
+// Population is a simulated cohort plus its pangenome graph.
+type Population struct {
+	Ref        []byte
+	Variants   []Variant
+	Haplotypes []Haplotype
+	// Graph is the pangenome: reference segments with bubbles at variant
+	// sites; every haplotype is embedded as a path.
+	Graph *graph.Graph
+}
+
+// Simulate builds a population.
+func Simulate(cfg Config) (*Population, error) {
+	if cfg.RefLen < 100 {
+		return nil, fmt.Errorf("gensim: RefLen %d too small", cfg.RefLen)
+	}
+	if cfg.Haplotypes < 1 {
+		return nil, fmt.Errorf("gensim: need at least one haplotype")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &Population{Ref: RandomGenome(rng, cfg.RefLen)}
+
+	// Sample variant sites, keeping them non-overlapping with a safety gap.
+	lastEnd := -2
+	for pos := 1; pos < cfg.RefLen-1; pos++ {
+		if pos <= lastEnd+1 {
+			continue
+		}
+		r := rng.Float64()
+		var v Variant
+		switch {
+		case r < cfg.SNPRate:
+			old := p.Ref[pos]
+			alt := old
+			for alt == old {
+				alt = "ACGT"[rng.Intn(4)]
+			}
+			v = Variant{Kind: SNP, Pos: pos, Ref: []byte{old}, Alt: []byte{alt}}
+			lastEnd = pos
+		case r < cfg.SNPRate+cfg.IndelRate:
+			n := 1 + rng.Intn(cfg.MaxIndel)
+			if rng.Intn(2) == 0 && pos+n < cfg.RefLen-1 {
+				v = Variant{Kind: Deletion, Pos: pos, Ref: append([]byte(nil), p.Ref[pos:pos+n]...)}
+				lastEnd = pos + n - 1
+			} else {
+				v = Variant{Kind: Insertion, Pos: pos, Alt: RandomGenome(rng, n)}
+				lastEnd = pos
+			}
+		case r < cfg.SNPRate+cfg.IndelRate+cfg.SVRate:
+			n := cfg.MaxSV/2 + rng.Intn(cfg.MaxSV/2+1)
+			if rng.Intn(2) == 0 && pos+n < cfg.RefLen-1 {
+				v = Variant{Kind: Deletion, Pos: pos, Ref: append([]byte(nil), p.Ref[pos:pos+n]...)}
+				lastEnd = pos + n - 1
+			} else {
+				v = Variant{Kind: Insertion, Pos: pos, Alt: RandomGenome(rng, n)}
+				lastEnd = pos
+			}
+		default:
+			continue
+		}
+		v.Freq = 0.05 + rng.Float64()*0.9
+		p.Variants = append(p.Variants, v)
+	}
+
+	// Haplotypes: each carries each variant with its frequency.
+	for h := 0; h < cfg.Haplotypes; h++ {
+		hap := Haplotype{Name: fmt.Sprintf("hap%02d", h), Carries: make([]bool, len(p.Variants))}
+		for i, v := range p.Variants {
+			hap.Carries[i] = rng.Float64() < v.Freq
+		}
+		hap.Seq = p.applyVariants(hap.Carries)
+		p.Haplotypes = append(p.Haplotypes, hap)
+	}
+
+	var err error
+	p.Graph, err = p.buildGraph()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxNodeLen > 0 {
+		p.Graph = graph.Split(p.Graph, cfg.MaxNodeLen)
+	}
+	return p, nil
+}
+
+// RandomGenome returns a uniform random DNA sequence.
+func RandomGenome(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = "ACGT"[rng.Intn(4)]
+	}
+	return s
+}
+
+// applyVariants threads the reference through the chosen alleles.
+func (p *Population) applyVariants(carries []bool) []byte {
+	var out []byte
+	pos := 0
+	for i, v := range p.Variants {
+		if v.Pos > pos {
+			out = append(out, p.Ref[pos:v.Pos]...)
+			pos = v.Pos
+		}
+		if !carries[i] {
+			continue // reference allele; emitted by the next flank copy
+		}
+		switch v.Kind {
+		case SNP:
+			out = append(out, v.Alt...)
+			pos = v.Pos + 1
+		case Deletion:
+			pos = v.Pos + len(v.Ref)
+		case Insertion:
+			out = append(out, v.Alt...)
+		}
+	}
+	out = append(out, p.Ref[pos:]...)
+	return out
+}
+
+// buildGraph constructs the pangenome graph implied by the variant set:
+// reference segments between variant breakpoints, one alt node per SNP or
+// insertion allele, deletion edges, and every haplotype embedded as a path.
+func (p *Population) buildGraph() (*graph.Graph, error) {
+	g := graph.New()
+
+	// Breakpoints partition the reference.
+	cuts := map[int]bool{0: true, len(p.Ref): true}
+	for _, v := range p.Variants {
+		cuts[v.Pos] = true
+		switch v.Kind {
+		case SNP:
+			cuts[v.Pos+1] = true
+		case Deletion:
+			cuts[v.Pos+len(v.Ref)] = true
+		}
+	}
+	bps := make([]int, 0, len(cuts))
+	for c := range cuts {
+		bps = append(bps, c)
+	}
+	sort.Ints(bps)
+
+	// Reference segment nodes.
+	segAt := map[int]graph.NodeID{} // start position → node
+	segEndAt := map[int]int{}       // start position → end position
+	for i := 0; i+1 < len(bps); i++ {
+		if bps[i+1] > bps[i] {
+			id := g.AddNode(p.Ref[bps[i]:bps[i+1]])
+			segAt[bps[i]] = id
+			segEndAt[bps[i]] = bps[i+1]
+		}
+	}
+
+	// Alt allele nodes.
+	altNode := make([]graph.NodeID, len(p.Variants))
+	for i, v := range p.Variants {
+		if len(v.Alt) > 0 {
+			altNode[i] = g.AddNode(v.Alt)
+		}
+	}
+
+	// Haplotype walks create all edges via AddPath.
+	for h := range p.Haplotypes {
+		walk, err := p.walkNodes(g, segAt, segEndAt, altNode, p.Haplotypes[h].Carries)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.AddPath(p.Haplotypes[h].Name, walk); err != nil {
+			return nil, err
+		}
+	}
+	// Also embed the reference itself as a path.
+	refWalk, err := p.walkNodes(g, segAt, segEndAt, altNode, make([]bool, len(p.Variants)))
+	if err != nil {
+		return nil, err
+	}
+	if err := g.AddPath("ref", refWalk); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// walkNodes lists the node walk of a haplotype defined by its variant set.
+func (p *Population) walkNodes(g *graph.Graph, segAt map[int]graph.NodeID, segEndAt map[int]int, altNode []graph.NodeID, carries []bool) ([]graph.NodeID, error) {
+	var walk []graph.NodeID
+	pos := 0
+	vi := 0
+	for pos < len(p.Ref) {
+		// Emit any insertion at this position first.
+		for vi < len(p.Variants) && p.Variants[vi].Pos < pos {
+			vi++
+		}
+		for j := vi; j < len(p.Variants) && p.Variants[j].Pos == pos; j++ {
+			v := p.Variants[j]
+			if v.Kind == Insertion && carries[j] {
+				walk = append(walk, altNode[j])
+			}
+			if carries[j] && v.Kind == SNP {
+				walk = append(walk, altNode[j])
+				pos = v.Pos + 1
+			}
+			if carries[j] && v.Kind == Deletion {
+				pos = v.Pos + len(v.Ref)
+			}
+		}
+		if pos >= len(p.Ref) {
+			break
+		}
+		id, ok := segAt[pos]
+		if !ok {
+			return nil, fmt.Errorf("gensim: no segment at position %d", pos)
+		}
+		walk = append(walk, id)
+		pos = segEndAt[pos]
+	}
+	return walk, nil
+}

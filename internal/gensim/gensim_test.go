@@ -1,0 +1,207 @@
+package gensim
+
+import (
+	"bytes"
+	"testing"
+
+	"pangenomicsbench/internal/graph"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RefLen = 20_000
+	cfg.Haplotypes = 4
+	return cfg
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a, err := Simulate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Ref, b.Ref) || len(a.Variants) != len(b.Variants) {
+		t.Fatal("simulation must be deterministic for a fixed seed")
+	}
+	for i := range a.Haplotypes {
+		if !bytes.Equal(a.Haplotypes[i].Seq, b.Haplotypes[i].Seq) {
+			t.Fatal("haplotypes differ across runs")
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(Config{RefLen: 10}); err == nil {
+		t.Fatal("tiny RefLen must be rejected")
+	}
+	cfg := smallConfig()
+	cfg.Haplotypes = 0
+	if _, err := Simulate(cfg); err == nil {
+		t.Fatal("zero haplotypes must be rejected")
+	}
+}
+
+// TestHaplotypePathsRoundTrip is the central invariant: every haplotype's
+// graph path must spell exactly the haplotype sequence.
+func TestHaplotypePathsRoundTrip(t *testing.T) {
+	p, err := Simulate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Variants) == 0 {
+		t.Fatal("expected some variants at this size")
+	}
+	paths := p.Graph.Paths()
+	if len(paths) != len(p.Haplotypes)+1 {
+		t.Fatalf("paths = %d, want %d (haplotypes + ref)", len(paths), len(p.Haplotypes)+1)
+	}
+	for i, h := range p.Haplotypes {
+		got := p.Graph.PathSeq(paths[i])
+		if !bytes.Equal(got, h.Seq) {
+			t.Fatalf("haplotype %d path does not spell its sequence (len %d vs %d)",
+				i, len(got), len(h.Seq))
+		}
+	}
+	// Reference path spells the reference.
+	refPath := paths[len(paths)-1]
+	if refPath.Name != "ref" || !bytes.Equal(p.Graph.PathSeq(refPath), p.Ref) {
+		t.Fatal("reference path wrong")
+	}
+	if err := p.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphIsAcyclic(t *testing.T) {
+	p, err := Simulate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Graph.IsAcyclic() {
+		t.Fatal("variant graph must be a DAG")
+	}
+}
+
+func TestVariantEffects(t *testing.T) {
+	p, err := Simulate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A haplotype carrying no variants equals the reference.
+	plain := p.applyVariants(make([]bool, len(p.Variants)))
+	if !bytes.Equal(plain, p.Ref) {
+		t.Fatal("no-variant haplotype must equal the reference")
+	}
+	// A haplotype carrying all variants differs.
+	all := make([]bool, len(p.Variants))
+	for i := range all {
+		all[i] = true
+	}
+	full := p.applyVariants(all)
+	if bytes.Equal(full, p.Ref) {
+		t.Fatal("all-variant haplotype must differ from the reference")
+	}
+	// Length accounting: insertions add, deletions remove.
+	wantDelta := 0
+	for _, v := range p.Variants {
+		wantDelta += len(v.Alt) - len(v.Ref)
+		if v.Kind == SNP {
+			wantDelta += 0 // SNP has Ref and Alt of length 1 each
+		}
+	}
+	if len(full)-len(p.Ref) != wantDelta {
+		t.Fatalf("length delta %d, want %d", len(full)-len(p.Ref), wantDelta)
+	}
+}
+
+func TestSimulateReads(t *testing.T) {
+	p, err := Simulate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := p.SimulateReads(ShortReadConfig(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 50 {
+		t.Fatalf("reads = %d", len(reads))
+	}
+	for _, r := range reads {
+		if len(r.Seq) < 140 || len(r.Seq) > 160 {
+			t.Fatalf("short read length %d out of expected range", len(r.Seq))
+		}
+		// Truth must point at a real location.
+		hap := p.Haplotypes[r.Hap].Seq
+		if r.Pos < 0 || r.Pos >= len(hap) {
+			t.Fatalf("truth position %d out of range", r.Pos)
+		}
+		// The error rate is low: most 21-mers of the read must occur in its
+		// origin window (robust to indel frame shifts).
+		orig := hap[r.Pos:min(r.Pos+170, len(hap))]
+		kmers := map[string]bool{}
+		for i := 0; i+21 <= len(orig); i++ {
+			kmers[string(orig[i:i+21])] = true
+		}
+		found, total := 0, 0
+		for i := 0; i+21 <= len(r.Seq); i++ {
+			total++
+			if kmers[string(r.Seq[i:i+21])] {
+				found++
+			}
+		}
+		if total > 0 && float64(found)/float64(total) < 0.5 {
+			t.Fatalf("read diverges too much from its origin (%d/%d 21-mers)", found, total)
+		}
+	}
+	if _, err := p.SimulateReads(ReadConfig{}); err == nil {
+		t.Fatal("invalid read config must be rejected")
+	}
+}
+
+func TestAssemblyView(t *testing.T) {
+	p, err := Simulate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, seqs := p.AssemblyView()
+	if len(names) != len(p.Haplotypes) || len(seqs) != len(names) {
+		t.Fatal("assembly view size wrong")
+	}
+	if !bytes.Equal(seqs[0], p.Haplotypes[0].Seq) {
+		t.Fatal("assembly view content wrong")
+	}
+}
+
+func TestGraphNodeStats(t *testing.T) {
+	p, err := Simulate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := p.Graph.ComputeStats()
+	if stats.Nodes < len(p.Variants) {
+		t.Fatalf("graph too small: %d nodes for %d variants", stats.Nodes, len(p.Variants))
+	}
+	// Every variant with an alt allele adds exactly one alt node, and
+	// reference bases are partitioned among segment nodes.
+	refBases := 0
+	for id := graph.NodeID(1); int(id) <= stats.Nodes; id++ {
+		refBases += len(p.Graph.Seq(id))
+	}
+	altBases := 0
+	for _, v := range p.Variants {
+		altBases += len(v.Alt)
+	}
+	if refBases != len(p.Ref)+altBases {
+		t.Fatalf("graph bases %d != ref %d + alts %d", refBases, len(p.Ref), altBases)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

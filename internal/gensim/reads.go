@@ -1,0 +1,106 @@
+package gensim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Read is one simulated read with its ground truth.
+type Read struct {
+	Name string
+	Seq  []byte
+	// Truth: the haplotype index and start position the read was drawn
+	// from (before sequencing errors).
+	Hap int
+	Pos int
+}
+
+// ReadConfig controls read simulation.
+type ReadConfig struct {
+	Count  int
+	Length int
+	// SubRate is the per-base substitution error probability.
+	SubRate float64
+	// IndelRate is the per-base insertion/deletion error probability
+	// (HiFi-like long reads have a meaningful indel component).
+	IndelRate float64
+	Seed      int64
+}
+
+// ShortReadConfig mirrors the paper's Illumina HiSeq 150 bp short reads.
+func ShortReadConfig(count int) ReadConfig {
+	return ReadConfig{Count: count, Length: 150, SubRate: 0.002, IndelRate: 0.0001, Seed: 7}
+}
+
+// LongReadConfig mirrors the paper's PacBio HiFi ~15 kb long reads with
+// ~1% error.
+func LongReadConfig(count int) ReadConfig {
+	return ReadConfig{Count: count, Length: 15000, SubRate: 0.006, IndelRate: 0.004, Seed: 8}
+}
+
+// SimulateReads draws reads uniformly across haplotypes and positions and
+// applies the error model.
+func (p *Population) SimulateReads(cfg ReadConfig) ([]Read, error) {
+	if cfg.Count < 1 || cfg.Length < 1 {
+		return nil, fmt.Errorf("gensim: invalid read config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	reads := make([]Read, 0, cfg.Count)
+	for i := 0; i < cfg.Count; i++ {
+		h := rng.Intn(len(p.Haplotypes))
+		hap := p.Haplotypes[h].Seq
+		length := cfg.Length
+		if length > len(hap) {
+			length = len(hap)
+		}
+		pos := 0
+		if len(hap) > length {
+			pos = rng.Intn(len(hap) - length)
+		}
+		raw := hap[pos : pos+length]
+		reads = append(reads, Read{
+			Name: fmt.Sprintf("read%06d", i),
+			Seq:  applyErrors(rng, raw, cfg.SubRate, cfg.IndelRate),
+			Hap:  h,
+			Pos:  pos,
+		})
+	}
+	return reads, nil
+}
+
+// applyErrors introduces sequencing errors.
+func applyErrors(rng *rand.Rand, seq []byte, subRate, indelRate float64) []byte {
+	out := make([]byte, 0, len(seq)+8)
+	for _, b := range seq {
+		r := rng.Float64()
+		switch {
+		case r < subRate:
+			alt := b
+			for alt == b {
+				alt = "ACGT"[rng.Intn(4)]
+			}
+			out = append(out, alt)
+		case r < subRate+indelRate/2:
+			// deletion: skip the base
+		case r < subRate+indelRate:
+			out = append(out, b, "ACGT"[rng.Intn(4)])
+		default:
+			out = append(out, b)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, seq...)
+	}
+	return out
+}
+
+// AssemblyView returns the haplotypes as named assembly sequences — the
+// input of the graph-building pipelines (the paper's 14 chromosome-20
+// assemblies, Table 2).
+func (p *Population) AssemblyView() (names []string, seqs [][]byte) {
+	for _, h := range p.Haplotypes {
+		names = append(names, h.Name)
+		seqs = append(seqs, h.Seq)
+	}
+	return names, seqs
+}

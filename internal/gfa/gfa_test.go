@@ -1,0 +1,97 @@
+package gfa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pangenomicsbench/internal/graph"
+)
+
+func sample() *graph.Graph {
+	g := graph.New()
+	g.AddNode([]byte("ACGT"))
+	g.AddNode([]byte("AA"))
+	g.AddNode([]byte("GG"))
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	if err := g.AddPath("hap1", []graph.NodeID{1, 2, 3}); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestRoundTrip(t *testing.T) {
+	g := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != 3 || got.NumEdges() != 3 {
+		t.Fatalf("nodes/edges = %d/%d", got.NumNodes(), got.NumEdges())
+	}
+	if string(got.Seq(1)) != "ACGT" || !got.HasEdge(2, 3) {
+		t.Fatal("content mismatch")
+	}
+	paths := got.Paths()
+	if len(paths) != 1 || paths[0].Name != "hap1" || len(paths[0].Nodes) != 3 {
+		t.Fatalf("paths = %+v", paths)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadSkipsUnknownAndComments(t *testing.T) {
+	in := "H\tVN:Z:1.0\n# comment\nS\t1\tACGT\nW\tsome\twalk\n\nS\t2\tTT\nL\t1\t+\t2\t+\t0M\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || !g.HasEdge(1, 2) {
+		t.Fatal("parse failed")
+	}
+}
+
+func TestReadNonDenseIDs(t *testing.T) {
+	in := "S\t10\tAA\nS\t5\tCC\nL\t5\t+\t10\t+\t0M\nP\tp\t5+,10+\t*\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 → node 1, 10 → node 2 (sorted order).
+	if string(g.Seq(1)) != "CC" || string(g.Seq(2)) != "AA" {
+		t.Fatal("remap wrong")
+	}
+	if !g.HasEdge(1, 2) {
+		t.Fatal("edge remap wrong")
+	}
+	if len(g.Paths()) != 1 || g.Paths()[0].Nodes[0] != 1 {
+		t.Fatal("path remap wrong")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"S\t1\n",                      // missing sequence
+		"S\tabc\tACGT\n",              // non-integer name
+		"S\t1\t*\n",                   // no sequence
+		"S\t1\tAA\nS\t1\tCC\n",        // duplicate
+		"S\t1\tAA\nL\t1\t+\t2\t+\t0M", // unknown link target
+		"S\t1\tAA\nL\t1\t-\t1\t+\t0M", // reverse strand
+		"S\t1\tAA\nP\tp\t1-\t*\n",     // reverse path step
+		"S\t1\tAA\nP\tp\t2+\t*\n",     // unknown path node
+		"L\t1\t+\n",                   // truncated L
+		"P\tp\n",                      // truncated P
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) accepted invalid input", in)
+		}
+	}
+}

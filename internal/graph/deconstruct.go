@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Site is one variant site discovered by Deconstruct: reference position,
+// reference allele, and the alternate alleles branching off at that point.
+// It is the graph→VCF direction (vg deconstruct) — the downstream analysis
+// the paper's §1 names as depending on graph building and mapping.
+type Site struct {
+	RefPos int
+	Ref    []byte
+	Alts   [][]byte
+}
+
+// Deconstruct derives variant sites from the graph by walking the named
+// reference path and, at every divergence, following each off-reference
+// branch through its unbranching chain until it rejoins the reference.
+// Branches that rejoin further than maxSpan reference bases ahead are
+// skipped (nested/complex regions).
+func Deconstruct(g *Graph, refPathName string, maxSpan int) ([]Site, error) {
+	var ref *Path
+	for i := range g.Paths() {
+		if g.Paths()[i].Name == refPathName {
+			ref = &g.Paths()[i]
+			break
+		}
+	}
+	if ref == nil {
+		return nil, fmt.Errorf("graph: no path named %q", refPathName)
+	}
+	// Reference coordinates: offset of each ref-path step, and position of
+	// each node on the reference (first visit wins).
+	refIndex := make(map[NodeID]int, len(ref.Nodes)) // node → step index
+	offsets := make([]int, len(ref.Nodes))
+	off := 0
+	for i, id := range ref.Nodes {
+		offsets[i] = off
+		if _, seen := refIndex[id]; !seen {
+			refIndex[id] = i
+		}
+		off += len(g.Seq(id))
+	}
+
+	var sites []Site
+	for i, s := range ref.Nodes {
+		endOfS := offsets[i] + len(g.Seq(s))
+		nextRef := NodeID(0)
+		if i+1 < len(ref.Nodes) {
+			nextRef = ref.Nodes[i+1]
+		}
+		for _, c := range g.Out(s) {
+			if c == nextRef {
+				continue
+			}
+			altSeq, sink, ok := followChain(g, c, refIndex)
+			if !ok {
+				continue
+			}
+			j := refIndex[sink]
+			if j <= i {
+				continue // back edge / repeat visit: not a simple site
+			}
+			refAllele := pathSlice(g, ref.Nodes[i+1:j])
+			if maxSpan > 0 && len(refAllele) > maxSpan {
+				continue
+			}
+			if bytes.Equal(refAllele, altSeq) {
+				continue // redundant branch
+			}
+			sites = append(sites, Site{RefPos: endOfS, Ref: refAllele, Alts: [][]byte{altSeq}})
+		}
+	}
+	// Merge alleles at the same position and sort.
+	sort.Slice(sites, func(a, b int) bool { return sites[a].RefPos < sites[b].RefPos })
+	var merged []Site
+	for _, st := range sites {
+		last := len(merged) - 1
+		if last >= 0 && merged[last].RefPos == st.RefPos && bytes.Equal(merged[last].Ref, st.Ref) {
+			dup := false
+			for _, a := range merged[last].Alts {
+				if bytes.Equal(a, st.Alts[0]) {
+					dup = true
+				}
+			}
+			if !dup {
+				merged[last].Alts = append(merged[last].Alts, st.Alts[0])
+			}
+			continue
+		}
+		merged = append(merged, st)
+	}
+	return merged, nil
+}
+
+// followChain walks from node c through its unbranching chain until hitting
+// a node on the reference path, returning the accumulated sequence and the
+// rejoining node. If c itself is on the reference, the branch is a pure
+// deletion (empty alt). Chains that branch or dead-end report ok=false.
+func followChain(g *Graph, c NodeID, refIndex map[NodeID]int) (seq []byte, sink NodeID, ok bool) {
+	if _, on := refIndex[c]; on {
+		return nil, c, true // deletion edge straight back to the reference
+	}
+	cur := c
+	for steps := 0; steps < 10_000; steps++ {
+		seq = append(seq, g.Seq(cur)...)
+		outs := g.Out(cur)
+		if len(outs) != 1 {
+			return nil, 0, false
+		}
+		nxt := outs[0]
+		if _, on := refIndex[nxt]; on {
+			return seq, nxt, true
+		}
+		if len(g.In(nxt)) != 1 {
+			return nil, 0, false
+		}
+		cur = nxt
+	}
+	return nil, 0, false
+}
+
+func pathSlice(g *Graph, nodes []NodeID) []byte {
+	var out []byte
+	for _, id := range nodes {
+		out = append(out, g.Seq(id)...)
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"testing"
+)
+
+// buildVariantGraph constructs ref segments with a SNP, an insertion and a
+// deletion, with known coordinates.
+func buildVariantGraph(t *testing.T) (*Graph, []byte) {
+	t.Helper()
+	g := New()
+	// ref = AAAA C GGGG TTTT  with: SNP C→T at pos 4, insertion of "CCC"
+	// after pos 9 (inside between segments), deletion of TTTT at pos 12...
+	// Laid out explicitly:
+	seg1 := g.AddNode([]byte("AAAA"))  // ref[0:4)
+	refC := g.AddNode([]byte("C"))     // ref[4:5)
+	altT := g.AddNode([]byte("T"))     // SNP alt
+	seg2 := g.AddNode([]byte("GGGGG")) // ref[5:10)
+	ins := g.AddNode([]byte("CCC"))    // insertion after pos 10
+	seg3 := g.AddNode([]byte("TT"))    // ref[10:12)
+	seg4 := g.AddNode([]byte("ACAC"))  // ref[12:16)
+
+	ref := []NodeID{seg1, refC, seg2, seg3, seg4}
+	if err := g.AddPath("ref", ref); err != nil {
+		t.Fatal(err)
+	}
+	// hap1: SNP + insertion.
+	if err := g.AddPath("h1", []NodeID{seg1, altT, seg2, ins, seg3, seg4}); err != nil {
+		t.Fatal(err)
+	}
+	// hap2: deletion of seg3 ("TT").
+	if err := g.AddPath("h2", []NodeID{seg1, refC, seg2, seg4}); err != nil {
+		t.Fatal(err)
+	}
+	return g, g.PathSeq(g.Paths()[0])
+}
+
+func TestDeconstructKnownVariants(t *testing.T) {
+	g, refSeq := buildVariantGraph(t)
+	if string(refSeq) != "AAAACGGGGGTTACAC" {
+		t.Fatalf("ref layout %q unexpected", refSeq)
+	}
+	sites, err := Deconstruct(g, "ref", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 3 {
+		t.Fatalf("sites = %d, want 3: %+v", len(sites), sites)
+	}
+	// SNP at ref pos 4: C → T.
+	if sites[0].RefPos != 4 || string(sites[0].Ref) != "C" || string(sites[0].Alts[0]) != "T" {
+		t.Fatalf("SNP site = %+v", sites[0])
+	}
+	// Insertion at pos 10: "" → CCC.
+	if sites[1].RefPos != 10 || len(sites[1].Ref) != 0 || string(sites[1].Alts[0]) != "CCC" {
+		t.Fatalf("insertion site = %+v", sites[1])
+	}
+	// Deletion at pos 10: TT → "".
+	if sites[2].RefPos != 10 || string(sites[2].Ref) != "TT" || len(sites[2].Alts[0]) != 0 {
+		t.Fatalf("deletion site = %+v", sites[2])
+	}
+}
+
+func TestDeconstructUnknownPath(t *testing.T) {
+	g := New()
+	g.AddNode([]byte("A"))
+	if _, err := Deconstruct(g, "nope", 100); err == nil {
+		t.Fatal("unknown path must be rejected")
+	}
+}
+
+func TestDeconstructMergesAllelesAtSamePos(t *testing.T) {
+	// Triallelic SNP: ref C with alts T and G.
+	g := New()
+	a := g.AddNode([]byte("AAAA"))
+	c := g.AddNode([]byte("C"))
+	alt1 := g.AddNode([]byte("T"))
+	alt2 := g.AddNode([]byte("G"))
+	b := g.AddNode([]byte("TTTT"))
+	if err := g.AddPath("ref", []NodeID{a, c, b}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddPath("h1", []NodeID{a, alt1, b}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddPath("h2", []NodeID{a, alt2, b}); err != nil {
+		t.Fatal(err)
+	}
+	sites, err := Deconstruct(g, "ref", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 1 || len(sites[0].Alts) != 2 {
+		t.Fatalf("sites = %+v, want one triallelic site", sites)
+	}
+}
+
+func TestDeconstructNoVariants(t *testing.T) {
+	g := New()
+	a := g.AddNode([]byte("ACGT"))
+	b := g.AddNode([]byte("TTTT"))
+	g.AddEdge(a, b)
+	if err := g.AddPath("ref", []NodeID{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	sites, err := Deconstruct(g, "ref", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 0 {
+		t.Fatalf("chain graph has %d sites", len(sites))
+	}
+}

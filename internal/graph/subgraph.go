@@ -1,0 +1,169 @@
+package graph
+
+import "sort"
+
+// Subgraph is a local region extracted around a seed hit, with a mapping
+// back to the parent graph. The Seq2Graph alignment kernels (GSSW, GBV)
+// operate on these small cache-friendly regions rather than the whole
+// pangenome — the structural property behind the paper's key insight (a).
+type Subgraph struct {
+	*Graph
+	// Orig maps each subgraph node ID to the node it came from in the
+	// parent graph (indexed by subgraph ID - 1).
+	Orig []NodeID
+	// Root is the subgraph ID of the node containing the seed hit.
+	Root NodeID
+}
+
+// Extract builds the subgraph reachable from seed within radius base pairs
+// in both directions (following and opposing edge direction), preserving
+// edges among extracted nodes. Distance is measured to a node's *near*
+// boundary, so a long node adjacent to the region is included whole (its
+// body is usable by the aligner), mirroring how Vg Map extracts the
+// acyclic context regions GSSW aligns to.
+func Extract(g *Graph, seed NodeID, radius int) *Subgraph {
+	g.check(seed)
+	type visit struct {
+		id   NodeID
+		dist int // bp between the seed node's boundary and this node's start
+	}
+	seen := map[NodeID]int{seed: 0}
+	queue := []visit{{seed, 0}}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		base := v.dist + len(g.Seq(v.id))
+		if v.id == seed {
+			base = 0
+		}
+		step := func(next NodeID) {
+			nd := base
+			if nd >= radius {
+				return
+			}
+			if old, ok := seen[next]; ok && old <= nd {
+				return
+			}
+			seen[next] = nd
+			queue = append(queue, visit{next, nd})
+		}
+		for _, n := range g.Out(v.id) {
+			step(n)
+		}
+		for _, n := range g.In(v.id) {
+			step(n)
+		}
+	}
+
+	ids := make([]NodeID, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	sub := &Subgraph{Graph: New(), Orig: make([]NodeID, 0, len(ids))}
+	remap := make(map[NodeID]NodeID, len(ids))
+	for _, id := range ids {
+		nid := sub.AddNode(g.Seq(id))
+		remap[id] = nid
+		sub.Orig = append(sub.Orig, id)
+		if id == seed {
+			sub.Root = nid
+		}
+	}
+	for _, id := range ids {
+		for _, to := range g.Out(id) {
+			if nt, ok := remap[to]; ok {
+				sub.AddEdge(remap[id], nt)
+			}
+		}
+	}
+	return sub
+}
+
+// Acyclify removes back edges (with respect to a DFS order) so the result
+// is a DAG, as Vg Map does before handing subgraphs to GSSW. The returned
+// subgraph shares node sequences with s.
+func (s *Subgraph) Acyclify() *Subgraph {
+	n := s.NumNodes()
+	out := &Subgraph{Graph: New(), Orig: append([]NodeID(nil), s.Orig...), Root: s.Root}
+	for i := 0; i < n; i++ {
+		out.AddNode(s.Seq(NodeID(i + 1)))
+	}
+	// DFS from every unvisited node; skip edges that close a cycle.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, n+1)
+	var dfs func(u NodeID)
+	dfs = func(u NodeID) {
+		color[u] = gray
+		for _, v := range s.Out(u) {
+			if color[v] == gray {
+				continue // back edge: drop
+			}
+			out.AddEdge(u, v)
+			if color[v] == white {
+				dfs(v)
+			}
+		}
+		color[u] = black
+	}
+	for i := 1; i <= n; i++ {
+		if color[i] == white {
+			dfs(NodeID(i))
+		}
+	}
+	return out
+}
+
+// Split returns a copy of g in which every node longer than maxLen is
+// replaced by a chain of nodes of at most maxLen base pairs, with paths
+// remapped. This produces the Split-M-Graph of the Fig. 11 case study.
+func Split(g *Graph, maxLen int) *Graph {
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	out := New()
+	// first/last chain node for each original node
+	first := make([]NodeID, g.NumNodes()+1)
+	last := make([]NodeID, g.NumNodes()+1)
+	chains := make([][]NodeID, g.NumNodes()+1)
+	for i := 1; i <= g.NumNodes(); i++ {
+		seq := g.Seq(NodeID(i))
+		var prev NodeID
+		for off := 0; off < len(seq); off += maxLen {
+			end := off + maxLen
+			if end > len(seq) {
+				end = len(seq)
+			}
+			id := out.AddNode(seq[off:end])
+			chains[i] = append(chains[i], id)
+			if prev != 0 {
+				out.AddEdge(prev, id)
+			} else {
+				first[i] = id
+			}
+			prev = id
+		}
+		last[i] = prev
+	}
+	for i := 1; i <= g.NumNodes(); i++ {
+		for _, to := range g.Out(NodeID(i)) {
+			out.AddEdge(last[i], first[to])
+		}
+	}
+	for _, p := range g.Paths() {
+		var nodes []NodeID
+		for _, id := range p.Nodes {
+			nodes = append(nodes, chains[id]...)
+		}
+		if err := out.AddPath(p.Name, nodes); err != nil {
+			// Cannot happen: all nodes were just created.
+			panic(err)
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+// Package minimizer implements (w,k)-minimizer seeding, the first stage of
+// every mapping pipeline in the paper (Fig. 1.1). Seq2Graph tools use the
+// same minimizer computation as Seq2Seq tools but index the graph's
+// haplotype paths, which enlarges the index (§2.1).
+package minimizer
+
+import (
+	"fmt"
+
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/graph"
+	"pangenomicsbench/internal/perf"
+)
+
+// Minimizer is one selected k-mer.
+type Minimizer struct {
+	Pos  int    // start position in the sequence
+	Hash uint64 // hashed k-mer value
+}
+
+// hashKmer mixes a 2-bit packed k-mer with a 64-bit finalizer
+// (splitmix64-style) so minimizer selection is pseudo-random.
+func hashKmer(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Compute returns the (w,k)-minimizers of seq: for every window of w
+// consecutive k-mers, the one with the smallest hash (leftmost on ties).
+// K-mers containing N are skipped.
+func Compute(seq []byte, k, w int, probe *perf.Probe) ([]Minimizer, error) {
+	if k < 1 || k > 31 || w < 1 {
+		return nil, fmt.Errorf("minimizer: invalid parameters k=%d w=%d", k, w)
+	}
+	n := len(seq)
+	if n < k {
+		return nil, nil
+	}
+	// Rolling k-mer encoding.
+	hashes := make([]uint64, 0, n-k+1)
+	valid := make([]bool, 0, n-k+1)
+	var kmer uint64
+	mask := (uint64(1) << uint(2*k)) - 1
+	badUntil := -1
+	for i := 0; i < n; i++ {
+		c := bio.Code(seq[i])
+		if c == bio.BaseN {
+			badUntil = i + k // k-mers covering position i are invalid
+		}
+		kmer = ((kmer << 2) | uint64(c&3)) & mask
+		if i >= k-1 {
+			hashes = append(hashes, hashKmer(kmer))
+			valid = append(valid, i >= badUntil)
+			probe.Op(perf.ScalarInt, 6)
+		}
+	}
+	var out []Minimizer
+	lastPos := -1
+	for win := 0; win+w <= len(hashes); win++ {
+		bestPos, bestHash := -1, ^uint64(0)
+		for j := win; j < win+w; j++ {
+			probe.Load(uintptr(0x100000)+uintptr(j*8), 8)
+			if valid[j] && hashes[j] < bestHash {
+				bestPos, bestHash = j, hashes[j]
+			}
+		}
+		probe.Op(perf.ScalarInt, w)
+		if bestPos >= 0 && bestPos != lastPos {
+			probe.TakeBranch(0x30, true)
+			out = append(out, Minimizer{Pos: bestPos, Hash: bestHash})
+			lastPos = bestPos
+		} else {
+			probe.TakeBranch(0x30, false)
+		}
+	}
+	return out, nil
+}
+
+// SeqLocation is a minimizer occurrence on a linear reference.
+type SeqLocation struct {
+	Pos int
+}
+
+// SeqIndex is a minimizer index over one linear reference sequence.
+type SeqIndex struct {
+	k, w int
+	hits map[uint64][]SeqLocation
+}
+
+// NewSeqIndex indexes ref with (w,k)-minimizers.
+func NewSeqIndex(ref []byte, k, w int) (*SeqIndex, error) {
+	ms, err := Compute(ref, k, w, nil)
+	if err != nil {
+		return nil, err
+	}
+	idx := &SeqIndex{k: k, w: w, hits: make(map[uint64][]SeqLocation)}
+	for _, m := range ms {
+		idx.hits[m.Hash] = append(idx.hits[m.Hash], SeqLocation{m.Pos})
+	}
+	return idx, nil
+}
+
+// K returns the k-mer size.
+func (x *SeqIndex) K() int { return x.k }
+
+// W returns the window size.
+func (x *SeqIndex) W() int { return x.w }
+
+// Lookup returns the reference occurrences of a minimizer hash.
+func (x *SeqIndex) Lookup(hash uint64) []SeqLocation { return x.hits[hash] }
+
+// GraphLocation is a minimizer occurrence inside a graph node.
+type GraphLocation struct {
+	Node   graph.NodeID
+	Offset int // start offset within the node
+}
+
+// GraphIndex is a minimizer index over a pangenome graph. It indexes the
+// embedded haplotype paths (so k-mers crossing node boundaries are found,
+// and only haplotype-consistent k-mers are stored, as Giraffe does),
+// recording each occurrence by its starting node and offset.
+type GraphIndex struct {
+	k, w int
+	hits map[uint64][]GraphLocation
+}
+
+// NewGraphIndex indexes g's haplotype paths.
+func NewGraphIndex(g *graph.Graph, k, w int) (*GraphIndex, error) {
+	if len(g.Paths()) == 0 {
+		return nil, fmt.Errorf("minimizer: graph has no paths to index")
+	}
+	idx := &GraphIndex{k: k, w: w, hits: make(map[uint64][]GraphLocation)}
+	type key struct {
+		n graph.NodeID
+		o int
+	}
+	dedupe := map[key]map[uint64]bool{}
+	for _, p := range g.Paths() {
+		seq := g.PathSeq(p)
+		ms, err := Compute(seq, k, w, nil)
+		if err != nil {
+			return nil, err
+		}
+		// Map path offsets back to (node, offset).
+		starts := make([]int, len(p.Nodes))
+		off := 0
+		for i, id := range p.Nodes {
+			starts[i] = off
+			off += len(g.Seq(id))
+		}
+		ni := 0
+		for _, m := range ms {
+			for ni+1 < len(starts) && starts[ni+1] <= m.Pos {
+				ni++
+			}
+			loc := GraphLocation{Node: p.Nodes[ni], Offset: m.Pos - starts[ni]}
+			kk := key{loc.Node, loc.Offset}
+			if dedupe[kk] == nil {
+				dedupe[kk] = map[uint64]bool{}
+			}
+			if dedupe[kk][m.Hash] {
+				continue
+			}
+			dedupe[kk][m.Hash] = true
+			idx.hits[m.Hash] = append(idx.hits[m.Hash], loc)
+		}
+	}
+	return idx, nil
+}
+
+// K returns the k-mer size.
+func (x *GraphIndex) K() int { return x.k }
+
+// Lookup returns the graph occurrences of a minimizer hash.
+func (x *GraphIndex) Lookup(hash uint64) []GraphLocation { return x.hits[hash] }
+
+// Size returns the number of distinct minimizer hashes stored.
+func (x *GraphIndex) Size() int { return len(x.hits) }

@@ -1,0 +1,187 @@
+package minimizer
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pangenomicsbench/internal/graph"
+)
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = "ACGT"[rng.Intn(4)]
+	}
+	return s
+}
+
+func TestComputeValidation(t *testing.T) {
+	if _, err := Compute([]byte("ACGT"), 0, 5, nil); err == nil {
+		t.Fatal("k=0 must be rejected")
+	}
+	if _, err := Compute([]byte("ACGT"), 32, 5, nil); err == nil {
+		t.Fatal("k>31 must be rejected")
+	}
+	if _, err := Compute([]byte("ACGT"), 4, 0, nil); err == nil {
+		t.Fatal("w=0 must be rejected")
+	}
+	ms, err := Compute([]byte("AC"), 4, 3, nil)
+	if err != nil || ms != nil {
+		t.Fatal("short sequence must yield no minimizers")
+	}
+}
+
+func TestComputeDeterministicAndCovering(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	seq := randSeq(rng, 500)
+	a, err := Compute(seq, 15, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Compute(seq, 15, 10, nil)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic")
+	}
+	// Density: roughly 2/(w+1) of positions.
+	if len(a) < 30 || len(a) > 200 {
+		t.Fatalf("minimizer count %d out of expected density range", len(a))
+	}
+	// Consecutive minimizers must be within w of each other (window
+	// guarantee).
+	for i := 1; i < len(a); i++ {
+		if a[i].Pos-a[i-1].Pos > 10 {
+			t.Fatalf("gap %d > w between consecutive minimizers", a[i].Pos-a[i-1].Pos)
+		}
+	}
+}
+
+// TestSharedSubstringSharesMinimizers: identical windows produce identical
+// minimizers, the property seeding relies on.
+func TestSharedSubstringSharesMinimizers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	core := randSeq(rng, 300)
+	left := append(append([]byte{}, randSeq(rng, 97)...), core...)
+	ms1, _ := Compute(core, 15, 10, nil)
+	ms2, _ := Compute(left, 15, 10, nil)
+	set := map[uint64]bool{}
+	for _, m := range ms2 {
+		set[m.Hash] = true
+	}
+	shared := 0
+	for _, m := range ms1 {
+		if set[m.Hash] {
+			shared++
+		}
+	}
+	if float64(shared)/float64(len(ms1)) < 0.8 {
+		t.Fatalf("only %d/%d core minimizers found in the superstring", shared, len(ms1))
+	}
+}
+
+func TestNHandling(t *testing.T) {
+	seq := bytes.Repeat([]byte("ACGT"), 20)
+	seq[40] = 'N'
+	ms, err := Compute(seq, 8, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if m.Pos <= 40 && m.Pos+8 > 40 {
+			t.Fatalf("minimizer at %d covers the N", m.Pos)
+		}
+	}
+}
+
+func TestSeqIndexLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ref := randSeq(rng, 2000)
+	idx, err := NewSeqIndex(ref, 15, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.K() != 15 || idx.W() != 10 {
+		t.Fatal("accessors wrong")
+	}
+	// Each minimizer of a substring should be locatable in the index.
+	sub := ref[500:700]
+	ms, _ := Compute(sub, 15, 10, nil)
+	found := 0
+	for _, m := range ms {
+		for _, loc := range idx.Lookup(m.Hash) {
+			if loc.Pos == 500+m.Pos {
+				found++
+				break
+			}
+		}
+	}
+	if float64(found)/float64(len(ms)) < 0.8 {
+		t.Fatalf("only %d/%d substring minimizers located", found, len(ms))
+	}
+}
+
+func TestGraphIndex(t *testing.T) {
+	// Graph: ACGTACGT... split into nodes with a bubble; index must find
+	// minimizers crossing node boundaries via the haplotype path.
+	rng := rand.New(rand.NewSource(6))
+	seq := randSeq(rng, 600)
+	g := graph.New()
+	var walk []graph.NodeID
+	for off := 0; off < len(seq); off += 50 {
+		end := off + 50
+		if end > len(seq) {
+			end = len(seq)
+		}
+		walk = append(walk, g.AddNode(seq[off:end]))
+	}
+	if err := g.AddPath("h0", walk); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := NewGraphIndex(g, 15, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Size() == 0 {
+		t.Fatal("empty graph index")
+	}
+	// Every minimizer of the full sequence must be in the index at the
+	// right node/offset.
+	ms, _ := Compute(seq, 15, 10, nil)
+	for _, m := range ms {
+		node := m.Pos/50 + 1
+		off := m.Pos % 50
+		ok := false
+		for _, loc := range idx.Lookup(m.Hash) {
+			if loc.Node == graph.NodeID(node) && loc.Offset == off {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("minimizer at %d (node %d off %d) missing from graph index", m.Pos, node, off)
+		}
+	}
+}
+
+func TestGraphIndexRequiresPaths(t *testing.T) {
+	g := graph.New()
+	g.AddNode([]byte("ACGTACGTACGTACGT"))
+	if _, err := NewGraphIndex(g, 8, 4); err == nil {
+		t.Fatal("graph without paths must be rejected")
+	}
+}
+
+func TestHashAvalanche(t *testing.T) {
+	// Property: hash differs for different k-mers (no trivial collisions
+	// among small inputs).
+	f := func(a, b uint32) bool {
+		if a == b {
+			return true
+		}
+		return hashKmer(uint64(a)) != hashKmer(uint64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

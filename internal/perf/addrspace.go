@@ -1,0 +1,25 @@
+package perf
+
+// AddrSpace hands out deterministic synthetic base addresses for the data
+// structures of an instrumented kernel. Kernels describe their memory
+// behaviour to the cache simulator in terms of these addresses, which mirror
+// the layout (strides, footprints, adjacency) of the real allocations while
+// staying reproducible across runs.
+type AddrSpace struct {
+	next uint64
+}
+
+// NewAddrSpace starts allocations at a fixed non-zero base.
+func NewAddrSpace() *AddrSpace { return &AddrSpace{next: 1 << 20} }
+
+// Alloc reserves size bytes and returns the 64-byte-aligned base address.
+// A guard gap separates consecutive allocations so distinct structures never
+// share a cache line.
+func (a *AddrSpace) Alloc(size int) uint64 {
+	if size < 1 {
+		size = 1
+	}
+	base := (a.next + 63) &^ 63
+	a.next = base + uint64(size) + 256
+	return base
+}

@@ -1,0 +1,224 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"pangenomicsbench/internal/align"
+	"pangenomicsbench/internal/chain"
+	"pangenomicsbench/internal/gbwt"
+	"pangenomicsbench/internal/graph"
+	"pangenomicsbench/internal/minimizer"
+	"pangenomicsbench/internal/perf"
+)
+
+// VgGiraffe models vg giraffe: minimizer seeding, cheap clustering over a
+// precomputed distance index, and a sophisticated, time-dominant filtering
+// step that gaplessly extends every clustered seed along real haplotypes
+// with GBWT index queries (§2.1, §3). Full alignment only runs for reads
+// whose extensions fail — the design that makes Giraffe the fastest
+// Seq2Graph tool (Table 1).
+type VgGiraffe struct {
+	g   *graph.Graph
+	idx *minimizer.GraphIndex
+	hap *gbwt.Index
+	// nodePos approximates each node's linear coordinate (Giraffe's
+	// offline distance index), making cluster distance checks O(1).
+	nodePos map[graph.NodeID]int
+	// Capture records the GBWT kernel queries.
+	Capture *[]GBWTInput
+}
+
+// NewVgGiraffe builds the tool, including its GBWT haplotype index and
+// distance index.
+func NewVgGiraffe(g *graph.Graph, k, w int) (*VgGiraffe, error) {
+	idx, err := minimizer.NewGraphIndex(g, k, w)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: giraffe: %w", err)
+	}
+	hap, err := gbwt.Build(g)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: giraffe: %w", err)
+	}
+	nodePos := make(map[graph.NodeID]int, g.NumNodes())
+	for _, p := range g.Paths() {
+		off := 0
+		for _, id := range p.Nodes {
+			if _, seen := nodePos[id]; !seen {
+				nodePos[id] = off
+			}
+			off += len(g.Seq(id))
+		}
+	}
+	return &VgGiraffe{g: g, idx: idx, hap: hap, nodePos: nodePos}, nil
+}
+
+// Name implements Tool.
+func (t *VgGiraffe) Name() string { return "VgGiraffe" }
+
+// Map implements Tool.
+func (t *VgGiraffe) Map(read []byte, probe *perf.Probe) (Result, StageTimes) {
+	var st StageTimes
+	var anchors []chain.Anchor
+	timeStage(&st.Seed, func() { anchors = seedGraph(t.idx, read, t.idx.K(), probe) })
+	if len(anchors) == 0 {
+		return Result{}, st
+	}
+
+	// Clustering over the distance index: anchors get approximate linear
+	// coordinates, then coordinate-based chaining (O(1) per pair — no
+	// graph traversal, unlike Vg Map).
+	var clusters []chain.Chain
+	timeStage(&st.Chain, func() {
+		for i := range anchors {
+			anchors[i].RPos = t.nodePos[anchors[i].Node] + anchors[i].Offset
+			probe.Op(perf.ScalarInt, 2)
+		}
+		clusters = chain.Linear(anchors, 2*len(read), probe)
+		clusters = chain.Filter(clusters, 0.4, 4)
+	})
+	if len(clusters) == 0 {
+		return Result{}, st
+	}
+
+	// Filtering: gapless haplotype extension of every seed of every
+	// cluster through the GBWT (Fig. 4c) — Giraffe's dominant stage.
+	type extension struct {
+		startNode  graph.NodeID
+		mismatches int
+		refSeq     []byte
+		start      int
+	}
+	var exts []extension
+	timeStage(&st.Filter, func() {
+		for _, cl := range clusters {
+			for _, an := range cl.Anchors {
+				walk, refSeq, anchorStart := t.extendSeed(an, read, probe)
+				if walk == nil {
+					continue
+				}
+				if t.Capture != nil {
+					*t.Capture = append(*t.Capture, GBWTInput{Nodes: walk})
+				}
+				// Gapless scoring of the read against the haplotype
+				// sequence, aligned by the anchor.
+				shift := anchorStart + an.Offset - an.QPos
+				mism := 0
+				for i := 0; i < len(read); i++ {
+					probe.Op(perf.ScalarInt, 2)
+					j := shift + i
+					if j < 0 || j >= len(refSeq) || read[i] != refSeq[j] {
+						mism++
+					}
+				}
+				probe.TakeBranch(0x62, mism <= 6)
+				exts = append(exts, extension{an.Node, mism, refSeq, shift})
+			}
+		}
+	})
+	if len(exts) == 0 {
+		return Result{}, st
+	}
+
+	best := Result{EditDistance: 1 << 30}
+	timeStage(&st.Align, func() {
+		// Best extension; full alignment only if every extension failed.
+		bi := 0
+		for i := range exts {
+			if exts[i].mismatches < exts[bi].mismatches {
+				bi = i
+			}
+		}
+		if exts[bi].mismatches <= 6 {
+			best = Result{Mapped: true, Node: exts[bi].startNode, EditDistance: exts[bi].mismatches}
+			return
+		}
+		total := 0
+		for off := 0; off < len(read); off += align.MaxMyersQuery {
+			end := off + align.MaxMyersQuery
+			if end > len(read) {
+				end = len(read)
+			}
+			r, err := align.Myers64(exts[bi].refSeq, read[off:end], probe)
+			if err != nil {
+				total += end - off
+				continue
+			}
+			total += r.Distance
+		}
+		best = Result{Mapped: true, Node: exts[bi].startNode, EditDistance: total}
+	})
+	return best, st
+}
+
+// extendSeed walks from a seed's node along haplotypes in both directions
+// until the read is covered: forward through GBWT states, backward through
+// the predecessor whose sequence best matches the read prefix. It returns
+// the node walk, its sequence, and the offset of the anchor node's start
+// within that sequence.
+func (t *VgGiraffe) extendSeed(an chain.Anchor, read []byte, probe *perf.Probe) ([]graph.NodeID, []byte, int) {
+	state := t.hap.Start(an.Node)
+	if state.Empty() {
+		return nil, nil, 0
+	}
+	walk := []graph.NodeID{an.Node}
+	refSeq := append([]byte(nil), t.g.Seq(an.Node)...)
+	for len(refSeq) < len(read)+32 {
+		next := t.widestHop(&state, probe)
+		if next == 0 {
+			break
+		}
+		walk = append(walk, next)
+		refSeq = append(refSeq, t.g.Seq(next)...)
+	}
+	// Backward: prepend the predecessor whose suffix matches the read
+	// bases that should precede the current walk.
+	anchorStart := 0
+	needed := an.QPos - an.Offset // read bases before the anchor node
+	cur := an.Node
+	for needed > 0 {
+		preds := t.g.In(cur)
+		if len(preds) == 0 {
+			break
+		}
+		bestPred, bestScore := graph.NodeID(0), -1
+		for _, p := range preds {
+			seq := t.g.Seq(p)
+			score := 0
+			for i := 0; i < len(seq) && i < needed; i++ {
+				probe.Op(perf.ScalarInt, 2)
+				if read[needed-1-i] == seq[len(seq)-1-i] {
+					score++
+				}
+			}
+			if score > bestScore {
+				bestScore, bestPred = score, p
+			}
+		}
+		probe.TakeBranch(0x63, len(preds) > 1)
+		seq := t.g.Seq(bestPred)
+		refSeq = append(append([]byte(nil), seq...), refSeq...)
+		walk = append([]graph.NodeID{bestPred}, walk...)
+		anchorStart += len(seq)
+		needed -= len(seq)
+		cur = bestPred
+	}
+	return walk, refSeq, anchorStart
+}
+
+// widestHop advances the state to the most frequent haplotype successor,
+// returning 0 when every haplotype ends.
+func (t *VgGiraffe) widestHop(state *gbwt.State, probe *perf.Probe) graph.NodeID {
+	var bestNode graph.NodeID
+	var bestState gbwt.State
+	for _, succ := range t.g.Out(state.Node) {
+		s := t.hap.Extend(*state, succ, probe)
+		if s.Size() > bestState.Size() {
+			bestState, bestNode = s, succ
+		}
+	}
+	if bestNode == 0 {
+		return 0
+	}
+	*state = bestState
+	return bestNode
+}

@@ -1,0 +1,58 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+
+	"pangenomicsbench/internal/gensim"
+)
+
+// MapAll maps a read set with a worker pool, the way the real tools
+// parallelize (§5.1: "Seq2Graph mapping tools process reads independently
+// on different threads"). Results are returned in read order. threads ≤ 0
+// uses GOMAXPROCS. The tool's indexes are only read, so concurrent Map
+// calls are safe provided no capture or kernel-timing hook is attached
+// (those accumulate unsynchronized).
+func MapAll(tool Tool, reads []gensim.Read, threads int) []Result {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > len(reads) {
+		threads = len(reads)
+	}
+	results := make([]Result, len(reads))
+	if threads <= 1 {
+		for i, r := range reads {
+			results[i], _ = tool.Map(r.Seq, nil)
+		}
+		return results
+	}
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if int(next) >= len(reads) {
+			return -1
+		}
+		i := int(next)
+		next++
+		return i
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				results[i], _ = tool.Map(reads[i].Seq, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

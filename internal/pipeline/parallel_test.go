@@ -1,0 +1,52 @@
+package pipeline
+
+import (
+	"testing"
+)
+
+func TestMapAllMatchesSerial(t *testing.T) {
+	p := testPop(t)
+	tool, err := NewVgGiraffe(p.Graph, 15, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := shortReads(t, p, 40)
+	serial := MapAll(tool, reads, 1)
+	parallel := MapAll(tool, reads, 8)
+	if len(serial) != len(parallel) {
+		t.Fatal("length mismatch")
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("read %d: serial %+v != parallel %+v", i, serial[i], parallel[i])
+		}
+	}
+	mapped := 0
+	for _, r := range parallel {
+		if r.Mapped {
+			mapped++
+		}
+	}
+	if mapped < len(reads)*7/10 {
+		t.Fatalf("parallel run mapped only %d/%d", mapped, len(reads))
+	}
+}
+
+func TestMapAllDefaultsAndSmallInputs(t *testing.T) {
+	p := testPop(t)
+	tool, err := NewVgMap(p.Graph, 15, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := shortReads(t, p, 3)
+	// threads > reads and threads <= 0 must both work.
+	if got := MapAll(tool, reads, 100); len(got) != 3 {
+		t.Fatal("oversubscribed pool failed")
+	}
+	if got := MapAll(tool, reads, -1); len(got) != 3 {
+		t.Fatal("default pool failed")
+	}
+	if got := MapAll(tool, nil, 4); len(got) != 0 {
+		t.Fatal("empty read set failed")
+	}
+}

@@ -1,0 +1,74 @@
+// Package pipeline models the four end-to-end Seq2Graph mapping tools the
+// paper analyzes (§2.1, Fig. 2): Vg Map, Vg Giraffe, GraphAligner, and
+// Minigraph (long-read and chromosome modes). Each tool follows the common
+// seed → cluster/chain → filter → align structure of Fig. 1 but makes the
+// trade-offs of its namesake: Vg Map spends everywhere and aligns with
+// GSSW; Giraffe's haplotype-aware GBWT filter dominates; GraphAligner
+// skips filtering and burns ~90% in GBV alignment; Minigraph does heavy
+// 2D chaining with GWFA bridging. Each stage is wall-timed, and each tool
+// can capture the inputs reaching its kernel — exactly how the paper builds
+// its kernel datasets (§4.2).
+package pipeline
+
+import (
+	"time"
+
+	"pangenomicsbench/internal/graph"
+	"pangenomicsbench/internal/perf"
+	"pangenomicsbench/internal/seqmap"
+)
+
+// StageTimes re-exports the per-stage timing type shared with seqmap.
+type StageTimes = seqmap.StageTimes
+
+// Result is one read's mapping outcome.
+type Result struct {
+	Mapped bool
+	// Node is the mapped location's node (alignment end or chain start,
+	// tool-dependent).
+	Node graph.NodeID
+	// Score is an alignment score (GSSW-based tools) …
+	Score int
+	// … or EditDistance an edit distance (GBV/GWFA-based tools).
+	EditDistance int
+}
+
+// Tool is a Seq2Graph mapper model.
+type Tool interface {
+	Name() string
+	Map(read []byte, probe *perf.Probe) (Result, StageTimes)
+}
+
+// Kernel input captures (paper §4.2: "running the tool with datasets …
+// up until the kernel and then storing the inputs to the kernel").
+
+// GSSWInput is one captured Vg Map alignment problem.
+type GSSWInput struct {
+	Sub   *graph.Graph // acyclic local subgraph
+	Query []byte
+}
+
+// GBWTInput is one captured Giraffe haplotype-extension query.
+type GBWTInput struct {
+	Nodes []graph.NodeID
+}
+
+// GBVInput is one captured GraphAligner cluster alignment.
+type GBVInput struct {
+	Sub   *graph.Graph
+	Query []byte // ≤64 bp chunk
+}
+
+// GWFAInput is one captured Minigraph anchor-bridging problem.
+type GWFAInput struct {
+	G     *graph.Graph
+	Start graph.NodeID
+	Query []byte
+}
+
+// timeStage runs fn and adds its wall time to *d.
+func timeStage(d *time.Duration, fn func()) {
+	t0 := time.Now()
+	fn()
+	*d += time.Since(t0)
+}

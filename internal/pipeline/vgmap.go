@@ -1,0 +1,102 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"pangenomicsbench/internal/align"
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/chain"
+	"pangenomicsbench/internal/graph"
+	"pangenomicsbench/internal/minimizer"
+	"pangenomicsbench/internal/perf"
+)
+
+// VgMap models vg map: minimizer seeding, graph-distance clustering, light
+// filtering, and GSSW alignment of read fragments to acyclic subgraphs
+// extracted around seed hits (§3, GSSW). Time is spread across all stages
+// (Fig. 2) and the tool is the slowest of the four (Table 1) because GSSW
+// computes full DP matrices.
+type VgMap struct {
+	g   *graph.Graph
+	idx *minimizer.GraphIndex
+	sc  bio.Scoring
+	// Capture, when non-nil, records GSSW kernel inputs.
+	Capture *[]GSSWInput
+	// Radius is the subgraph extraction radius in bp around a seed hit.
+	Radius int
+}
+
+// NewVgMap builds the tool over a pangenome graph.
+func NewVgMap(g *graph.Graph, k, w int) (*VgMap, error) {
+	idx, err := minimizer.NewGraphIndex(g, k, w)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: vg map: %w", err)
+	}
+	return &VgMap{g: g, idx: idx, sc: bio.DefaultScoring, Radius: 0}, nil
+}
+
+// Name implements Tool.
+func (t *VgMap) Name() string { return "VgMap" }
+
+// seedGraph is the shared seeding stage: minimizers of the read looked up
+// in the graph index.
+func seedGraph(idx *minimizer.GraphIndex, read []byte, k int, probe *perf.Probe) []chain.Anchor {
+	ms, err := minimizer.Compute(read, k, 10, probe)
+	if err != nil {
+		return nil
+	}
+	var anchors []chain.Anchor
+	for _, m := range ms {
+		for _, loc := range idx.Lookup(m.Hash) {
+			anchors = append(anchors, chain.Anchor{
+				QPos: m.Pos, Node: loc.Node, Offset: loc.Offset, Len: k,
+			})
+		}
+	}
+	return anchors
+}
+
+// Map implements Tool.
+func (t *VgMap) Map(read []byte, probe *perf.Probe) (Result, StageTimes) {
+	var st StageTimes
+	var anchors []chain.Anchor
+	timeStage(&st.Seed, func() { anchors = seedGraph(t.idx, read, t.idx.K(), probe) })
+	if len(anchors) == 0 {
+		return Result{}, st
+	}
+
+	var chains []chain.Chain
+	timeStage(&st.Chain, func() { chains = chain.GraphChains(t.g, anchors, 2*len(read), probe) })
+	if len(chains) == 0 {
+		return Result{}, st
+	}
+	timeStage(&st.Filter, func() { chains = chain.Filter(chains, 0.6, 3) })
+
+	best := Result{}
+	timeStage(&st.Align, func() {
+		radius := t.Radius
+		if radius <= 0 {
+			radius = len(read) + len(read)/2
+		}
+		for _, ch := range chains {
+			mid := ch.Anchors[len(ch.Anchors)/2]
+			sub := graph.Extract(t.g, mid.Node, radius)
+			dag := sub.Acyclify()
+			if t.Capture != nil {
+				*t.Capture = append(*t.Capture, GSSWInput{Sub: dag.Graph, Query: read})
+			}
+			r, err := align.GSSW(dag.Graph, read, t.sc, probe)
+			if err != nil {
+				continue
+			}
+			if r.Score > best.Score {
+				node := graph.NodeID(0)
+				if r.EndNode != 0 {
+					node = dag.Orig[r.EndNode-1]
+				}
+				best = Result{Mapped: true, Node: node, Score: r.Score}
+			}
+		}
+	})
+	return best, st
+}

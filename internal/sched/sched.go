@@ -1,0 +1,164 @@
+// Package sched is a deterministic multicore makespan simulator used for
+// the thread-scaling study (Fig. 5). This reproduction runs on a single
+// core, so scaling curves cannot be measured directly; instead each tool's
+// workload is described by its measured single-thread task costs and its
+// parallel structure (independent tasks, sequential sections, barriers,
+// pipelined emission, memory contention), and the simulator computes the
+// makespan at each thread count. These are exactly the mechanisms §5.1 uses
+// to explain every curve: per-read parallelism and hyperthread contention
+// for the mapping tools, a single-threaded Minigraph-cr, seqwish's
+// emission-pipeline bottleneck, and PGSGD's memory bottleneck plus
+// iteration barriers.
+package sched
+
+// Machine models the scaling-relevant parameters of a host.
+type Machine struct {
+	Name    string
+	Cores   int // physical cores across sockets
+	Threads int // hardware threads (with hyperthreading)
+	// HTYield is the marginal throughput of a hyperthread sharing a core
+	// (≈0.3: two hyperthreads ≈ 1.3× one core).
+	HTYield float64
+	// MemCapThreads caps the effective parallelism of memory-bound work:
+	// beyond this many threads the memory system saturates.
+	MemCapThreads float64
+}
+
+// MachineA is the dual-socket Xeon E5-2697 v3 from Table 5 (2×14 cores,
+// 56 hyperthreads) used for the paper's thread-scaling runs.
+func MachineA() Machine {
+	return Machine{Name: "Machine A", Cores: 28, Threads: 56, HTYield: 0.3, MemCapThreads: 18}
+}
+
+// capacity returns the effective core-equivalents of t threads.
+func (m Machine) capacity(t int) float64 {
+	if t < 1 {
+		t = 1
+	}
+	if t > m.Threads {
+		t = m.Threads
+	}
+	if t <= m.Cores {
+		return float64(t)
+	}
+	return float64(m.Cores) + float64(t-m.Cores)*m.HTYield
+}
+
+// Phase is one stage of a workload, executed after a barrier with the
+// previous phase.
+type Phase struct {
+	Name string
+
+	// Tasks are the costs of independent work items (e.g. per-read mapping
+	// times), distributed across threads.
+	Tasks []float64
+	// MemFraction of the task work contends for memory bandwidth and
+	// saturates at Machine.MemCapThreads.
+	MemFraction float64
+	// MaxParallel caps usable threads in this phase (0 = unlimited;
+	// 1 = sequential, like Minigraph-cr's single chromosome).
+	MaxParallel int
+
+	// Sequential is work that runs on one thread regardless (e.g. the
+	// path-index preprocessing of odgi-layout, GFA output generation).
+	Sequential float64
+
+	// EmitChunks, when non-empty, models seqwish's latency-hiding pipeline:
+	// chunk i's emission (sequential) overlaps chunk i+1's parallel
+	// computation, so the phase runs at the pace of whichever is slower.
+	// Tasks are then interpreted as per-chunk parallel compute costs, and
+	// EmitChunks[i] is chunk i's emission cost.
+	EmitChunks []float64
+}
+
+// Workload is a named sequence of phases separated by barriers.
+type Workload struct {
+	Name   string
+	Phases []Phase
+}
+
+// Simulate returns the makespan of w at the given thread count.
+func Simulate(m Machine, w Workload, threads int) float64 {
+	total := 0.0
+	for _, ph := range w.Phases {
+		total += simulatePhase(m, ph, threads)
+	}
+	return total
+}
+
+func simulatePhase(m Machine, ph Phase, threads int) float64 {
+	t := threads
+	if ph.MaxParallel > 0 && t > ph.MaxParallel {
+		t = ph.MaxParallel
+	}
+	cap := m.capacity(t)
+
+	if len(ph.EmitChunks) > 0 {
+		// Pipelined: compute of chunk i+1 overlaps emission of chunk i,
+		// but emissions are serialized with each other (§5.1's seqwish
+		// analysis).
+		n := len(ph.Tasks)
+		if len(ph.EmitChunks) < n {
+			n = len(ph.EmitChunks)
+		}
+		var done float64 // time the previous emission finishes
+		var computeDone float64
+		for i := 0; i < n; i++ {
+			computeDone += effectiveCost(m, ph.Tasks[i], ph.MemFraction, t, cap) / cap
+			start := computeDone
+			if done > start {
+				start = done
+			}
+			done = start + ph.EmitChunks[i]
+		}
+		return done + ph.Sequential
+	}
+
+	var sum, maxTask float64
+	for _, c := range ph.Tasks {
+		e := effectiveCost(m, c, ph.MemFraction, t, cap)
+		sum += e
+		if e > maxTask {
+			maxTask = e
+		}
+	}
+	// Ideal greedy bound: max(critical task, total/capacity).
+	par := sum / cap
+	if maxTask > par {
+		par = maxTask
+	}
+	return par + ph.Sequential
+}
+
+// effectiveCost inflates the memory-bound portion of a task when the
+// thread count exceeds the memory system's saturation point.
+func (m Machine) memSlowdown(t int) float64 {
+	if float64(t) <= m.MemCapThreads {
+		return 1
+	}
+	return float64(t) / m.MemCapThreads
+}
+
+func effectiveCost(m Machine, cost, memFrac float64, t int, _ float64) float64 {
+	if memFrac <= 0 {
+		return cost
+	}
+	return cost*(1-memFrac) + cost*memFrac*m.memSlowdown(t)
+}
+
+// Speedups returns the makespan-derived speedups at each thread count,
+// relative to the first entry (Fig. 5 normalizes to 4 threads).
+func Speedups(m Machine, w Workload, threadCounts []int) []float64 {
+	if len(threadCounts) == 0 {
+		return nil
+	}
+	base := Simulate(m, w, threadCounts[0])
+	out := make([]float64, len(threadCounts))
+	for i, t := range threadCounts {
+		s := Simulate(m, w, t)
+		if s > 0 {
+			out[i] = base / s
+		}
+	}
+	return out
+}

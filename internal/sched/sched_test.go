@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func uniformTasks(n int, cost float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = cost
+	}
+	return out
+}
+
+func TestEmbarrassinglyParallelScalesToCoresThenFlattens(t *testing.T) {
+	m := MachineA()
+	w := Workload{Name: "map", Phases: []Phase{{Tasks: uniformTasks(10000, 1)}}}
+	s := Speedups(m, w, []int{4, 14, 28, 56})
+	// Near-linear up to 28 cores relative to 4 threads.
+	if s[0] != 1 {
+		t.Fatalf("baseline speedup %v", s[0])
+	}
+	if s[2] < 6.5 || s[2] > 7.1 {
+		t.Fatalf("28-thread speedup %.2f, want ≈ 7 (28/4)", s[2])
+	}
+	// Hyperthreading adds less than linear (paper: scaling drops at 56).
+	if s[3] <= s[2] || s[3] > 10 {
+		t.Fatalf("56-thread speedup %.2f out of hyperthread range (>%0.2f, <10)", s[3], s[2])
+	}
+}
+
+func TestSequentialSectionLimitsScaling(t *testing.T) {
+	m := MachineA()
+	// 50% sequential: Amdahl caps speedup at 2 relative to infinite threads.
+	w := Workload{Phases: []Phase{{Tasks: uniformTasks(100, 1), Sequential: 100}}}
+	s1 := Simulate(m, w, 1)
+	s56 := Simulate(m, w, 56)
+	if s1/s56 > 2 {
+		t.Fatalf("speedup %.2f exceeds Amdahl bound 2", s1/s56)
+	}
+}
+
+func TestMaxParallelOne(t *testing.T) {
+	m := MachineA()
+	// Minigraph-cr: single-threaded regardless of thread count.
+	w := Workload{Phases: []Phase{{Tasks: uniformTasks(10, 5), MaxParallel: 1}}}
+	if Simulate(m, w, 1) != Simulate(m, w, 56) {
+		t.Fatal("MaxParallel=1 workload must not scale")
+	}
+}
+
+func TestMemoryBoundSaturates(t *testing.T) {
+	m := MachineA()
+	mem := Workload{Phases: []Phase{{Tasks: uniformTasks(10000, 1), MemFraction: 0.9}}}
+	cpu := Workload{Phases: []Phase{{Tasks: uniformTasks(10000, 1)}}}
+	sMem := Speedups(m, mem, []int{4, 28})
+	sCPU := Speedups(m, cpu, []int{4, 28})
+	if sMem[1] >= sCPU[1] {
+		t.Fatalf("memory-bound workload must scale worse: %.2f vs %.2f", sMem[1], sCPU[1])
+	}
+}
+
+func TestPipelinedEmissionPlateaus(t *testing.T) {
+	m := MachineA()
+	// seqwish-like: parallel chunk compute overlapped with sequential
+	// emission. Once compute is fast enough, emission dominates and more
+	// threads stop helping (§5.1).
+	chunks := 50
+	w := Workload{Phases: []Phase{{
+		Tasks:      uniformTasks(chunks, 8),
+		EmitChunks: uniformTasks(chunks, 2),
+	}}}
+	s := Speedups(m, w, []int{1, 4, 8, 16, 56})
+	// Scaling from 1→4 should be decent, 16→56 negligible.
+	if s[1] < 2 {
+		t.Fatalf("1→4 speedup %.2f too low", s[1])
+	}
+	if s[4]/s[3] > 1.15 {
+		t.Fatalf("16→56 should plateau, got %.2f → %.2f", s[3], s[4])
+	}
+}
+
+func TestBarriersAddPhases(t *testing.T) {
+	m := MachineA()
+	one := Workload{Phases: []Phase{{Tasks: uniformTasks(100, 1)}}}
+	two := Workload{Phases: []Phase{
+		{Tasks: uniformTasks(50, 1)},
+		{Tasks: uniformTasks(50, 1)},
+	}}
+	// Same total work split across barriers can never be faster.
+	for _, th := range []int{1, 7, 28} {
+		if Simulate(m, two, th) < Simulate(m, one, th)-1e-9 {
+			t.Fatalf("barriered workload faster at %d threads", th)
+		}
+	}
+}
+
+func TestStragglerBoundsMakespan(t *testing.T) {
+	m := MachineA()
+	rng := rand.New(rand.NewSource(1))
+	tasks := make([]float64, 100)
+	for i := range tasks {
+		tasks[i] = rng.Float64()
+	}
+	tasks[0] = 1000 // one giant task
+	w := Workload{Phases: []Phase{{Tasks: tasks}}}
+	if got := Simulate(m, w, 56); got < 1000 {
+		t.Fatalf("makespan %.1f below critical path 1000", got)
+	}
+}
+
+func TestCapacityModel(t *testing.T) {
+	m := MachineA()
+	if m.capacity(1) != 1 || m.capacity(28) != 28 {
+		t.Fatal("sub-core capacity must be linear")
+	}
+	if c := m.capacity(56); c <= 28 || c >= 56 {
+		t.Fatalf("hyperthread capacity %.1f out of (28,56)", c)
+	}
+	if m.capacity(100) != m.capacity(56) {
+		t.Fatal("capacity must clamp at hardware threads")
+	}
+	if m.capacity(0) != 1 {
+		t.Fatal("zero threads clamps to 1")
+	}
+}

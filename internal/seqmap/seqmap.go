@@ -1,0 +1,161 @@
+// Package seqmap is the Seq2Seq baseline mapper (the paper's BWA-MEM2
+// column of Table 1 and the SSW side of case study §6.1): minimizer
+// seeding on a linear reference, coordinate-based chaining, and striped
+// Smith-Waterman extension.
+package seqmap
+
+import (
+	"fmt"
+	"time"
+
+	"pangenomicsbench/internal/align"
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/chain"
+	"pangenomicsbench/internal/minimizer"
+	"pangenomicsbench/internal/perf"
+)
+
+// DefaultMatch is the match bonus of the mapper's scoring scheme, exported
+// for score sanity checks.
+const DefaultMatch = 1
+
+// StageTimes records wall time per mapping stage (Fig. 1 / Fig. 2
+// structure).
+type StageTimes struct {
+	Seed   time.Duration
+	Chain  time.Duration
+	Filter time.Duration
+	Align  time.Duration
+}
+
+// Total returns the summed stage time.
+func (s StageTimes) Total() time.Duration { return s.Seed + s.Chain + s.Filter + s.Align }
+
+// Add accumulates another read's stage times.
+func (s *StageTimes) Add(o StageTimes) {
+	s.Seed += o.Seed
+	s.Chain += o.Chain
+	s.Filter += o.Filter
+	s.Align += o.Align
+}
+
+// Mapping is one read's result.
+type Mapping struct {
+	Mapped   bool
+	RefStart int
+	RefEnd   int
+	Score    int
+}
+
+// Mapper maps reads against a linear reference.
+type Mapper struct {
+	ref []byte
+	idx *minimizer.SeqIndex
+	sc  bio.Scoring
+}
+
+// NewMapper indexes ref with (w,k)-minimizers.
+func NewMapper(ref []byte, k, w int) (*Mapper, error) {
+	if len(ref) < k {
+		return nil, fmt.Errorf("seqmap: reference shorter than k")
+	}
+	idx, err := minimizer.NewSeqIndex(ref, k, w)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapper{ref: ref, idx: idx, sc: bio.DefaultScoring}, nil
+}
+
+// SSWCapture collects the alignment-stage inputs (the §6.1 SSW traces).
+type SSWCapture struct {
+	Refs    [][]byte
+	Queries [][]byte
+}
+
+// Map maps one read and reports per-stage times. capture, when non-nil,
+// records the SSW inputs.
+func (m *Mapper) Map(read []byte, probe *perf.Probe, capture *SSWCapture) (Mapping, StageTimes) {
+	var st StageTimes
+
+	t0 := time.Now()
+	ms, err := minimizer.Compute(read, m.idx.K(), m.idx.W(), probe)
+	if err != nil {
+		return Mapping{}, st
+	}
+	var anchors []chain.Anchor
+	for _, mm := range ms {
+		for _, loc := range m.idx.Lookup(mm.Hash) {
+			anchors = append(anchors, chain.Anchor{QPos: mm.Pos, RPos: loc.Pos, Len: m.idx.K()})
+		}
+	}
+	st.Seed = time.Since(t0)
+	if len(anchors) == 0 {
+		return Mapping{}, st
+	}
+
+	t0 = time.Now()
+	chains := chain.Linear(anchors, 2*len(read), probe)
+	st.Chain = time.Since(t0)
+	if len(chains) == 0 {
+		return Mapping{}, st
+	}
+
+	t0 = time.Now()
+	chains = chain.Filter(chains, 0.5, 2)
+	st.Filter = time.Since(t0)
+
+	t0 = time.Now()
+	best := Mapping{}
+	for _, ch := range chains {
+		lo := ch.Anchors[0].RPos - ch.Anchors[0].QPos - 32
+		hi := ch.Anchors[len(ch.Anchors)-1].RPos + (len(read) - ch.Anchors[len(ch.Anchors)-1].QPos) + 32
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(m.ref) {
+			hi = len(m.ref)
+		}
+		window := m.ref[lo:hi]
+		if capture != nil {
+			// The §6.1 trace capture records every alignment-stage input,
+			// shortcut or not, so SSW and GSSW see the same reads.
+			capture.Refs = append(capture.Refs, window)
+			capture.Queries = append(capture.Queries, read)
+		}
+		// Gapless shortcut (as BWA-MEM takes for clean hits): score the
+		// read at the chain-implied diagonal; only fall back to full
+		// Smith-Waterman when the gapless hit is poor.
+		diag := ch.Anchors[0].RPos - ch.Anchors[0].QPos
+		if g, ok := m.gaplessScore(read, diag, probe); ok {
+			if g > best.Score {
+				best = Mapping{Mapped: true, RefStart: diag, RefEnd: diag + len(read), Score: g}
+			}
+			continue
+		}
+		r := align.StripedSW(window, read, m.sc, probe)
+		if r.Score > best.Score {
+			best = Mapping{Mapped: true, RefStart: lo, RefEnd: lo + r.RefEnd, Score: r.Score}
+		}
+	}
+	st.Align = time.Since(t0)
+	return best, st
+}
+
+// gaplessScore scores the read against the reference at a fixed diagonal;
+// ok is false when the hit has too many mismatches for the shortcut.
+func (m *Mapper) gaplessScore(read []byte, refStart int, probe *perf.Probe) (int, bool) {
+	if refStart < 0 || refStart+len(read) > len(m.ref) {
+		return 0, false
+	}
+	score, mism := 0, 0
+	for i, b := range read {
+		probe.Op(perf.ScalarInt, 2)
+		if m.ref[refStart+i] == b {
+			score += m.sc.Match
+		} else {
+			score -= m.sc.Mismatch
+			mism++
+		}
+	}
+	return score, mism <= len(read)/25
+}

@@ -1,0 +1,119 @@
+package seqmap
+
+import (
+	"testing"
+
+	"pangenomicsbench/internal/gensim"
+)
+
+func testPop(t testing.TB) *gensim.Population {
+	t.Helper()
+	cfg := gensim.DefaultConfig()
+	cfg.RefLen = 30_000
+	cfg.Haplotypes = 3
+	p, err := gensim.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMapperValidation(t *testing.T) {
+	if _, err := NewMapper([]byte("ACGT"), 15, 10); err == nil {
+		t.Fatal("reference shorter than k must be rejected")
+	}
+}
+
+func TestMapRecoversTruth(t *testing.T) {
+	p := testPop(t)
+	m, err := NewMapper(p.Ref, 15, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reads drawn from the reference haplotype map back near their origin.
+	reads, err := p.SimulateReads(gensim.ShortReadConfig(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, near := 0, 0
+	for _, r := range reads {
+		res, st := m.Map(r.Seq, nil, nil)
+		if st.Total() <= 0 {
+			t.Fatal("stage times missing")
+		}
+		if !res.Mapped {
+			continue
+		}
+		mapped++
+		// Haplotype coordinates differ from reference coordinates by at
+		// most the indel drift; accept a window.
+		d := res.RefStart - r.Pos
+		if d < 0 {
+			d = -d
+		}
+		if d < 2000 {
+			near++
+		}
+	}
+	if mapped < len(reads)*8/10 {
+		t.Fatalf("mapped only %d/%d", mapped, len(reads))
+	}
+	if near < mapped*8/10 {
+		t.Fatalf("only %d/%d mapped near truth", near, mapped)
+	}
+}
+
+func TestMapUnmappableRead(t *testing.T) {
+	p := testPop(t)
+	m, err := NewMapper(p.Ref, 15, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk := make([]byte, 150)
+	for i := range junk {
+		junk[i] = "TG"[i%2]
+	}
+	res, _ := m.Map(junk, nil, nil)
+	_ = res // must not crash; low-complexity reads may or may not map
+}
+
+func TestSSWCapture(t *testing.T) {
+	p := testPop(t)
+	m, err := NewMapper(p.Ref, 15, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := p.SimulateReads(gensim.ShortReadConfig(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cap SSWCapture
+	for _, r := range reads {
+		m.Map(r.Seq, nil, &cap)
+	}
+	if len(cap.Refs) == 0 || len(cap.Refs) != len(cap.Queries) {
+		t.Fatalf("capture sizes %d/%d", len(cap.Refs), len(cap.Queries))
+	}
+	for i := range cap.Refs {
+		if len(cap.Refs[i]) == 0 || len(cap.Queries[i]) == 0 {
+			t.Fatal("degenerate capture")
+		}
+	}
+}
+
+func TestGaplessShortcut(t *testing.T) {
+	p := testPop(t)
+	m, err := NewMapper(p.Ref, 15, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A perfect reference substring must map exactly via the shortcut.
+	read := p.Ref[5000:5150]
+	res, _ := m.Map(read, nil, nil)
+	if !res.Mapped || res.RefStart != 5000 {
+		t.Fatalf("perfect read mapped to %d, want 5000", res.RefStart)
+	}
+	if res.Score != 150*DefaultMatch {
+		t.Fatalf("perfect read score %d", res.Score)
+	}
+}

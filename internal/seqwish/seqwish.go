@@ -1,0 +1,291 @@
+// Package seqwish implements the transclosure (TC) kernel and graph
+// induction of the PGGB pipeline (the paper's [21]): given input sequences
+// and their pairwise alignments, the transclosure maps every set of
+// transitively-matched characters to one pangenome graph node, then the
+// induced graph is compacted and the input sequences are threaded through it
+// as paths. The kernel exercises the implicit interval tree, union-find,
+// the atomic bitvector and a large sort — the heterogeneous compute pattern
+// §5.2 credits for TC's high IPC.
+package seqwish
+
+import (
+	"fmt"
+
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/dsu"
+	"pangenomicsbench/internal/graph"
+	"pangenomicsbench/internal/iitree"
+	"pangenomicsbench/internal/perf"
+)
+
+// Builder accumulates input sequences and match intervals, then runs the
+// transclosure.
+type Builder struct {
+	seqs    [][]byte
+	names   []string
+	offsets []int64 // global offset of each sequence
+	total   int64
+
+	fwd *iitree.Tree // intervals of sequence A sides, payload → match id
+	rev *iitree.Tree // intervals of sequence B sides
+	// matches stores (aStart, bStart, len) in global coordinates.
+	matches []matchRec
+}
+
+type matchRec struct {
+	a, b int64
+	n    int64
+}
+
+// NewBuilder starts a builder over the named sequences.
+func NewBuilder(names []string, seqs [][]byte) (*Builder, error) {
+	if len(names) != len(seqs) || len(seqs) == 0 {
+		return nil, fmt.Errorf("seqwish: need equal non-empty name and sequence lists")
+	}
+	b := &Builder{seqs: seqs, names: names, fwd: iitree.New(), rev: iitree.New()}
+	for _, s := range seqs {
+		if len(s) == 0 {
+			return nil, fmt.Errorf("seqwish: empty input sequence")
+		}
+		b.offsets = append(b.offsets, b.total)
+		b.total += int64(len(s))
+	}
+	return b, nil
+}
+
+// Total returns the global character-space size.
+func (b *Builder) Total() int64 { return b.total }
+
+// Global converts (sequence index, position) to a global offset.
+func (b *Builder) Global(seq, pos int) int64 { return b.offsets[seq] + int64(pos) }
+
+// AddMatch records an exact match of length n between seqA[posA:] and
+// seqB[posB:]. Matches from an all-to-all aligner feed this (PAF-style).
+func (b *Builder) AddMatch(seqA, posA, seqB, posB, n int) error {
+	if seqA < 0 || seqA >= len(b.seqs) || seqB < 0 || seqB >= len(b.seqs) {
+		return fmt.Errorf("seqwish: match references unknown sequence (%d, %d)", seqA, seqB)
+	}
+	if posA < 0 || posB < 0 || posA+n > len(b.seqs[seqA]) || posB+n > len(b.seqs[seqB]) {
+		return fmt.Errorf("seqwish: match out of range")
+	}
+	if n <= 0 {
+		return fmt.Errorf("seqwish: empty match")
+	}
+	ga, gb := b.Global(seqA, posA), b.Global(seqB, posB)
+	id := int64(len(b.matches))
+	b.matches = append(b.matches, matchRec{ga, gb, int64(n)})
+	b.fwd.Add(ga, ga+int64(n), id)
+	b.rev.Add(gb, gb+int64(n), id)
+	return nil
+}
+
+// TC is the result of the transclosure: a dense node ID per global
+// character.
+type TC struct {
+	builder *Builder
+	nodeOf  []int32
+	nodes   int32
+}
+
+// NumClosures returns the number of transitive closure sets (pre-compaction
+// graph nodes).
+func (t *TC) NumClosures() int { return int(t.nodes) }
+
+// NodeOf returns the closure ID of a global character.
+func (t *TC) NodeOf(g int64) int32 { return t.nodeOf[g] }
+
+// Transclose runs the TC kernel: it sweeps the global character space; for
+// each unvisited character it collects the full transitive closure by
+// breadth-first expansion through interval-tree match lookups, marking
+// members in an atomic bitvector and assigning them one node ID.
+func (b *Builder) Transclose(probe *perf.Probe) *TC {
+	b.fwd.Build()
+	b.rev.Build()
+	tc := &TC{builder: b, nodeOf: make([]int32, b.total)}
+	seen := dsu.NewAtomicBitvector(int(b.total))
+	uf := dsu.New(int(b.total))
+	as := perf.NewAddrSpace()
+	nodeBase := as.Alloc(int(b.total) * 4)
+
+	queue := make([]int64, 0, 128)
+	for g := int64(0); g < b.total; g++ {
+		probe.Load(uintptr(nodeBase)+uintptr(g/8), 1)
+		if !seen.Set(int(g)) {
+			probe.TakeBranch(0xf0, false)
+			continue
+		}
+		probe.TakeBranch(0xf0, true)
+		node := tc.nodes
+		tc.nodes++
+		queue = queue[:0]
+		queue = append(queue, g)
+		tc.nodeOf[g] = node
+		probe.Store(uintptr(nodeBase)+uintptr(g*4), 4)
+		for len(queue) > 0 {
+			q := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			// Every match whose A side covers q links to a B-side char,
+			// and vice versa (the transitive property of Fig. 4f).
+			expand := func(from, to int64) {
+				partner := to + (q - from)
+				probe.Op(perf.ScalarInt, 3)
+				if seen.Set(int(partner)) {
+					probe.TakeBranch(0xf1, true)
+					uf.Union(int(q), int(partner))
+					tc.nodeOf[partner] = node
+					probe.Store(uintptr(nodeBase)+uintptr(partner*4), 4)
+					queue = append(queue, partner)
+				} else {
+					probe.TakeBranch(0xf1, false)
+				}
+			}
+			b.fwd.Overlap(q, q+1, probe, func(iv iitree.Interval) bool {
+				m := b.matches[iv.Data]
+				expand(m.a, m.b)
+				return true
+			})
+			b.rev.Overlap(q, q+1, probe, func(iv iitree.Interval) bool {
+				m := b.matches[iv.Data]
+				expand(m.b, m.a)
+				return true
+			})
+		}
+	}
+	return tc
+}
+
+// InduceGraph emits the pangenome graph: one node per closure, compacted so
+// runs of closures that always follow each other become single nodes, with
+// the input sequences embedded as paths.
+func (t *TC) InduceGraph() (*graph.Graph, error) {
+	b := t.builder
+	n := int(t.nodes)
+	// Per-closure representative base (all members match, so bases agree).
+	baseOf := make([]byte, n)
+	for g := int64(0); g < b.total; g++ {
+		seqIdx, pos := b.locate(g)
+		c := b.seqs[seqIdx][pos]
+		id := t.nodeOf[g]
+		if baseOf[id] == 0 {
+			baseOf[id] = c
+		} else if bio.Code(baseOf[id]) != bio.Code(c) {
+			return nil, fmt.Errorf("seqwish: closure %d mixes bases %q and %q (non-exact match input?)", id, baseOf[id], c)
+		}
+	}
+
+	// Successor/predecessor multiplicity per closure across all sequences.
+	const (
+		noneNode  = -1
+		multiNode = -2
+	)
+	succ := make([]int32, n)
+	pred := make([]int32, n)
+	for i := range succ {
+		succ[i], pred[i] = noneNode, noneNode
+	}
+	note := func(arr []int32, from, to int32) {
+		switch arr[from] {
+		case noneNode:
+			arr[from] = to
+		case to:
+		default:
+			arr[from] = multiNode
+		}
+	}
+	for si := range b.seqs {
+		prev := int32(noneNode)
+		for pos := range b.seqs[si] {
+			id := t.nodeOf[b.Global(si, pos)]
+			if prev != noneNode {
+				note(succ, prev, id)
+				note(pred, id, prev)
+			} else {
+				note(pred, id, multiNode) // sequence start breaks a chain
+			}
+			prev = id
+		}
+		if prev != noneNode {
+			note(succ, prev, multiNode) // sequence end breaks a chain
+		}
+	}
+
+	// Chain heads: closures that cannot be merged into their predecessor.
+	isHead := make([]bool, n)
+	for id := 0; id < n; id++ {
+		p := pred[id]
+		if p < 0 || succ[p] != int32(id) || p == int32(id) {
+			isHead[id] = true
+		}
+	}
+
+	// Build compacted nodes by walking chains from heads.
+	g := graph.New()
+	nodeID := make([]graph.NodeID, n)
+	offsetIn := make([]int, n) // base offset of the closure inside its node
+	for id := 0; id < n; id++ {
+		if !isHead[id] {
+			continue
+		}
+		var seq []byte
+		cur := int32(id)
+		for {
+			nodeIdx := len(seq)
+			seq = append(seq, baseOf[cur])
+			offsetIn[cur] = nodeIdx
+			nxt := succ[cur]
+			if nxt < 0 || isHead[nxt] || nxt == cur {
+				break
+			}
+			cur = nxt
+		}
+		gid := g.AddNode(seq)
+		// Mark membership.
+		cur = int32(id)
+		for {
+			nodeID[cur] = gid
+			nxt := succ[cur]
+			if nxt < 0 || isHead[nxt] || nxt == cur {
+				break
+			}
+			cur = nxt
+		}
+	}
+
+	// Edges and paths from the sequences.
+	for si := range b.seqs {
+		var walk []graph.NodeID
+		var prevNode graph.NodeID
+		for pos := range b.seqs[si] {
+			id := t.nodeOf[b.Global(si, pos)]
+			nd := nodeID[id]
+			// A sequence always enters a compacted node at its head closure
+			// (compaction merges a closure only when every occurrence is
+			// preceded by the same unique closure).
+			if offsetIn[id] == 0 {
+				if prevNode != 0 {
+					g.AddEdge(prevNode, nd)
+				}
+				walk = append(walk, nd)
+			}
+			prevNode = nd
+		}
+		if err := g.AddPath(b.names[si], walk); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// locate converts a global offset back to (sequence index, position).
+func (b *Builder) locate(g int64) (int, int) {
+	lo, hi := 0, len(b.offsets)
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if b.offsets[mid] <= g {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, int(g - b.offsets[lo])
+}

@@ -1,0 +1,262 @@
+package seqwish
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := NewBuilder(nil, nil); err == nil {
+		t.Fatal("empty input must be rejected")
+	}
+	if _, err := NewBuilder([]string{"a"}, [][]byte{nil}); err == nil {
+		t.Fatal("empty sequence must be rejected")
+	}
+	b, err := NewBuilder([]string{"a", "b"}, [][]byte{[]byte("ACGT"), []byte("ACGT")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddMatch(0, 0, 5, 0, 2); err == nil {
+		t.Fatal("unknown sequence must be rejected")
+	}
+	if err := b.AddMatch(0, 3, 1, 0, 2); err == nil {
+		t.Fatal("out-of-range match must be rejected")
+	}
+	if err := b.AddMatch(0, 0, 1, 0, 0); err == nil {
+		t.Fatal("empty match must be rejected")
+	}
+}
+
+func TestTranscloseIdenticalSequences(t *testing.T) {
+	// Two identical sequences fully matched: every column is one closure.
+	seq := []byte("ACGTACGT")
+	b, err := NewBuilder([]string{"s0", "s1"}, [][]byte{seq, seq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddMatch(0, 0, 1, 0, len(seq)); err != nil {
+		t.Fatal(err)
+	}
+	tc := b.Transclose(nil)
+	if tc.NumClosures() != len(seq) {
+		t.Fatalf("closures = %d, want %d", tc.NumClosures(), len(seq))
+	}
+	g, err := tc.InduceGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fully matched identical sequences compact to a single node.
+	if g.NumNodes() != 1 {
+		t.Fatalf("nodes = %d, want 1", g.NumNodes())
+	}
+	for i, p := range g.Paths() {
+		if got := string(g.PathSeq(p)); got != string(seq) {
+			t.Fatalf("path %d sequence %q != input %q", i, got, seq)
+		}
+	}
+}
+
+func TestTranscloseSNPBubble(t *testing.T) {
+	// Two sequences differing at one base: matched flanks, a bubble at the
+	// SNP.
+	s0 := []byte("AAAACGGGG")
+	s1 := []byte("AAAATGGGG")
+	b, err := NewBuilder([]string{"s0", "s1"}, [][]byte{s0, s1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddMatch(0, 0, 1, 0, 4); err != nil { // left flank
+		t.Fatal(err)
+	}
+	if err := b.AddMatch(0, 5, 1, 5, 4); err != nil { // right flank
+		t.Fatal(err)
+	}
+	tc := b.Transclose(nil)
+	// 4 matched + 4 matched + 2 SNP alleles = 10 closures.
+	if tc.NumClosures() != 10 {
+		t.Fatalf("closures = %d, want 10", tc.NumClosures())
+	}
+	g, err := tc.InduceGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left flank, two SNP nodes, right flank.
+	if g.NumNodes() != 4 {
+		t.Fatalf("nodes = %d, want 4 (bubble)", g.NumNodes())
+	}
+	stats := g.ComputeStats()
+	if stats.TotalBases != 10 {
+		t.Fatalf("total bases = %d, want 10", stats.TotalBases)
+	}
+	for i, p := range g.Paths() {
+		want := [][]byte{s0, s1}[i]
+		if got := string(g.PathSeq(p)); got != string(want) {
+			t.Fatalf("path %d sequence %q != input %q", i, got, want)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranscloseTransitivity(t *testing.T) {
+	// Paper Fig. 4f: M0 matches S0↔S1, M1 matches S1↔S2; S2's character
+	// must join the closure of S0's even without a direct match.
+	b, err := NewBuilder([]string{"s0", "s1", "s2"},
+		[][]byte{[]byte("AC"), []byte("AC"), []byte("AC")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddMatch(0, 0, 1, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddMatch(1, 0, 2, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	tc := b.Transclose(nil)
+	if tc.NumClosures() != 2 {
+		t.Fatalf("closures = %d, want 2", tc.NumClosures())
+	}
+	if tc.NodeOf(b.Global(0, 0)) != tc.NodeOf(b.Global(2, 0)) {
+		t.Fatal("transitive closure did not propagate S0→S2")
+	}
+}
+
+func TestTranscloseNoMatches(t *testing.T) {
+	b, err := NewBuilder([]string{"s0", "s1"}, [][]byte{[]byte("ACG"), []byte("TTT")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := b.Transclose(nil)
+	if tc.NumClosures() != 6 {
+		t.Fatalf("closures = %d, want 6 (no sharing)", tc.NumClosures())
+	}
+	g, err := tc.InduceGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 {
+		t.Fatalf("nodes = %d, want 2 (one per sequence)", g.NumNodes())
+	}
+}
+
+func TestInduceGraphRejectsMixedBases(t *testing.T) {
+	// A "match" between different bases is invalid input and must be
+	// detected during induction.
+	b, err := NewBuilder([]string{"s0", "s1"}, [][]byte{[]byte("A"), []byte("C")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddMatch(0, 0, 1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	tc := b.Transclose(nil)
+	if _, err := tc.InduceGraph(); err == nil {
+		t.Fatal("mixed-base closure must be rejected")
+	}
+}
+
+// naiveClosures computes closures by brute-force union over all match pairs.
+func naiveClosures(total int64, matches []matchRec) int {
+	parent := make([]int, total)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, m := range matches {
+		for i := int64(0); i < m.n; i++ {
+			a, b := find(int(m.a+i)), find(int(m.b+i))
+			if a != b {
+				parent[a] = b
+			}
+		}
+	}
+	roots := map[int]bool{}
+	for i := range parent {
+		roots[find(i)] = true
+	}
+	return len(roots)
+}
+
+func TestTranscloseMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nSeq := 2 + rng.Intn(3)
+		names := make([]string, nSeq)
+		seqs := make([][]byte, nSeq)
+		base := make([]byte, 10+rng.Intn(20))
+		for i := range base {
+			base[i] = "ACGT"[rng.Intn(4)]
+		}
+		for i := range seqs {
+			names[i] = string(rune('a' + i))
+			seqs[i] = base // identical so any aligned positions agree
+		}
+		b, err := NewBuilder(names, seqs)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 4; k++ {
+			sa, sb := rng.Intn(nSeq), rng.Intn(nSeq)
+			n := 1 + rng.Intn(5)
+			pa := rng.Intn(len(base) - n + 1)
+			// Same offset in both so the bases agree (identical seqs).
+			if err := b.AddMatch(sa, pa, sb, pa, n); err != nil {
+				return false
+			}
+		}
+		tc := b.Transclose(nil)
+		return tc.NumClosures() == naiveClosures(b.Total(), b.matches)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathRoundTripRandom(t *testing.T) {
+	// The key induction invariant: every input sequence must be exactly
+	// recoverable from its embedded path.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		base := make([]byte, 30+rng.Intn(50))
+		for i := range base {
+			base[i] = "ACGT"[rng.Intn(4)]
+		}
+		// Three "haplotypes": identical to base (matches are exact, so we
+		// simulate variation by matching only sub-ranges).
+		names := []string{"h0", "h1", "h2"}
+		seqs := [][]byte{base, base, base}
+		b, err := NewBuilder(names, seqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 6; k++ {
+			n := 1 + rng.Intn(10)
+			p := rng.Intn(len(base) - n + 1)
+			sa, sb := rng.Intn(3), rng.Intn(3)
+			if err := b.AddMatch(sa, p, sb, p, n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g, err := b.Transclose(nil).InduceGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range g.Paths() {
+			if got := string(g.PathSeq(p)); got != string(seqs[i]) {
+				t.Fatalf("trial %d: path %d round trip failed", trial, i)
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

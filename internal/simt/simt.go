@@ -1,0 +1,333 @@
+// Package simt is a SIMT GPU simulator standing in for the paper's RTX
+// A6000 + NVIDIA Nsight Compute (see DESIGN.md §1). GPU kernels (TSU,
+// PGSGD-GPU) are written as per-block functions that drive 32-lane warps
+// through explicit execute and memory operations with active-lane masks.
+// The simulator derives the Table 7 metrics from the execution trace:
+// theoretical and achieved occupancy (register/block limits plus block
+// scheduling imbalance), warp execution utilization (active lanes per
+// issued warp instruction), memory-coalescing transactions, DRAM bandwidth
+// utilization, and kernel time from a per-SM timeline.
+package simt
+
+import "fmt"
+
+// WarpSize is the number of lanes per warp.
+const WarpSize = 32
+
+// FullMask activates all 32 lanes.
+const FullMask uint32 = 0xffffffff
+
+// Device describes the modeled GPU.
+type Device struct {
+	Name            string
+	SMs             int
+	MaxThreadsPerSM int
+	MaxWarpsPerSM   int
+	MaxBlocksPerSM  int
+	RegistersPerSM  int
+	ClockGHz        float64
+	MemBWGBs        float64
+	// MemLatency is the DRAM round-trip in cycles, hidden by resident
+	// warps.
+	MemLatency int
+}
+
+// A6000 returns the RTX A6000 configuration from Table 5.
+func A6000() Device {
+	return Device{
+		Name:            "RTX A6000",
+		SMs:             84,
+		MaxThreadsPerSM: 1536,
+		MaxWarpsPerSM:   48,
+		MaxBlocksPerSM:  16,
+		RegistersPerSM:  65536,
+		ClockGHz:        1.8,
+		MemBWGBs:        768,
+		MemLatency:      400,
+	}
+}
+
+// KernelSpec declares a kernel launch.
+type KernelSpec struct {
+	Name            string
+	Blocks          int
+	ThreadsPerBlock int
+	RegsPerThread   int
+}
+
+// BlockFn runs one block's work against the simulator.
+type BlockFn func(b *Block)
+
+// Block is the per-block execution context handed to a BlockFn.
+type Block struct {
+	ID    int
+	spec  KernelSpec
+	dev   *Device
+	warps []warpState
+	// resident warps per SM, filled in before execution (for latency
+	// hiding).
+	residentWarps int
+}
+
+type warpState struct {
+	cycles    float64
+	instr     uint64
+	activeSum uint64
+	dramBytes uint64 // useful bytes delivered
+	busBytes  uint64 // bus time consumed, in byte-equivalents
+	memStalls float64
+}
+
+// NumWarps returns the number of warps in the block.
+func (b *Block) NumWarps() int { return len(b.warps) }
+
+// Warp returns warp i's handle.
+func (b *Block) Warp(i int) *Warp {
+	if i < 0 || i >= len(b.warps) {
+		panic(fmt.Sprintf("simt: warp %d out of range [0,%d)", i, len(b.warps)))
+	}
+	return &Warp{block: b, idx: i}
+}
+
+// Warp issues instructions for one warp of the block.
+type Warp struct {
+	block *Block
+	idx   int
+}
+
+func popcount32(x uint32) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Exec issues cost warp instructions with the given active-lane mask.
+// Inactive lanes still occupy issue slots — that is the divergence penalty.
+func (w *Warp) Exec(active uint32, cost int) {
+	if active == 0 || cost <= 0 {
+		return
+	}
+	ws := &w.block.warps[w.idx]
+	ws.cycles += float64(cost)
+	ws.instr += uint64(cost)
+	ws.activeSum += uint64(cost) * uint64(popcount32(active))
+}
+
+// Mem issues one memory instruction: each active lane accesses size bytes at
+// addrs[lane]. The coalescer merges lane accesses into 32-byte sectors; each
+// distinct sector is one transaction. Uncoalesced access patterns therefore
+// cost up to 32 transactions per instruction (§5.3's PGSGD observation).
+func (w *Warp) Mem(active uint32, addrs *[WarpSize]uint64, size int) {
+	if active == 0 {
+		return
+	}
+	if size < 1 {
+		size = 1
+	}
+	ws := &w.block.warps[w.idx]
+	// Distinct 32-byte sectors across active lanes.
+	var sectors []uint64
+	for l := 0; l < WarpSize; l++ {
+		if active&(1<<uint(l)) == 0 {
+			continue
+		}
+		first := addrs[l] >> 5
+		last := (addrs[l] + uint64(size) - 1) >> 5
+		for s := first; s <= last; s++ {
+			found := false
+			for _, e := range sectors {
+				if e == s {
+					found = true
+					break
+				}
+			}
+			if !found {
+				sectors = append(sectors, s)
+			}
+		}
+	}
+	ws.instr++
+	act := popcount32(active)
+	ws.activeSum += uint64(act)
+	ws.dramBytes += uint64(len(sectors)) * 32
+	// Bus occupancy: scattered sectors (one lane per sector) pay DRAM
+	// row-activation overhead, so each consumes more bus time than the 32
+	// useful bytes it delivers — the reason uncoalesced kernels saturate
+	// the memory system at well under peak useful bandwidth (§5.3).
+	if len(sectors) >= act && act > 4 {
+		ws.busBytes += uint64(len(sectors)) * 76
+	} else {
+		ws.busBytes += uint64(len(sectors)) * 32
+	}
+	// Issue cost: one cycle per transaction; base latency partially hidden
+	// by the other resident warps, but uncoalesced accesses serialize —
+	// the warp cannot issue again until every lane's transaction returns
+	// (§5.3: "forcing sequential memory operations to different regions
+	// for each thread").
+	ws.cycles += float64(len(sectors))
+	hide := float64(w.block.residentWarps)
+	if hide < 1 {
+		hide = 1
+	}
+	ws.memStalls += float64(w.block.dev.MemLatency)/hide + float64(len(sectors)-1)*40
+}
+
+// MemDep issues a memory instruction on a loop-carried dependence: the
+// warp's next step needs the loaded value, so — unlike Mem — occupancy
+// cannot hide the latency from this warp's own critical path. Half the
+// DRAM latency is charged to the warp (the other half overlaps with the
+// transaction issue and L2 hits). This is the access mode of TSU's
+// wavefront loop and the mechanism behind its long-read slowdown (§5.3).
+func (w *Warp) MemDep(active uint32, addrs *[WarpSize]uint64, size int) {
+	w.Mem(active, addrs, size)
+	if active == 0 {
+		return
+	}
+	ws := &w.block.warps[w.idx]
+	ws.memStalls += float64(w.block.dev.MemLatency) / 2
+}
+
+// Metrics are the Table 7 / Fig. 9 quantities.
+type Metrics struct {
+	Kernel               string
+	TheoreticalOccupancy float64
+	AchievedOccupancy    float64
+	WarpUtilization      float64
+	MemBWUtilization     float64
+	TimeMS               float64
+	Cycles               float64
+	WarpInstructions     uint64
+	DRAMBytes            uint64
+	IssueIntervalCycles  float64 // average cycles between issues per scheduler
+	ResidentBlocksPerSM  int
+}
+
+// ResidentBlocks computes how many blocks of the spec fit on one SM.
+func ResidentBlocks(dev Device, spec KernelSpec) int {
+	if spec.ThreadsPerBlock < 1 {
+		return 0
+	}
+	byThreads := dev.MaxThreadsPerSM / spec.ThreadsPerBlock
+	byBlocks := dev.MaxBlocksPerSM
+	byRegs := byThreads
+	if spec.RegsPerThread > 0 {
+		byRegs = dev.RegistersPerSM / (spec.RegsPerThread * spec.ThreadsPerBlock)
+	}
+	warpsPerBlock := (spec.ThreadsPerBlock + WarpSize - 1) / WarpSize
+	byWarps := dev.MaxWarpsPerSM / warpsPerBlock
+	r := byThreads
+	for _, v := range []int{byBlocks, byRegs, byWarps} {
+		if v < r {
+			r = v
+		}
+	}
+	return r
+}
+
+// Run executes the kernel deterministically and reduces the trace to
+// metrics.
+func Run(dev Device, spec KernelSpec, fn BlockFn) (Metrics, error) {
+	if spec.Blocks < 1 || spec.ThreadsPerBlock < 1 {
+		return Metrics{}, fmt.Errorf("simt: invalid launch %+v", spec)
+	}
+	resident := ResidentBlocks(dev, spec)
+	if resident < 1 {
+		return Metrics{}, fmt.Errorf("simt: kernel %q does not fit on an SM (%d regs × %d threads)",
+			spec.Name, spec.RegsPerThread, spec.ThreadsPerBlock)
+	}
+	warpsPerBlock := (spec.ThreadsPerBlock + WarpSize - 1) / WarpSize
+
+	// Execute every block, collecting per-block duration and totals.
+	blockCycles := make([]float64, spec.Blocks)
+	var totInstr, totActive, totDRAM, totBus uint64
+	var totWarpBusy float64
+	for bid := 0; bid < spec.Blocks; bid++ {
+		blk := &Block{ID: bid, spec: spec, dev: &dev,
+			warps:         make([]warpState, warpsPerBlock),
+			residentWarps: resident * warpsPerBlock,
+		}
+		fn(blk)
+		var dur float64
+		for i := range blk.warps {
+			w := &blk.warps[i]
+			c := w.cycles + w.memStalls
+			if c > dur {
+				dur = c
+			}
+			totInstr += w.instr
+			totActive += w.activeSum
+			totDRAM += w.dramBytes
+			totBus += w.busBytes
+			totWarpBusy += c
+		}
+		if dur == 0 {
+			dur = 1
+		}
+		blockCycles[bid] = dur
+	}
+
+	// Schedule blocks onto SM slots: dev.SMs × resident concurrent slots,
+	// greedy earliest-free assignment (matches hardware wave scheduling).
+	slots := make([]float64, dev.SMs*resident)
+	var makespan float64
+	var warpResidency float64 // Σ over blocks of duration × warpsPerBlock
+	for _, dur := range blockCycles {
+		mi := 0
+		for i := 1; i < len(slots); i++ {
+			if slots[i] < slots[mi] {
+				mi = i
+			}
+		}
+		slots[mi] += dur
+		if slots[mi] > makespan {
+			makespan = slots[mi]
+		}
+		warpResidency += dur * float64(warpsPerBlock)
+	}
+	if makespan == 0 {
+		makespan = 1
+	}
+	// DRAM bandwidth bound: the kernel can finish no faster than the
+	// memory system can deliver its traffic. Blocks stay resident while
+	// they wait, so warp residency stretches with the makespan.
+	bytesPerCycle := dev.MemBWGBs / dev.ClockGHz
+	if bwCycles := float64(totBus) / bytesPerCycle; bwCycles > makespan {
+		warpResidency *= bwCycles / makespan
+		makespan = bwCycles
+	}
+
+	m := Metrics{
+		Kernel:              spec.Name,
+		ResidentBlocksPerSM: resident,
+		Cycles:              makespan,
+		WarpInstructions:    totInstr,
+		DRAMBytes:           totDRAM,
+	}
+	m.TheoreticalOccupancy = float64(resident*warpsPerBlock) / float64(dev.MaxWarpsPerSM)
+	m.AchievedOccupancy = warpResidency / (makespan * float64(dev.SMs) * float64(dev.MaxWarpsPerSM))
+	if m.AchievedOccupancy > m.TheoreticalOccupancy {
+		m.AchievedOccupancy = m.TheoreticalOccupancy
+	}
+	if totInstr > 0 {
+		m.WarpUtilization = float64(totActive) / (float64(totInstr) * WarpSize)
+	}
+	seconds := makespan / (dev.ClockGHz * 1e9)
+	m.TimeMS = seconds * 1e3
+	if seconds > 0 {
+		m.MemBWUtilization = float64(totDRAM) / seconds / (dev.MemBWGBs * 1e9)
+		if m.MemBWUtilization > 1 {
+			m.MemBWUtilization = 1
+		}
+	}
+	// Schedulers issue one instruction per cycle when warps are ready; the
+	// average issue interval reflects stall exposure.
+	const schedulersPerSM = 4
+	activeSMCycles := makespan * float64(dev.SMs) * schedulersPerSM
+	if totInstr > 0 {
+		m.IssueIntervalCycles = activeSMCycles / float64(totInstr)
+	}
+	return m, nil
+}

@@ -1,0 +1,141 @@
+package simt
+
+import "testing"
+
+func TestResidentBlocks(t *testing.T) {
+	dev := A6000()
+	// PGSGD configuration (§5.3): 1024 threads × 44 regs → 1 block/SM.
+	if got := ResidentBlocks(dev, KernelSpec{ThreadsPerBlock: 1024, RegsPerThread: 44}); got != 1 {
+		t.Fatalf("1024×44 resident blocks = %d, want 1", got)
+	}
+	// Tuned 256-thread variant → 5 blocks/SM (83.3% theoretical).
+	if got := ResidentBlocks(dev, KernelSpec{ThreadsPerBlock: 256, RegsPerThread: 44}); got != 5 {
+		t.Fatalf("256×44 resident blocks = %d, want 5", got)
+	}
+	// TSU: 32-thread blocks capped by the 16-block limit.
+	if got := ResidentBlocks(dev, KernelSpec{ThreadsPerBlock: 32, RegsPerThread: 40}); got != 16 {
+		t.Fatalf("32×40 resident blocks = %d, want 16", got)
+	}
+}
+
+func TestOccupancyMatchesPaper(t *testing.T) {
+	dev := A6000()
+	// TSU theoretical occupancy: 16 warps of 48 ≈ 33% (paper: 32.97%).
+	m, err := Run(dev, KernelSpec{Name: "t", Blocks: 200, ThreadsPerBlock: 32, RegsPerThread: 40},
+		func(b *Block) { b.Warp(0).Exec(FullMask, 100) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TheoreticalOccupancy < 0.33 || m.TheoreticalOccupancy > 0.34 {
+		t.Fatalf("TSU theoretical occupancy %.3f, want ≈ 0.333", m.TheoreticalOccupancy)
+	}
+	// PGSGD default: 32 warps of 48 = 66.7% theoretical.
+	m2, err := Run(dev, KernelSpec{Name: "p", Blocks: 200, ThreadsPerBlock: 1024, RegsPerThread: 44},
+		func(b *Block) {
+			for w := 0; w < b.NumWarps(); w++ {
+				b.Warp(w).Exec(FullMask, 50)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.TheoreticalOccupancy < 0.66 || m2.TheoreticalOccupancy > 0.67 {
+		t.Fatalf("PGSGD theoretical occupancy %.3f, want ≈ 0.667", m2.TheoreticalOccupancy)
+	}
+	if m2.AchievedOccupancy > m2.TheoreticalOccupancy {
+		t.Fatal("achieved occupancy cannot exceed theoretical")
+	}
+}
+
+func TestWarpUtilization(t *testing.T) {
+	dev := A6000()
+	// Full-mask execution: 100% utilization.
+	m, err := Run(dev, KernelSpec{Name: "full", Blocks: 10, ThreadsPerBlock: 32, RegsPerThread: 32},
+		func(b *Block) { b.Warp(0).Exec(FullMask, 10) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WarpUtilization < 0.999 {
+		t.Fatalf("full-mask utilization %.3f", m.WarpUtilization)
+	}
+	// Single-lane execution: 1/32.
+	m2, _ := Run(dev, KernelSpec{Name: "one", Blocks: 10, ThreadsPerBlock: 32, RegsPerThread: 32},
+		func(b *Block) { b.Warp(0).Exec(1, 10) })
+	if m2.WarpUtilization < 0.03 || m2.WarpUtilization > 0.04 {
+		t.Fatalf("single-lane utilization %.3f, want 1/32", m2.WarpUtilization)
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	dev := A6000()
+	// Coalesced: 32 lanes × 4 bytes consecutive = 4 sectors = 128 bytes.
+	coalesced, _ := Run(dev, KernelSpec{Name: "c", Blocks: 1, ThreadsPerBlock: 32, RegsPerThread: 32},
+		func(b *Block) {
+			var addrs [WarpSize]uint64
+			for l := range addrs {
+				addrs[l] = uint64(l * 4)
+			}
+			b.Warp(0).Mem(FullMask, &addrs, 4)
+		})
+	if coalesced.DRAMBytes != 128 {
+		t.Fatalf("coalesced DRAM bytes = %d, want 128", coalesced.DRAMBytes)
+	}
+	// Scattered: 32 lanes far apart = 32 sectors = 1024 bytes.
+	scattered, _ := Run(dev, KernelSpec{Name: "s", Blocks: 1, ThreadsPerBlock: 32, RegsPerThread: 32},
+		func(b *Block) {
+			var addrs [WarpSize]uint64
+			for l := range addrs {
+				addrs[l] = uint64(l * 4096)
+			}
+			b.Warp(0).Mem(FullMask, &addrs, 4)
+		})
+	if scattered.DRAMBytes != 1024 {
+		t.Fatalf("scattered DRAM bytes = %d, want 1024", scattered.DRAMBytes)
+	}
+	if scattered.Cycles <= coalesced.Cycles {
+		t.Fatal("scattered access must cost more cycles")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	dev := A6000()
+	if _, err := Run(dev, KernelSpec{Blocks: 0, ThreadsPerBlock: 32}, func(*Block) {}); err == nil {
+		t.Fatal("zero blocks must be rejected")
+	}
+	// A kernel too fat to fit on an SM.
+	if _, err := Run(dev, KernelSpec{Blocks: 1, ThreadsPerBlock: 1536, RegsPerThread: 64},
+		func(*Block) {}); err == nil {
+		t.Fatal("oversized kernel must be rejected")
+	}
+}
+
+func TestWarpPanicsOutOfRange(t *testing.T) {
+	dev := A6000()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_, _ = Run(dev, KernelSpec{Name: "x", Blocks: 1, ThreadsPerBlock: 32, RegsPerThread: 32},
+		func(b *Block) { b.Warp(5) })
+}
+
+func TestImbalanceLowersAchievedOccupancy(t *testing.T) {
+	dev := A6000()
+	// Blocks with wildly different durations: achieved < theoretical.
+	m, err := Run(dev, KernelSpec{Name: "i", Blocks: 400, ThreadsPerBlock: 32, RegsPerThread: 32},
+		func(b *Block) {
+			cost := 10
+			if b.ID == 0 {
+				cost = 100000 // one straggler
+			}
+			b.Warp(0).Exec(FullMask, cost)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AchievedOccupancy >= m.TheoreticalOccupancy*0.9 {
+		t.Fatalf("straggler should depress achieved occupancy: %.3f vs %.3f",
+			m.AchievedOccupancy, m.TheoreticalOccupancy)
+	}
+}

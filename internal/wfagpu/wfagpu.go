@@ -1,0 +1,210 @@
+// Package wfagpu implements TSU (Tsunami, the paper's [19]): a GPU
+// wavefront-algorithm aligner run on the simt simulator. One 32-thread
+// block is allocated per alignment. In the Next step each diagonal is
+// assigned to a thread; in the Extend step the whole warp speculatively
+// processes 32 cells of one diagonal at a time, so diagonals with few
+// matches waste lanes — the control divergence that §5.3 identifies as
+// TSU's bottleneck ("74% of diagonals use only a single thread" at 10 kb).
+package wfagpu
+
+import (
+	"fmt"
+
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/simt"
+)
+
+// RegsPerThread is TSU's modeled register footprint. With 32-thread blocks
+// the block-per-SM cap (not registers) limits occupancy to 16/48 ≈ 33%.
+const RegsPerThread = 40
+
+// Pair is one alignment problem.
+type Pair struct {
+	A, B []byte
+}
+
+// Stats reports a TSU run.
+type Stats struct {
+	Metrics simt.Metrics
+	// Distances holds the edit distance of each pair, so correctness is
+	// checkable against the CPU WFA.
+	Distances []int
+	// SingleLaneFrac is the fraction of extend operations that used only
+	// one useful lane of the warp (§5.3's divergence measure).
+	SingleLaneFrac float64
+	TotalExtends   uint64
+}
+
+// Align aligns all pairs on the device, one block per pair.
+func Align(dev simt.Device, pairs []Pair) (Stats, error) {
+	if len(pairs) == 0 {
+		return Stats{}, fmt.Errorf("wfagpu: no pairs")
+	}
+	st := Stats{Distances: make([]int, len(pairs))}
+	var singleLane, totalExtends uint64
+
+	spec := simt.KernelSpec{
+		Name:            "tsunami",
+		Blocks:          len(pairs),
+		ThreadsPerBlock: simt.WarpSize,
+		RegsPerThread:   RegsPerThread,
+	}
+	run := func(blk *simt.Block) {
+		p := pairs[blk.ID]
+		warp := blk.Warp(0)
+		d, sl, te := alignOne(warp, p.A, p.B)
+		st.Distances[blk.ID] = d
+		singleLane += sl
+		totalExtends += te
+	}
+	m, err := simt.Run(dev, spec, run)
+	if err != nil {
+		return Stats{}, err
+	}
+	st.Metrics = m
+	st.TotalExtends = totalExtends
+	if totalExtends > 0 {
+		st.SingleLaneFrac = float64(singleLane) / float64(totalExtends)
+	}
+	return st, nil
+}
+
+// alignOne runs the WFA loop for one pair, issuing warp operations that
+// mirror TSU's execution.
+func alignOne(warp *simt.Warp, a, b []byte) (dist int, singleLane, totalExtends uint64) {
+	n, m := len(a), len(b)
+	if n == 0 {
+		return m, 0, 0
+	}
+	if m == 0 {
+		return n, 0, 0
+	}
+	ca, cb := bio.Encode2Bit(a), bio.Encode2Bit(b)
+	goalK := n - m
+	biasK := m
+	cur := make([]int, n+m+1)
+	next := make([]int, n+m+1)
+	for i := range cur {
+		cur[i] = -1
+	}
+	lo, hi := 0, 0
+	cur[biasK] = 0
+
+	seqBase := uint64(1 << 22)
+	wfBase := uint64(1 << 24)
+
+	extend := func(k int) {
+		i := cur[k+biasK]
+		j := i - k
+		matched := 0
+		for i < n && j < m && ca[i] == cb[j] {
+			i++
+			j++
+			matched++
+		}
+		cur[k+biasK] = i
+		// Warp execution: 32 lanes speculate 32 cells per round; the last
+		// round's useful lanes are matched%32 + 1 (the mismatch detector).
+		totalExtends++
+		if matched == 0 {
+			singleLane++
+		}
+		rounds := matched/simt.WarpSize + 1
+		for r := 0; r < rounds; r++ {
+			base := r * simt.WarpSize
+			useful := matched - base
+			if useful > simt.WarpSize {
+				useful = simt.WarpSize
+			} else {
+				useful++ // the lane that discovers the mismatch / boundary
+				if useful > simt.WarpSize {
+					useful = simt.WarpSize
+				}
+			}
+			mask := maskOf(useful)
+			// Coalesced reads of both sequences.
+			var addrsA, addrsB [simt.WarpSize]uint64
+			for l := 0; l < simt.WarpSize; l++ {
+				addrsA[l] = seqBase + uint64(i-matched+base+l)
+				addrsB[l] = seqBase + (1 << 20) + uint64(j-matched+base+l)
+			}
+			warp.MemDep(simt.FullMask, &addrsA, 1) // speculative full-warp loads
+			warp.MemDep(simt.FullMask, &addrsB, 1)
+			warp.Exec(mask, 3)          // per-lane compare
+			warp.Exec(simt.FullMask, 6) // ballot, first-set scan, sync
+		}
+	}
+
+	for s := 0; ; s++ {
+		for k := lo; k <= hi; k++ {
+			if cur[k+biasK] >= 0 {
+				extend(k)
+			}
+		}
+		if goalK >= lo && goalK <= hi && cur[goalK+biasK] >= n {
+			return s, singleLane, totalExtends
+		}
+		// Next step: one diagonal per thread, chunked by warp width.
+		nlo, nhi := lo-1, hi+1
+		if nlo < -m {
+			nlo = -m
+		}
+		if nhi > n {
+			nhi = n
+		}
+		numDiag := nhi - nlo + 1
+		for base := 0; base < numDiag; base += simt.WarpSize {
+			active := numDiag - base
+			if active > simt.WarpSize {
+				active = simt.WarpSize
+			}
+			var addrs [simt.WarpSize]uint64
+			for l := 0; l < active; l++ {
+				addrs[l] = wfBase + uint64((nlo+base+l+biasK)*4)
+			}
+			warp.MemDep(maskOf(active), &addrs, 4) // coalesced wavefront read
+			warp.Exec(maskOf(active), 6)           // three-way max + clamp
+			warp.Exec(simt.FullMask, 4)            // bounds broadcast + sync
+			// Write back the three wavefront families (M/I/D) to global
+			// memory.
+			var wAddrs [simt.WarpSize]uint64
+			for f := 0; f < 3; f++ {
+				for l := 0; l < active; l++ {
+					wAddrs[l] = wfBase + uint64(f)<<18 + uint64((nlo+base+l+biasK)*4)
+				}
+				warp.Mem(maskOf(active), &wAddrs, 4)
+			}
+		}
+		for k := nlo; k <= nhi; k++ {
+			best := -1
+			if k-1 >= lo && k-1 <= hi && cur[k-1+biasK] >= 0 {
+				best = cur[k-1+biasK] + 1
+			}
+			if k >= lo && k <= hi && cur[k+biasK] >= 0 && cur[k+biasK]+1 > best {
+				best = cur[k+biasK] + 1
+			}
+			if k+1 >= lo && k+1 <= hi && cur[k+1+biasK] >= 0 && cur[k+1+biasK] > best {
+				best = cur[k+1+biasK]
+			}
+			if best > n {
+				best = n
+			}
+			if best >= 0 && best-k > m {
+				best = m + k
+			}
+			if best >= 0 && best-k < 0 {
+				best = -1
+			}
+			next[k+biasK] = best
+		}
+		lo, hi = nlo, nhi
+		cur, next = next, cur
+	}
+}
+
+func maskOf(lanes int) uint32 {
+	if lanes >= simt.WarpSize {
+		return simt.FullMask
+	}
+	return (1 << uint(lanes)) - 1
+}

@@ -1,0 +1,112 @@
+package wfagpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"pangenomicsbench/internal/align"
+	"pangenomicsbench/internal/simt"
+)
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = "ACGT"[rng.Intn(4)]
+	}
+	return s
+}
+
+func mutate(rng *rand.Rand, seq []byte, rate float64) []byte {
+	var out []byte
+	for _, b := range seq {
+		r := rng.Float64()
+		switch {
+		case r < rate/3:
+			out = append(out, "ACGT"[rng.Intn(4)])
+		case r < 2*rate/3:
+		case r < rate:
+			out = append(out, b, "ACGT"[rng.Intn(4)])
+		default:
+			out = append(out, b)
+		}
+	}
+	if len(out) == 0 {
+		out = []byte{'A'}
+	}
+	return out
+}
+
+func makePairs(rng *rand.Rand, count, length int, errRate float64) []Pair {
+	pairs := make([]Pair, count)
+	for i := range pairs {
+		a := randSeq(rng, length)
+		pairs[i] = Pair{A: a, B: mutate(rng, a, errRate)}
+	}
+	return pairs
+}
+
+func TestDistancesMatchCPUWFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pairs := makePairs(rng, 30, 200, 0.05)
+	st, err := Align(simt.A6000(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		want := align.WFAEdit(p.A, p.B, nil)
+		if st.Distances[i] != want {
+			t.Fatalf("pair %d: TSU distance %d != CPU WFA %d", i, st.Distances[i], want)
+		}
+	}
+}
+
+func TestOccupancyIsBlockLimited(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pairs := makePairs(rng, 64, 128, 0.01)
+	st, err := Align(simt.A6000(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 7: TSU occupancy ≈ 33% (block-size limited).
+	if st.Metrics.TheoreticalOccupancy < 0.33 || st.Metrics.TheoreticalOccupancy > 0.34 {
+		t.Fatalf("occupancy %.3f, want ≈ 0.333", st.Metrics.TheoreticalOccupancy)
+	}
+}
+
+// TestDivergenceGrowsWithLength reproduces the §5.3 observation: at 10 kb,
+// most extend steps use a single lane; at 128 bp almost none do.
+func TestDivergenceGrowsWithLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	short, err := Align(simt.A6000(), makePairs(rng, 8, 128, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Align(simt.A6000(), makePairs(rng, 4, 10000, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.SingleLaneFrac <= short.SingleLaneFrac+0.1 {
+		t.Fatalf("single-lane fraction must grow clearly with read length: short %.3f long %.3f",
+			short.SingleLaneFrac, long.SingleLaneFrac)
+	}
+	if long.SingleLaneFrac < 0.6 {
+		t.Fatalf("10 kb single-lane fraction %.3f, expected the paper's ~0.74 regime", long.SingleLaneFrac)
+	}
+	if long.Metrics.WarpUtilization >= short.Metrics.WarpUtilization {
+		t.Fatal("long reads must lower warp utilization")
+	}
+}
+
+func TestAlignValidation(t *testing.T) {
+	if _, err := Align(simt.A6000(), nil); err == nil {
+		t.Fatal("empty pair list must be rejected")
+	}
+	// Degenerate pairs.
+	st, err := Align(simt.A6000(), []Pair{{A: nil, B: []byte("ACG")}, {A: []byte("AC"), B: nil}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Distances[0] != 3 || st.Distances[1] != 2 {
+		t.Fatalf("degenerate distances %v", st.Distances)
+	}
+}
