@@ -1,0 +1,90 @@
+// Package build implements the two graph-construction pipelines the paper
+// characterizes in Fig. 3: PGGB (all-to-all wfmash-style mapping → seqwish
+// transclosure induction → smoothXG POA polish → ODGI PG-SGD layout) and
+// Minigraph-Cactus (iterative graph growth: map each assembly against the
+// growing graph with minimizer anchors and GWFA bridging, induce novel
+// segments with POA, GFAffix-style polish, then layout).
+//
+// The package orchestrates the repo's substrates — internal/minimizer,
+// internal/align (WFA, GWFA, POA), internal/seqwish, internal/layout — into
+// full pipelines with a per-stage wall-time breakdown, mirroring the
+// paper's stage taxonomy (Alignment, Induction, Polishing, Visualization).
+// Every stage threads an optional *perf.Probe so the microarchitectural
+// characterization (top-down, cache, instruction mix) covers construction
+// the same way it covers the mapping kernels.
+package build
+
+import (
+	"time"
+
+	"pangenomicsbench/internal/graph"
+	"pangenomicsbench/internal/layout"
+	"pangenomicsbench/internal/perf"
+)
+
+// StageBreakdown is the per-stage wall-clock record of one construction
+// run — the Fig. 3 row. Alignment/Induction/Polishing/Layout are the four
+// top-level stages; TCTime, POATime and GWFA time the kernels nested inside
+// them (TC inside PGGB induction, POA inside PGGB polishing and MC
+// induction, GWFA inside MC alignment).
+type StageBreakdown struct {
+	Pipeline string
+
+	Alignment time.Duration
+	Induction time.Duration
+	Polishing time.Duration
+	Layout    time.Duration
+
+	TCTime  time.Duration
+	POATime time.Duration
+	GWFA    time.Duration
+}
+
+// Total sums the four top-level stages.
+func (b StageBreakdown) Total() time.Duration {
+	return b.Alignment + b.Induction + b.Polishing + b.Layout
+}
+
+// Stats summarizes what one construction run produced.
+type Stats struct {
+	Assemblies   int
+	Pairs        int // PGGB: all-vs-all pairs matched
+	MatchBlocks  int // PGGB: exact match blocks fed to the transclosure
+	MatchedBases int // PGGB: total bases covered by match blocks
+	Closures     int // PGGB: transitive-closure sets before compaction
+
+	NovelSegments int // MC: query segments inducing new nodes
+	ReusedNodes   int // MC: novel segments resolved to an existing node
+	Collapsed     int // MC: sibling nodes merged by the GFAffix-style polish
+
+	Nodes, Edges int // final graph size
+	PolishBlocks int // POA-polished partitions
+	ConsensusLen int // total polished consensus length
+}
+
+// Result is the output of one pipeline run.
+type Result struct {
+	Graph     *graph.Graph
+	Layout    *layout.Layout // nil when LayoutIterations <= 0
+	Breakdown StageBreakdown
+	Stats     Stats
+}
+
+// timeStage runs fn and adds its wall time to *d.
+func timeStage(d *time.Duration, fn func()) {
+	t0 := time.Now()
+	fn()
+	*d += time.Since(t0)
+}
+
+// runLayout is the shared visualization stage: PG-SGD over the final graph.
+func runLayout(g *graph.Graph, iterations int, seed uint64, probe *perf.Probe) (*layout.Layout, error) {
+	l, err := layout.New(g, seed)
+	if err != nil {
+		return nil, err
+	}
+	params := layout.DefaultParams(g)
+	params.Iterations = iterations
+	l.Run(params, probe)
+	return l, nil
+}

@@ -1,0 +1,301 @@
+package build
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pangenomicsbench/internal/align"
+	"pangenomicsbench/internal/minimizer"
+	"pangenomicsbench/internal/perf"
+)
+
+// MatchBlock is one exact match between two input sequences in the
+// PAF-like form the seqwish transclosure ingests:
+// seqs[SeqA][PosA:PosA+Len] == seqs[SeqB][PosB:PosB+Len] byte for byte.
+type MatchBlock struct {
+	SeqA, PosA int
+	SeqB, PosB int
+	Len        int
+}
+
+// PairStats summarizes one pair-matching run.
+type PairStats struct {
+	Anchors      int // shared-minimizer anchors (k-mer verified)
+	Windows      int // candidate homology windows formed from anchor bands
+	WindowsKept  int // windows whose WFA-estimated identity passed the filter
+	Blocks       int // exact match blocks emitted
+	MatchedBases int // sum of block lengths
+	WFATime      time.Duration
+}
+
+// add merges o into s (for the all-vs-all aggregate).
+func (s *PairStats) add(o PairStats) {
+	s.Anchors += o.Anchors
+	s.Windows += o.Windows
+	s.WindowsKept += o.WindowsKept
+	s.Blocks += o.Blocks
+	s.MatchedBases += o.MatchedBases
+	s.WFATime += o.WFATime
+}
+
+// Matching knobs of the wfmash stand-in. These are fixed constants rather
+// than per-call parameters so PairMatches keeps the narrow signature the
+// corpus-capture path uses.
+const (
+	// maxAnchorOcc caps how many occurrences of one minimizer hash seed
+	// anchors (wfmash's repeat filtering).
+	maxAnchorOcc = 8
+	// diagBand groups anchors into one candidate window when their
+	// diagonals are within this many bases (mashmap's mapping band).
+	diagBand = 128
+	// windowGap breaks a window when consecutive anchors are further apart
+	// than this on sequence A.
+	windowGap = 2048
+	// maxDivergence rejects candidate windows whose WFA-refined divergence
+	// exceeds it (wfmash's identity threshold, roughly 1-p of pggb -p).
+	maxDivergence = 0.25
+	// refineCap bounds the window slice handed to the WFA refinement; long
+	// windows are identity-estimated from their prefix, as mashmap
+	// estimates identity from sampled sketches rather than full alignment.
+	refineCap = 4096
+)
+
+// anchorPair is one shared minimizer occurrence: a[pa:pa+k] == b[pb:pb+k].
+type anchorPair struct {
+	pa, pb int
+}
+
+// PairMatches finds the exact match blocks between sequences a and b — the
+// wfmash-style mapping stage of PGGB. Shared (w,k)-minimizers seed anchors
+// (verified byte-wise, so hash collisions never produce false matches),
+// anchors are grouped by diagonal band into candidate homology windows
+// (mashmap-style), each window's identity is refined with WFA, and accepted
+// windows emit maximal exact match blocks around their anchors. ia and ib
+// are the sequence indices stamped into the returned blocks.
+//
+// The result is deterministic for fixed inputs: blocks are emitted in
+// sorted (PosA, PosB) order. The second return value reports matching
+// statistics.
+func PairMatches(ia int, a []byte, ib int, b []byte, k, w int, probe *perf.Probe) ([]MatchBlock, PairStats, error) {
+	var st PairStats
+	if len(a) == 0 || len(b) == 0 {
+		return nil, st, fmt.Errorf("build: PairMatches needs non-empty sequences (len a=%d, b=%d)", len(a), len(b))
+	}
+	ma, err := minimizer.Compute(a, k, w, probe)
+	if err != nil {
+		return nil, st, err
+	}
+	mb, err := minimizer.Compute(b, k, w, probe)
+	if err != nil {
+		return nil, st, err
+	}
+
+	// Index A's minimizers, capped per hash (repeat filter).
+	occ := make(map[uint64][]int, len(ma))
+	for _, m := range ma {
+		if locs := occ[m.Hash]; len(locs) < maxAnchorOcc {
+			occ[m.Hash] = append(locs, m.Pos)
+		}
+	}
+
+	// Anchors: B's minimizers looked up in A, k-mer verified.
+	var anchors []anchorPair
+	for _, m := range mb {
+		for _, pa := range occ[m.Hash] {
+			probe.Load(uintptr(0x400000)+uintptr(pa), 8)
+			if bytes.Equal(a[pa:pa+k], b[m.Pos:m.Pos+k]) {
+				probe.TakeBranch(0x40, true)
+				anchors = append(anchors, anchorPair{pa: pa, pb: m.Pos})
+			} else {
+				probe.TakeBranch(0x40, false)
+			}
+			probe.Op(perf.ScalarInt, 4)
+		}
+	}
+	st.Anchors = len(anchors)
+	if len(anchors) == 0 {
+		return nil, st, nil
+	}
+
+	// Sort by (diagonal, posA) and split into banded candidate windows.
+	sort.Slice(anchors, func(i, j int) bool {
+		di, dj := anchors[i].pa-anchors[i].pb, anchors[j].pa-anchors[j].pb
+		if di != dj {
+			return di < dj
+		}
+		if anchors[i].pa != anchors[j].pa {
+			return anchors[i].pa < anchors[j].pa
+		}
+		return anchors[i].pb < anchors[j].pb
+	})
+
+	var blocks []MatchBlock
+	covered := make(map[int]int) // diagonal → exclusive end of last block on it
+
+	winStart := 0
+	flush := func(winEnd int) {
+		if winEnd <= winStart {
+			return
+		}
+		st.Windows++
+		win := anchors[winStart:winEnd]
+		// Window span on both sequences.
+		aLo, aHi := win[0].pa, win[0].pa+k
+		bLo, bHi := win[0].pb, win[0].pb+k
+		for _, an := range win[1:] {
+			if an.pa < aLo {
+				aLo = an.pa
+			}
+			if an.pa+k > aHi {
+				aHi = an.pa + k
+			}
+			if an.pb < bLo {
+				bLo = an.pb
+			}
+			if an.pb+k > bHi {
+				bHi = an.pb + k
+			}
+		}
+		// WFA refinement: estimate the window's divergence; reject
+		// windows that are homologous-looking by chance.
+		ra, rb := a[aLo:aHi], b[bLo:bHi]
+		if len(ra) > refineCap {
+			ra = ra[:refineCap]
+		}
+		if len(rb) > refineCap {
+			rb = rb[:refineCap]
+		}
+		t0 := time.Now()
+		d := align.WFAEdit(ra, rb, probe)
+		st.WFATime += time.Since(t0)
+		span := len(ra)
+		if len(rb) > span {
+			span = len(rb)
+		}
+		if float64(d) > maxDivergence*float64(span) {
+			return
+		}
+		st.WindowsKept++
+		// Emit maximal exact blocks around each anchor, at most one block
+		// per diagonal region (covered tracks per-diagonal progress).
+		for _, an := range win {
+			diag := an.pa - an.pb
+			if end, ok := covered[diag]; ok && an.pa < end {
+				probe.TakeBranch(0x41, false)
+				continue // inside a block already emitted on this diagonal
+			}
+			probe.TakeBranch(0x41, true)
+			start := an.pa
+			lim := covered[diag]
+			for start > lim && start-diag > 0 && a[start-1] == b[start-1-diag] {
+				start--
+			}
+			end := an.pa + k
+			for end < len(a) && end-diag < len(b) && a[end] == b[end-diag] {
+				end++
+			}
+			probe.Op(perf.ScalarInt, 2*(end-start-k)+6)
+			if end-start < k {
+				continue
+			}
+			covered[diag] = end
+			blocks = append(blocks, MatchBlock{
+				SeqA: ia, PosA: start,
+				SeqB: ib, PosB: start - diag,
+				Len: end - start,
+			})
+		}
+	}
+	for i := 1; i < len(anchors); i++ {
+		sameBand := anchors[i].pa-anchors[i].pb-(anchors[winStart].pa-anchors[winStart].pb) <= diagBand
+		closeBy := anchors[i].pa-anchors[i-1].pa <= windowGap
+		if !sameBand || !closeBy {
+			flush(i)
+			winStart = i
+		}
+	}
+	flush(len(anchors))
+
+	// Canonical order: by A position, then B position.
+	sort.Slice(blocks, func(i, j int) bool {
+		if blocks[i].PosA != blocks[j].PosA {
+			return blocks[i].PosA < blocks[j].PosA
+		}
+		return blocks[i].PosB < blocks[j].PosB
+	})
+	st.Blocks = len(blocks)
+	for _, blk := range blocks {
+		st.MatchedBases += blk.Len
+	}
+	return blocks, st, nil
+}
+
+// AllPairMatches runs PairMatches over every unordered pair (i<j) of seqs
+// on a bounded worker pool of `workers` goroutines (≤0 uses GOMAXPROCS) —
+// the quadratic all-vs-all homology search that dominates PGGB's alignment
+// stage. Pairs are distributed dynamically but results are merged in
+// canonical pair order ((0,1), (0,2), …, (n-2,n-1)), so the returned block
+// slice is identical regardless of worker count or scheduling.
+//
+// The perf probe is not safe for concurrent use, so an instrumented run
+// (probe != nil) executes the pairs serially — the same rule the kernel
+// registry applies to instrumented kernel runs.
+func AllPairMatches(seqs [][]byte, k, w, workers int, probe *perf.Probe) ([]MatchBlock, PairStats, error) {
+	n := len(seqs)
+	type pairJob struct{ i, j int }
+	var jobs []pairJob
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			jobs = append(jobs, pairJob{i, j})
+		}
+	}
+	results := make([][]MatchBlock, len(jobs))
+	stats := make([]PairStats, len(jobs))
+	errs := make([]error, len(jobs))
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if probe != nil || workers <= 1 {
+		for ji, job := range jobs {
+			results[ji], stats[ji], errs[ji] = PairMatches(job.i, seqs[job.i], job.j, seqs[job.j], k, w, probe)
+		}
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					ji := int(atomic.AddInt64(&next, 1)) - 1
+					if ji >= len(jobs) {
+						return
+					}
+					job := jobs[ji]
+					results[ji], stats[ji], errs[ji] = PairMatches(job.i, seqs[job.i], job.j, seqs[job.j], k, w, nil)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	var out []MatchBlock
+	var agg PairStats
+	for ji := range jobs {
+		if errs[ji] != nil {
+			return nil, agg, errs[ji]
+		}
+		out = append(out, results[ji]...)
+		agg.add(stats[ji])
+	}
+	return out, agg, nil
+}

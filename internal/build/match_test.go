@@ -1,0 +1,165 @@
+package build
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"pangenomicsbench/internal/gensim"
+	"pangenomicsbench/internal/perf"
+)
+
+// testAssemblies simulates a small cohort and returns its assembly view.
+func testAssemblies(t testing.TB, refLen, haps int) ([]string, [][]byte) {
+	t.Helper()
+	cfg := gensim.DefaultConfig()
+	cfg.RefLen = refLen
+	cfg.Haplotypes = haps
+	pop, err := gensim.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, seqs := pop.AssemblyView()
+	return names, seqs
+}
+
+func TestPairMatchesIdenticalSequences(t *testing.T) {
+	_, seqs := testAssemblies(t, 5000, 2)
+	a := seqs[0]
+	blocks, st, err := PairMatches(0, a, 1, a, 15, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) == 0 {
+		t.Fatal("identical sequences produced no match blocks")
+	}
+	// Identical inputs must match nearly end to end on the main diagonal.
+	covered := 0
+	for _, b := range blocks {
+		if b.PosA == b.PosB {
+			covered += b.Len
+		}
+	}
+	if covered < len(a)*9/10 {
+		t.Fatalf("main-diagonal coverage %d of %d too low", covered, len(a))
+	}
+	if st.Blocks != len(blocks) || st.MatchedBases == 0 {
+		t.Fatalf("inconsistent stats: %+v vs %d blocks", st, len(blocks))
+	}
+}
+
+func TestPairMatchesBlocksAreExactAndSorted(t *testing.T) {
+	_, seqs := testAssemblies(t, 8000, 4)
+	a, b := seqs[0], seqs[1]
+	blocks, st, err := PairMatches(0, a, 1, b, 15, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) == 0 {
+		t.Fatal("similar haplotypes produced no match blocks")
+	}
+	sum := 0
+	for i, blk := range blocks {
+		if blk.SeqA != 0 || blk.SeqB != 1 {
+			t.Fatalf("block %d has wrong sequence indices: %+v", i, blk)
+		}
+		if !bytes.Equal(a[blk.PosA:blk.PosA+blk.Len], b[blk.PosB:blk.PosB+blk.Len]) {
+			t.Fatalf("block %d is not an exact match: %+v", i, blk)
+		}
+		if i > 0 {
+			p, q := blocks[i-1], blk
+			if p.PosA > q.PosA || (p.PosA == q.PosA && p.PosB > q.PosB) {
+				t.Fatalf("blocks not in (PosA, PosB) order at %d: %+v then %+v", i, p, q)
+			}
+		}
+		sum += blk.Len
+	}
+	if st.MatchedBases != sum {
+		t.Fatalf("MatchedBases %d != block sum %d", st.MatchedBases, sum)
+	}
+	if st.Anchors == 0 || st.Windows == 0 || st.WindowsKept == 0 {
+		t.Fatalf("stats show no matching work: %+v", st)
+	}
+}
+
+func TestPairMatchesDeterministic(t *testing.T) {
+	_, seqs := testAssemblies(t, 6000, 2)
+	b1, _, err := PairMatches(3, seqs[0], 7, seqs[1], 15, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _, err := PairMatches(3, seqs[0], 7, seqs[1], 15, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b1, b2) {
+		t.Fatal("PairMatches is not deterministic for fixed inputs")
+	}
+}
+
+func TestPairMatchesThreadsProbe(t *testing.T) {
+	_, seqs := testAssemblies(t, 4000, 2)
+	probe := perf.NewProbe()
+	if _, _, err := PairMatches(0, seqs[0], 1, seqs[1], 15, 10, probe); err != nil {
+		t.Fatal(err)
+	}
+	if probe.Instructions() == 0 {
+		t.Fatal("instrumented PairMatches recorded no instructions")
+	}
+}
+
+func TestPairMatchesRejectsEmpty(t *testing.T) {
+	if _, _, err := PairMatches(0, nil, 1, []byte("ACGT"), 15, 10, nil); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, _, err := PairMatches(0, []byte("ACGT"), 1, []byte("ACGT"), 0, 10, nil); err == nil {
+		t.Fatal("invalid k must error")
+	}
+}
+
+// TestAllPairMatchesWorkerInvariance guards the documented contract: the
+// merged block slice is identical regardless of worker count and
+// GOMAXPROCS (run under -race in CI to exercise the pool).
+func TestAllPairMatchesWorkerInvariance(t *testing.T) {
+	_, seqs := testAssemblies(t, 6000, 4)
+	want, wantStats, err := AllPairMatches(seqs, 15, 10, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("no blocks from all-vs-all matching")
+	}
+	for _, workers := range []int{2, 3, 8, 0} {
+		got, gotStats, err := AllPairMatches(seqs, 15, 10, workers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d changed the merged block order/content", workers)
+		}
+		// Wall time varies; every counted stat must not.
+		gotStats.WFATime, wantStats.WFATime = 0, 0
+		if gotStats != wantStats {
+			t.Fatalf("workers=%d changed aggregate stats: %+v vs %+v", workers, gotStats, wantStats)
+		}
+	}
+	// GOMAXPROCS must not matter either.
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	got, _, err := AllPairMatches(seqs, 15, 10, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("GOMAXPROCS=1 changed the merged blocks")
+	}
+	// An instrumented (serial) run matches the parallel result.
+	got, _, err = AllPairMatches(seqs, 15, 10, 4, perf.NewProbe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("instrumented run changed the merged blocks")
+	}
+}

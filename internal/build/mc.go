@@ -1,0 +1,387 @@
+package build
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pangenomicsbench/internal/align"
+	"pangenomicsbench/internal/chain"
+	"pangenomicsbench/internal/graph"
+	"pangenomicsbench/internal/minimizer"
+	"pangenomicsbench/internal/perf"
+)
+
+// MCConfig parameterizes the Minigraph-Cactus pipeline model.
+type MCConfig struct {
+	// K, W select the (w,k)-minimizer scheme of the graph mapping.
+	K, W int
+	// SegmentLen segments the first assembly into backbone nodes.
+	SegmentLen int
+	// MapChunk splits each assembly into mapping chunks (Cactus maps
+	// assemblies in pieces; it also bounds the chaining gap window).
+	MapChunk int
+	// MinSpan subsamples chain anchors: consecutive bridged anchors are at
+	// least this many query bp apart, so GWFA bridges real gaps.
+	MinSpan int
+	// MinNovel is the smallest unanchored query segment that induces new
+	// graph sequence.
+	MinNovel int
+	// Divergence is the GWFA distance/length ratio above which a bridged
+	// gap is considered novel sequence rather than a match.
+	Divergence float64
+	// POABand is the adaptive band half-width of the induction POA.
+	POABand int
+	// LayoutIterations is the PG-SGD iteration count of the visualization
+	// stage; ≤0 disables layout.
+	LayoutIterations int
+	// LayoutSeed seeds the layout's deterministic RNG.
+	LayoutSeed uint64
+}
+
+// DefaultMCConfig mirrors Minigraph-Cactus defaults scaled to the
+// benchmark datasets.
+func DefaultMCConfig() MCConfig {
+	return MCConfig{
+		K:                15,
+		W:                10,
+		SegmentLen:       512,
+		MapChunk:         15_000,
+		MinSpan:          192,
+		MinNovel:         24,
+		Divergence:       0.06,
+		POABand:          32,
+		LayoutIterations: 4,
+		LayoutSeed:       42,
+	}
+}
+
+// Mapping bounds of the MC model (fixed, like the PairMatches knobs).
+const (
+	// mcMaxOcc caps minimizer occurrences used as anchors.
+	mcMaxOcc = 4
+	// mcMaxChunkAnchors caps anchors per mapping chunk (deterministic
+	// stride subsampling beyond it).
+	mcMaxChunkAnchors = 6000
+	// mcGWFACap bounds the query slice handed to one GWFA bridge call.
+	mcGWFACap = 2000
+	// mcMaxPOAAlternatives bounds how many existing alternatives join the
+	// induction POA of one novel segment.
+	mcMaxPOAAlternatives = 4
+)
+
+// planItem is one step of an assembly's walk plan: either a matched anchor
+// node (node != 0) or a novel query segment [qLo,qHi) with the GWFA
+// distance measured across it (-1 when the segment was never bridged).
+type planItem struct {
+	node     graph.NodeID
+	qLo, qHi int
+	dist     int
+}
+
+// MinigraphCactus runs the Minigraph-Cactus pipeline model: the first
+// assembly becomes the backbone; every further assembly is mapped against
+// the growing graph (minimizer anchors → graph chaining → GWFA bridging of
+// inter-anchor gaps, the paper's minigraph stage), divergent or unanchored
+// segments induce new nodes via POA over the segment and its existing
+// alternatives (the Cactus/abPOA induction), a GFAffix-style polish pass
+// collapses redundant sibling nodes, and PG-SGD lays the graph out.
+//
+// Stage timing: GWFA accumulates inside Alignment, POATime inside
+// Induction. The run is deterministic for fixed inputs and config.
+func MinigraphCactus(names []string, seqs [][]byte, cfg MCConfig, probe *perf.Probe) (*Result, error) {
+	if len(names) != len(seqs) || len(seqs) < 2 {
+		return nil, fmt.Errorf("build: MinigraphCactus needs ≥2 named assemblies (got %d names, %d seqs)", len(names), len(seqs))
+	}
+	if cfg.SegmentLen <= 0 || cfg.MapChunk <= 0 || cfg.MinSpan <= 0 {
+		return nil, fmt.Errorf("build: invalid MCConfig: %+v", cfg)
+	}
+	res := &Result{}
+	bd := &res.Breakdown
+	bd.Pipeline = "Minigraph-Cactus"
+	res.Stats.Assemblies = len(seqs)
+
+	// Backbone: the first assembly, segmented into nodes.
+	g := graph.New()
+	var err error
+	timeStage(&bd.Induction, func() {
+		var walk []graph.NodeID
+		for off := 0; off < len(seqs[0]); off += cfg.SegmentLen {
+			end := off + cfg.SegmentLen
+			if end > len(seqs[0]) {
+				end = len(seqs[0])
+			}
+			walk = append(walk, g.AddNode(seqs[0][off:end]))
+		}
+		err = g.AddPath(names[0], walk)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// novel buckets the induced nodes between a pair of flanking anchor
+	// nodes, so later assemblies carrying the same novel sequence reuse
+	// them (the "growing graph" property).
+	novel := map[[2]graph.NodeID][]graph.NodeID{}
+
+	for ai := 1; ai < len(seqs); ai++ {
+		asm := seqs[ai]
+		var plan []planItem
+
+		// Alignment: map the assembly against the current graph.
+		timeStage(&bd.Alignment, func() {
+			var idx *minimizer.GraphIndex
+			idx, err = minimizer.NewGraphIndex(g, cfg.K, cfg.W)
+			if err != nil {
+				return
+			}
+			for chunkLo := 0; chunkLo < len(asm); chunkLo += cfg.MapChunk {
+				chunkHi := chunkLo + cfg.MapChunk
+				if chunkHi > len(asm) {
+					chunkHi = len(asm)
+				}
+				sub := asm[chunkLo:chunkHi]
+				plan = append(plan, mapChunk(g, idx, sub, chunkLo, cfg, bd, probe)...)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Induction: materialize the plan into graph growth and a path.
+		timeStage(&bd.Induction, func() {
+			var walk []graph.NodeID
+			last := graph.NodeID(0)
+			for pi, item := range plan {
+				if item.node != 0 {
+					if item.node != last {
+						walk = append(walk, item.node)
+						last = item.node
+					}
+					continue
+				}
+				seg := asm[item.qLo:item.qHi]
+				// Flanks: the previous matched node and the next one.
+				next := graph.NodeID(0)
+				for _, later := range plan[pi+1:] {
+					if later.node != 0 {
+						next = later.node
+						break
+					}
+				}
+				nd := induceNovel(g, novel, [2]graph.NodeID{last, next}, seg, cfg, bd, &res.Stats, probe)
+				if nd != last {
+					walk = append(walk, nd)
+					last = nd
+				}
+			}
+			if len(walk) > 0 {
+				err = g.AddPath(names[ai], walk)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Polishing: GFAffix-style collapse of identical sibling nodes.
+	timeStage(&bd.Polishing, func() {
+		g, res.Stats.Collapsed, err = collapseSiblings(g)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Graph = g
+
+	// Visualization: PG-SGD layout.
+	if cfg.LayoutIterations > 0 {
+		timeStage(&bd.Layout, func() {
+			res.Layout, err = runLayout(g, cfg.LayoutIterations, cfg.LayoutSeed, probe)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	stats := g.ComputeStats()
+	res.Stats.Nodes, res.Stats.Edges = stats.Nodes, stats.Edges
+	return res, nil
+}
+
+// mapChunk maps one assembly chunk against the graph: anchors → graph
+// chaining → GWFA bridging at MinSpan stride, returning the chunk's walk
+// plan in assembly coordinates (chunkLo is the chunk's offset).
+func mapChunk(g *graph.Graph, idx *minimizer.GraphIndex, sub []byte, chunkLo int, cfg MCConfig, bd *StageBreakdown, probe *perf.Probe) []planItem {
+	ms, err := minimizer.Compute(sub, cfg.K, cfg.W, probe)
+	if err != nil {
+		return nil
+	}
+	var anchors []chain.Anchor
+	for _, m := range ms {
+		locs := idx.Lookup(m.Hash)
+		if len(locs) > mcMaxOcc {
+			locs = locs[:mcMaxOcc]
+		}
+		for _, loc := range locs {
+			anchors = append(anchors, chain.Anchor{
+				QPos: m.Pos, Node: loc.Node, Offset: loc.Offset, Len: cfg.K,
+			})
+		}
+	}
+	if len(anchors) > mcMaxChunkAnchors {
+		stride := (len(anchors) + mcMaxChunkAnchors - 1) / mcMaxChunkAnchors
+		kept := anchors[:0]
+		for i := 0; i < len(anchors); i += stride {
+			kept = append(kept, anchors[i])
+		}
+		anchors = kept
+	}
+
+	wholeNovel := func() []planItem {
+		if len(sub) < cfg.MinNovel {
+			return nil
+		}
+		return []planItem{{qLo: chunkLo, qHi: chunkLo + len(sub), dist: -1}}
+	}
+	if len(anchors) == 0 {
+		return wholeNovel()
+	}
+	chains := chain.GraphChains(g, anchors, 2*len(sub), probe)
+	if len(chains) == 0 {
+		return wholeNovel()
+	}
+	best := chains[0]
+
+	var plan []planItem
+	first := best.Anchors[0]
+	if first.QPos >= cfg.MinNovel {
+		plan = append(plan, planItem{qLo: chunkLo, qHi: chunkLo + first.QPos, dist: -1})
+	}
+	plan = append(plan, planItem{node: first.Node})
+	prev := first
+	for _, cur := range best.Anchors[1:] {
+		if cur.QPos-prev.QPos < cfg.MinSpan {
+			continue
+		}
+		gapLo, gapHi := prev.QPos+prev.Len, cur.QPos
+		if gapHi > gapLo {
+			gseq := sub[gapLo:gapHi]
+			if len(gseq) > mcGWFACap {
+				gseq = gseq[:mcGWFACap]
+			}
+			dist := len(gseq)
+			t0 := time.Now()
+			if r, gerr := align.GWFA(g, prev.Node, gseq, probe); gerr == nil {
+				dist = r.Distance
+			}
+			bd.GWFA += time.Since(t0)
+			if float64(dist) > cfg.Divergence*float64(len(gseq)) && gapHi-gapLo >= cfg.MinNovel {
+				plan = append(plan, planItem{qLo: chunkLo + gapLo, qHi: chunkLo + gapHi, dist: dist})
+			}
+		}
+		plan = append(plan, planItem{node: cur.Node})
+		prev = cur
+	}
+	if tail := prev.QPos + prev.Len; len(sub)-tail >= cfg.MinNovel {
+		plan = append(plan, planItem{qLo: chunkLo + tail, qHi: chunkLo + len(sub), dist: -1})
+	}
+	return plan
+}
+
+// induceNovel resolves one novel query segment between the flanking anchor
+// nodes key[0] and key[1]: reuse an existing alternative when the segment
+// is close enough (WFA check), otherwise induce a new node whose sequence
+// is the POA consensus of the segment and its existing alternatives.
+func induceNovel(g *graph.Graph, novel map[[2]graph.NodeID][]graph.NodeID, key [2]graph.NodeID, seg []byte, cfg MCConfig, bd *StageBreakdown, stats *Stats, probe *perf.Probe) graph.NodeID {
+	for _, nd := range novel[key] {
+		nseq := g.Seq(nd)
+		// Only compare length-compatible alternatives.
+		if len(nseq)*2 < len(seg) || len(seg)*2 < len(nseq) {
+			continue
+		}
+		d := align.WFAEdit(seg, nseq, probe)
+		span := len(seg)
+		if len(nseq) > span {
+			span = len(nseq)
+		}
+		if float64(d) <= cfg.Divergence*float64(span) {
+			stats.ReusedNodes++
+			return nd
+		}
+	}
+	p := align.NewPOA()
+	p.Band = cfg.POABand
+	t0 := time.Now()
+	alts := novel[key]
+	if len(alts) > mcMaxPOAAlternatives {
+		alts = alts[len(alts)-mcMaxPOAAlternatives:]
+	}
+	for _, nd := range alts {
+		// POA errors only on empty sequences, which graph nodes never hold.
+		_ = p.AddSequence(g.Seq(nd), probe)
+	}
+	_ = p.AddSequence(seg, probe)
+	cons := p.Consensus()
+	bd.POATime += time.Since(t0)
+	nd := g.AddNode(cons)
+	novel[key] = append(novel[key], nd)
+	stats.NovelSegments++
+	return nd
+}
+
+// collapseSiblings is the GFAffix-style polish pass: nodes with identical
+// sequence and identical in-neighbor sets are merged (one pass, not a
+// fixpoint), and the graph is rebuilt with edges and paths remapped.
+// Returns the polished graph and the number of nodes collapsed.
+func collapseSiblings(g *graph.Graph) (*graph.Graph, int, error) {
+	n := g.NumNodes()
+	remap := make([]graph.NodeID, n+1)
+	canon := map[string]graph.NodeID{}
+	collapsed := 0
+	for id := graph.NodeID(1); int(id) <= n; id++ {
+		in := append([]graph.NodeID(nil), g.In(id)...)
+		sort.Slice(in, func(a, b int) bool { return in[a] < in[b] })
+		key := fmt.Sprintf("%s|%v", g.Seq(id), in)
+		if c, ok := canon[key]; ok {
+			remap[id] = c
+			collapsed++
+		} else {
+			canon[key] = id
+			remap[id] = id
+		}
+	}
+	if collapsed == 0 {
+		return g, 0, nil
+	}
+
+	ng := graph.New()
+	newID := make([]graph.NodeID, n+1)
+	for id := graph.NodeID(1); int(id) <= n; id++ {
+		if remap[id] == id {
+			newID[id] = ng.AddNode(g.Seq(id))
+		}
+	}
+	for id := graph.NodeID(1); int(id) <= n; id++ {
+		newID[id] = newID[remap[id]]
+	}
+	for id := graph.NodeID(1); int(id) <= n; id++ {
+		for _, to := range g.Out(id) {
+			if newID[id] != newID[to] {
+				ng.AddEdge(newID[id], newID[to])
+			}
+		}
+	}
+	for _, p := range g.Paths() {
+		var walk []graph.NodeID
+		for _, id := range p.Nodes {
+			nd := newID[id]
+			if len(walk) == 0 || walk[len(walk)-1] != nd {
+				walk = append(walk, nd)
+			}
+		}
+		if err := ng.AddPath(p.Name, walk); err != nil {
+			return nil, 0, err
+		}
+	}
+	return ng, collapsed, nil
+}

@@ -1,0 +1,149 @@
+package build
+
+import (
+	"fmt"
+	"time"
+
+	"pangenomicsbench/internal/align"
+	"pangenomicsbench/internal/perf"
+	"pangenomicsbench/internal/seqwish"
+)
+
+// PGGBConfig parameterizes the PGGB pipeline model.
+type PGGBConfig struct {
+	// K, W select the (w,k)-minimizer scheme of the all-vs-all mapping.
+	K, W int
+	// Workers bounds the all-vs-all worker pool; ≤0 uses GOMAXPROCS.
+	Workers int
+	// PolishWindow is the smoothXG partition size in backbone bp; ≤0
+	// disables the polish stage.
+	PolishWindow int
+	// POABand is the adaptive band half-width of the polish POA.
+	POABand int
+	// LayoutIterations is the PG-SGD iteration count of the visualization
+	// stage; ≤0 disables layout.
+	LayoutIterations int
+	// LayoutSeed seeds the layout's deterministic RNG.
+	LayoutSeed uint64
+}
+
+// DefaultPGGBConfig mirrors pggb defaults scaled to the benchmark datasets.
+func DefaultPGGBConfig() PGGBConfig {
+	return PGGBConfig{
+		K:                15,
+		W:                10,
+		Workers:          0,
+		PolishWindow:     600,
+		POABand:          48,
+		LayoutIterations: 4,
+		LayoutSeed:       42,
+	}
+}
+
+// PGGB runs the PGGB pipeline model over the named assemblies:
+//
+//  1. Alignment — all-vs-all pair matching (minimizer anchors refined by
+//     WFA, see PairMatches) on a bounded worker pool.
+//  2. Induction — seqwish: the transclosure kernel over the match blocks
+//     (timed separately as TCTime) and graph induction with path embedding.
+//  3. Polishing — smoothXG model: the backbone is partitioned into
+//     PolishWindow-bp blocks, every assembly's projection of each block is
+//     realigned with banded POA (timed as POATime) and a consensus taken.
+//  4. Visualization — PG-SGD layout of the induced graph.
+//
+// The run is deterministic for fixed inputs and config, independent of
+// Workers and GOMAXPROCS.
+func PGGB(names []string, seqs [][]byte, cfg PGGBConfig, probe *perf.Probe) (*Result, error) {
+	if len(names) != len(seqs) || len(seqs) < 2 {
+		return nil, fmt.Errorf("build: PGGB needs ≥2 named assemblies (got %d names, %d seqs)", len(names), len(seqs))
+	}
+	res := &Result{}
+	bd := &res.Breakdown
+	bd.Pipeline = "PGGB"
+	res.Stats.Assemblies = len(seqs)
+	res.Stats.Pairs = len(seqs) * (len(seqs) - 1) / 2
+
+	// 1. Alignment: parallel all-vs-all matching.
+	var blocks []MatchBlock
+	var mst PairStats
+	var err error
+	timeStage(&bd.Alignment, func() {
+		blocks, mst, err = AllPairMatches(seqs, cfg.K, cfg.W, cfg.Workers, probe)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.MatchBlocks = mst.Blocks
+	res.Stats.MatchedBases = mst.MatchedBases
+
+	// 2. Induction: transclosure + graph emission.
+	timeStage(&bd.Induction, func() {
+		var b *seqwish.Builder
+		b, err = seqwish.NewBuilder(names, seqs)
+		if err != nil {
+			return
+		}
+		for _, blk := range blocks {
+			if err = b.AddMatch(blk.SeqA, blk.PosA, blk.SeqB, blk.PosB, blk.Len); err != nil {
+				return
+			}
+		}
+		var tc *seqwish.TC
+		timeStage(&bd.TCTime, func() { tc = b.Transclose(probe) })
+		res.Stats.Closures = tc.NumClosures()
+		res.Graph, err = tc.InduceGraph()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Polishing: smoothXG-style partitioned POA.
+	if cfg.PolishWindow > 0 {
+		timeStage(&bd.Polishing, func() {
+			base := seqs[0]
+			for start := 0; start < len(base); start += cfg.PolishWindow {
+				end := start + cfg.PolishWindow
+				if end > len(base) {
+					end = len(base)
+				}
+				p := align.NewPOA()
+				p.Band = cfg.POABand
+				for _, s := range seqs {
+					// Proportional projection of the backbone block onto
+					// each assembly (smoothXG cuts blocks in graph space;
+					// path-coordinate projection is the linear analogue).
+					lo := start * len(s) / len(base)
+					hi := end * len(s) / len(base)
+					if hi <= lo {
+						continue
+					}
+					t0 := time.Now()
+					err = p.AddSequence(s[lo:hi], probe)
+					bd.POATime += time.Since(t0)
+					if err != nil {
+						return
+					}
+				}
+				res.Stats.PolishBlocks++
+				res.Stats.ConsensusLen += len(p.Consensus())
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// 4. Visualization: PG-SGD layout.
+	if cfg.LayoutIterations > 0 {
+		timeStage(&bd.Layout, func() {
+			res.Layout, err = runLayout(res.Graph, cfg.LayoutIterations, cfg.LayoutSeed, probe)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	stats := res.Graph.ComputeStats()
+	res.Stats.Nodes, res.Stats.Edges = stats.Nodes, stats.Edges
+	return res, nil
+}

@@ -202,13 +202,14 @@ func (s *Suite) Fig3() (Table, error) {
 		},
 	}
 	row := func(b build.StageBreakdown, note string) []string {
+		// Microsecond resolution keeps small-scale stage times nonzero.
 		return []string{
 			b.Pipeline,
-			b.Alignment.Round(time.Millisecond).String(),
-			b.Induction.Round(time.Millisecond).String(),
-			b.Polishing.Round(time.Millisecond).String(),
-			b.Layout.Round(time.Millisecond).String(),
-			b.Total().Round(time.Millisecond).String(),
+			b.Alignment.Round(time.Microsecond).String(),
+			b.Induction.Round(time.Microsecond).String(),
+			b.Polishing.Round(time.Microsecond).String(),
+			b.Layout.Round(time.Microsecond).String(),
+			b.Total().Round(time.Microsecond).String(),
 			note,
 		}
 	}
