@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -158,7 +159,7 @@ func BenchmarkFig3_PGGB(b *testing.B) {
 	cfg.LayoutIterations = 2
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := build.PGGB(names, seqs, cfg, nil); err != nil {
+		if _, err := build.PGGB(context.Background(), names, seqs, cfg, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -171,7 +172,7 @@ func BenchmarkFig3_MinigraphCactus(b *testing.B) {
 	cfg.LayoutIterations = 2
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := build.MinigraphCactus(names, seqs, cfg, nil); err != nil {
+		if _, err := build.MinigraphCactus(context.Background(), names, seqs, cfg, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

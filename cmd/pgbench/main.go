@@ -7,15 +7,22 @@
 //	pgbench list
 //	pgbench run [-scale small|bench|large] <experiment>...
 //	pgbench all [-scale small|bench|large]
+//	pgbench serve-sim [flags]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
+	"pangenomicsbench/internal/build"
 	"pangenomicsbench/internal/core"
+	"pangenomicsbench/internal/gensim"
+	"pangenomicsbench/internal/perf"
+	"pangenomicsbench/internal/serve"
 )
 
 func main() {
@@ -97,6 +104,8 @@ func run(args []string) error {
 			fmt.Printf("wrote %s/%s\n", *dir, f)
 		}
 		return nil
+	case "serve-sim":
+		return serveSim(rest)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -117,11 +126,118 @@ func parseScale(s string) (core.Scale, error) {
 	return 0, fmt.Errorf("unknown scale %q (want small, bench, or large)", s)
 }
 
+// serveSim replays a synthetic multi-tenant build-request trace against the
+// serve-mode construction service and reports throughput and cache reuse.
+func serveSim(args []string) error {
+	fs := flag.NewFlagSet("serve-sim", flag.ContinueOnError)
+	refLen := fs.Int("ref", 20_000, "simulated reference length (bp)")
+	haps := fs.Int("haps", 10, "assemblies in the catalog")
+	tenants := fs.Int("tenants", 4, "simulated tenants")
+	requests := fs.Int("requests", 24, "requests in the trace")
+	cohortMin := fs.Int("cohort-min", 3, "minimum cohort size")
+	cohortMax := fs.Int("cohort-max", 5, "maximum cohort size")
+	conc := fs.Int("conc", 4, "concurrent clients replaying the trace")
+	workers := fs.Int("workers", 0, "build worker slots (0 = GOMAXPROCS)")
+	cacheMB := fs.Int("cache-mb", 64, "pair-match cache capacity (MiB)")
+	timeout := fs.Duration("timeout", 0, "per-request timeout (0 = none)")
+	toolName := fs.String("tool", "pggb", "construction tool: pggb or mc")
+	seed := fs.Int64("seed", 42, "trace seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tool := serve.Tool(*toolName)
+	if tool != serve.ToolPGGB && tool != serve.ToolMC {
+		return fmt.Errorf("unknown tool %q (want pggb or mc)", *toolName)
+	}
+
+	gcfg := gensim.DefaultConfig()
+	gcfg.RefLen = *refLen
+	gcfg.Haplotypes = *haps
+	pop, err := gensim.Simulate(gcfg)
+	if err != nil {
+		return err
+	}
+	names, seqs := pop.AssemblyView()
+	trace, err := pop.Trace(gensim.TraceConfig{
+		Tenants:   *tenants,
+		Requests:  *requests,
+		CohortMin: *cohortMin,
+		CohortMax: *cohortMax,
+		Drift:     0.25,
+		Seed:      *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	metrics := perf.NewMetrics()
+	svc := serve.New(serve.Config{
+		Workers:        *workers,
+		CacheCapacity:  *cacheMB << 20,
+		DefaultTimeout: *timeout,
+		Metrics:        metrics,
+	})
+	if err := svc.RegisterAssemblies(names, seqs); err != nil {
+		return err
+	}
+
+	pcfg := build.DefaultPGGBConfig()
+	mcfg := build.DefaultMCConfig()
+	fmt.Printf("serve-sim: %d assemblies (%d bp ref), %d tenants, %d requests, %d clients, tool=%s\n\n",
+		len(names), *refLen, *tenants, len(trace), *conc, tool)
+
+	// Replay: conc clients drain the trace in issue order.
+	var next int
+	var mu sync.Mutex
+	var failures int
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < *conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(trace) {
+					return
+				}
+				req := serve.Request{Tool: tool, Cohort: trace[i].Cohort, PGGB: pcfg, MC: mcfg}
+				if _, err := svc.Build(context.Background(), req); err != nil {
+					mu.Lock()
+					failures++
+					mu.Unlock()
+					fmt.Fprintf(os.Stderr, "request %d (tenant %d): %v\n", i, trace[i].Tenant, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+
+	hits, misses, evictions := svc.CacheCounters()
+	entries, bytes := svc.CacheResident()
+	fmt.Printf("replayed %d requests in %v (%.1f req/s), %d failed\n",
+		len(trace), wall.Round(time.Millisecond),
+		float64(len(trace))/wall.Seconds(), failures)
+	if hits+misses > 0 {
+		fmt.Printf("pair cache: %d hits / %d misses (%.0f%% hit rate), %d evictions, %d entries (%d B) resident\n",
+			hits, misses, 100*float64(hits)/float64(hits+misses), evictions, entries, bytes)
+	}
+	fmt.Println("\nservice metrics:")
+	fmt.Print(metrics.Snapshot().Render())
+	return nil
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pgbench list                                 list experiment IDs
   pgbench run [-scale S] <experiment>...       run named experiments
   pgbench all [-scale S]                       run every experiment
   pgbench gen [-scale S] [-out DIR]            export datasets (FASTA/FASTQ/GFA)
+  pgbench serve-sim [flags]                    replay a multi-tenant build trace
+                                               against the serve-mode service
 scales: small (quick check), bench (default), large`)
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -29,11 +30,11 @@ func main() {
 	}
 	fmt.Printf("cohort: %d assemblies, %d bp total\n\n", len(seqs), total)
 
-	pres, err := build.PGGB(names, seqs, build.DefaultPGGBConfig(), nil)
+	pres, err := build.PGGB(context.Background(), names, seqs, build.DefaultPGGBConfig(), nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	mres, err := build.MinigraphCactus(names, seqs, build.DefaultMCConfig(), nil)
+	mres, err := build.MinigraphCactus(context.Background(), names, seqs, build.DefaultMCConfig(), nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -23,6 +23,19 @@ type POA struct {
 	Scoring bio.Scoring
 
 	nseq int
+
+	// scratch holds grow-only DP buffers reused across AddSequence calls so
+	// repeated alignments (smoothXG polish windows, MC novel-segment
+	// induction) do not reallocate every matrix row each time. A POA is not
+	// safe for concurrent AddSequence calls, so plain reuse suffices.
+	scratch struct {
+		score    []int
+		fromNode []int32
+		fromJ    []int8
+		scoreRow [][]int
+		fnRow    [][]int32
+		fjRow    [][]int8
+	}
 }
 
 type poaNode struct {
@@ -119,6 +132,29 @@ func (p *POA) topoOrder() []int {
 	return order
 }
 
+// dpRows returns the n×w DP matrices as row views over the grow-only
+// scratch buffers, allocating only when the graph or query outgrew them.
+func (p *POA) dpRows(n, w int) ([][]int, [][]int32, [][]int8) {
+	sc := &p.scratch
+	if cap(sc.score) < n*w {
+		sc.score = make([]int, n*w)
+		sc.fromNode = make([]int32, n*w)
+		sc.fromJ = make([]int8, n*w)
+	}
+	if cap(sc.scoreRow) < n {
+		sc.scoreRow = make([][]int, n)
+		sc.fnRow = make([][]int32, n)
+		sc.fjRow = make([][]int8, n)
+	}
+	score, fromNode, fromJ := sc.scoreRow[:n], sc.fnRow[:n], sc.fjRow[:n]
+	for r := 0; r < n; r++ {
+		score[r] = sc.score[r*w : (r+1)*w]
+		fromNode[r] = sc.fromNode[r*w : (r+1)*w]
+		fromJ[r] = sc.fromJ[r*w : (r+1)*w]
+	}
+	return score, fromNode, fromJ
+}
+
 // poaOp is one traceback operation of a sequence-to-POA alignment.
 type poaOp struct {
 	node int // graph node (-1 for insertions)
@@ -138,17 +174,18 @@ func (p *POA) alignToGraph(seq []byte, probe *perf.Probe) []poaOp {
 	gap := p.Scoring.GapOpen
 
 	// score[r][j]: best alignment of seq[:j] ending at node order[r]
-	// (node consumed). Row -1 (virtual start) is gaps only.
-	score := make([][]int, len(order))
-	fromNode := make([][]int32, len(order)) // predecessor rank, -1 = start
-	fromJ := make([][]int8, len(order))     // 0 diag, 1 del (gap in seq), 2 ins
+	// (node consumed). Row -1 (virtual start) is gaps only. fromNode is the
+	// predecessor rank (-1 = start); fromJ is 0 diag, 1 del (gap in seq),
+	// 2 ins. Rows are views over pooled flat buffers.
+	score, fromNode, fromJ := p.dpRows(len(order), m+1)
 
 	// Adaptive band bookkeeping.
 	lo, hi := 0, m
 	for r, id := range order {
-		score[r] = make([]int, m+1)
-		fromNode[r] = make([]int32, m+1)
-		fromJ[r] = make([]int8, m+1)
+		// Banding leaves cells untouched; clear the reused traceback rows so
+		// results never depend on a previous call's contents.
+		clear(fromNode[r])
+		clear(fromJ[r])
 		nd := &p.nodes[id]
 
 		if p.Band > 0 {

@@ -1,0 +1,120 @@
+package align
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// poaTestSeqs returns a backbone and n variants with scattered substitutions,
+// deterministic for a fixed seed.
+func poaTestSeqs(n, length int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	bases := []byte("ACGT")
+	backbone := make([]byte, length)
+	for i := range backbone {
+		backbone[i] = bases[rng.Intn(4)]
+	}
+	out := [][]byte{backbone}
+	for v := 1; v < n; v++ {
+		variant := append([]byte(nil), backbone...)
+		for m := 0; m < length/50+1; m++ {
+			variant[rng.Intn(length)] = bases[rng.Intn(4)]
+		}
+		out = append(out, variant)
+	}
+	return out
+}
+
+// TestPOAAddSequenceAllocs pins the effect of the DP-row pooling: once the
+// scratch buffers are warm, aligning another sequence must not allocate per
+// graph rank. Before pooling this was 3 row allocations per rank (≈900 for
+// this graph); pooled, only the small per-call slices (topo order, rank,
+// traceback) remain.
+func TestPOAAddSequenceAllocs(t *testing.T) {
+	seqs := poaTestSeqs(3, 300, 1)
+	p := NewPOA()
+	for _, s := range seqs {
+		if err := p.AddSequence(s, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-adding the backbone aligns as all-matches: the graph stops growing,
+	// so steady-state allocations are observable.
+	avg := testing.AllocsPerRun(10, func() {
+		if err := p.AddSequence(seqs[0], nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 32 {
+		t.Errorf("AddSequence allocated %.0f times per run with warm scratch; want <= 32 (pre-pooling: >= 3 per rank = %d+)",
+			avg, 3*p.NumNodes())
+	}
+}
+
+// TestPOADPIndependentOfScratchContents guards against stale-scratch bugs:
+// alignToGraph over poisoned pooled buffers must return exactly the ops a
+// clean run produces, banded (where cells outside the band are never
+// written) and unbanded.
+func TestPOADPIndependentOfScratchContents(t *testing.T) {
+	for _, band := range []int{0, 8} {
+		seqs := poaTestSeqs(4, 200, 2)
+		p := NewPOA()
+		p.Band = band
+		for _, s := range seqs {
+			if err := p.AddSequence(s, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		query := append([]byte(nil), seqs[1]...)
+		clean := p.alignToGraph(query, nil)
+		for i := range p.scratch.score {
+			p.scratch.score[i] = 0x3b3b3b
+		}
+		for i := range p.scratch.fromNode {
+			p.scratch.fromNode[i] = 12345
+		}
+		for i := range p.scratch.fromJ {
+			p.scratch.fromJ[i] = 2
+		}
+		dirty := p.alignToGraph(query, nil)
+		if !reflect.DeepEqual(clean, dirty) {
+			t.Fatalf("band %d: alignment depends on stale scratch contents", band)
+		}
+	}
+}
+
+// BenchmarkPOAAddSequence measures building a small multiple alignment; run
+// with -benchmem to see the allocation effect of the pooled DP rows.
+func BenchmarkPOAAddSequence(b *testing.B) {
+	seqs := poaTestSeqs(8, 250, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewPOA()
+		for _, s := range seqs {
+			if err := p.AddSequence(s, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPOAAddSequenceWarm isolates the steady-state cost pooling targets:
+// one more sequence into an already-built graph with warm scratch buffers.
+func BenchmarkPOAAddSequenceWarm(b *testing.B) {
+	seqs := poaTestSeqs(4, 250, 4)
+	p := NewPOA()
+	for _, s := range seqs {
+		if err := p.AddSequence(s, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.AddSequence(seqs[0], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

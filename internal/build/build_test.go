@@ -1,6 +1,7 @@
 package build
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -26,7 +27,7 @@ func TestPGGBSmall(t *testing.T) {
 	names, seqs := testAssemblies(t, 8000, 4)
 	cfg := DefaultPGGBConfig()
 	cfg.LayoutIterations = 2
-	res, err := PGGB(names, seqs, cfg, nil)
+	res, err := PGGB(context.Background(), names, seqs, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,10 +86,10 @@ func TestPGGBSmall(t *testing.T) {
 }
 
 func TestPGGBValidation(t *testing.T) {
-	if _, err := PGGB([]string{"a"}, [][]byte{[]byte("ACGT")}, DefaultPGGBConfig(), nil); err == nil {
+	if _, err := PGGB(context.Background(), []string{"a"}, [][]byte{[]byte("ACGT")}, DefaultPGGBConfig(), nil); err == nil {
 		t.Fatal("single assembly must error")
 	}
-	if _, err := PGGB([]string{"a", "b"}, [][]byte{[]byte("ACGT")}, DefaultPGGBConfig(), nil); err == nil {
+	if _, err := PGGB(context.Background(), []string{"a", "b"}, [][]byte{[]byte("ACGT")}, DefaultPGGBConfig(), nil); err == nil {
 		t.Fatal("name/sequence count mismatch must error")
 	}
 }
@@ -97,7 +98,7 @@ func TestMinigraphCactusSmall(t *testing.T) {
 	names, seqs := testAssemblies(t, 8000, 4)
 	cfg := DefaultMCConfig()
 	cfg.LayoutIterations = 2
-	res, err := MinigraphCactus(names, seqs, cfg, nil)
+	res, err := MinigraphCactus(context.Background(), names, seqs, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,11 +134,11 @@ func TestMinigraphCactusDeterministic(t *testing.T) {
 	names, seqs := testAssemblies(t, 6000, 3)
 	cfg := DefaultMCConfig()
 	cfg.LayoutIterations = 0
-	r1, err := MinigraphCactus(names, seqs, cfg, nil)
+	r1, err := MinigraphCactus(context.Background(), names, seqs, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := MinigraphCactus(names, seqs, cfg, nil)
+	r2, err := MinigraphCactus(context.Background(), names, seqs, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,12 +148,12 @@ func TestMinigraphCactusDeterministic(t *testing.T) {
 }
 
 func TestMinigraphCactusValidation(t *testing.T) {
-	if _, err := MinigraphCactus([]string{"a"}, [][]byte{[]byte("ACGT")}, DefaultMCConfig(), nil); err == nil {
+	if _, err := MinigraphCactus(context.Background(), []string{"a"}, [][]byte{[]byte("ACGT")}, DefaultMCConfig(), nil); err == nil {
 		t.Fatal("single assembly must error")
 	}
 	cfg := DefaultMCConfig()
 	cfg.SegmentLen = 0
-	if _, err := MinigraphCactus([]string{"a", "b"}, [][]byte{[]byte("ACGT"), []byte("ACGT")}, cfg, nil); err == nil {
+	if _, err := MinigraphCactus(context.Background(), []string{"a", "b"}, [][]byte{[]byte("ACGT"), []byte("ACGT")}, cfg, nil); err == nil {
 		t.Fatal("invalid config must error")
 	}
 }
@@ -162,7 +163,7 @@ func TestMinigraphCactusThreadsProbe(t *testing.T) {
 	cfg := DefaultMCConfig()
 	cfg.LayoutIterations = 1
 	probe := perf.NewProbe()
-	if _, err := MinigraphCactus(names, seqs, cfg, probe); err != nil {
+	if _, err := MinigraphCactus(context.Background(), names, seqs, cfg, probe); err != nil {
 		t.Fatal(err)
 	}
 	if probe.Instructions() == 0 {

@@ -1,0 +1,131 @@
+package build
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pangenomicsbench/internal/graph"
+)
+
+// pathSpellings walks every embedded path and returns its reconstructed
+// sequence, keyed by path name.
+func pathSpellings(g *graph.Graph) map[string]string {
+	out := map[string]string{}
+	for _, p := range g.Paths() {
+		out[p.Name] = string(g.PathSeq(p))
+	}
+	return out
+}
+
+// checkCollapsePreservesPaths runs collapseSiblings on g and verifies every
+// haplotype path spells the same sequence byte-for-byte afterwards. Returns
+// the number of nodes collapsed.
+func checkCollapsePreservesPaths(t *testing.T, g *graph.Graph) int {
+	t.Helper()
+	before := pathSpellings(g)
+	ng, collapsed, err := collapseSiblings(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ng.Validate(); err != nil {
+		t.Fatalf("collapsed graph invalid: %v", err)
+	}
+	if got := ng.NumNodes(); got != g.NumNodes()-collapsed {
+		t.Fatalf("collapsed graph has %d nodes, want %d - %d", got, g.NumNodes(), collapsed)
+	}
+	after := pathSpellings(ng)
+	if len(after) != len(before) {
+		t.Fatalf("collapse changed path count: %d -> %d", len(before), len(after))
+	}
+	for name, want := range before {
+		if got, ok := after[name]; !ok {
+			t.Fatalf("collapse dropped path %q", name)
+		} else if got != want {
+			t.Fatalf("collapse changed path %q spelling (len %d -> %d)", name, len(want), len(got))
+		}
+	}
+	return collapsed
+}
+
+// TestCollapseSiblingsHandBuilt: a graph with two identical siblings (same
+// sequence, same in-neighbor set) must merge them while every embedded
+// haplotype keeps its spelling.
+func TestCollapseSiblingsHandBuilt(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode([]byte("ACGTACGT"))
+	b1 := g.AddNode([]byte("TTTT")) // sibling pair: same seq, same in-set {a}
+	b2 := g.AddNode([]byte("TTTT"))
+	c := g.AddNode([]byte("GGGG"))
+	d := g.AddNode([]byte("CCAA")) // different seq, same in-set: must survive
+	if err := g.AddPath("hapA", []graph.NodeID{a, b1, c}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddPath("hapB", []graph.NodeID{a, b2, c}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddPath("hapC", []graph.NodeID{a, d, c}); err != nil {
+		t.Fatal(err)
+	}
+	if collapsed := checkCollapsePreservesPaths(t, g); collapsed != 1 {
+		t.Fatalf("collapsed %d nodes, want exactly the duplicated sibling", collapsed)
+	}
+}
+
+// TestCollapseSiblingsRandomized: layered random DAGs with deliberately
+// duplicated sibling nodes and many embedded walks — the differential
+// property must hold on every one of them.
+func TestCollapseSiblingsRandomized(t *testing.T) {
+	for _, seed := range []int64{3, 11, 99} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g := graph.New()
+			const layers = 6
+			const width = 4
+			var layerNodes [layers][]graph.NodeID
+			alphabet := []string{"AC", "GT", "ACGT", "TTAA"}
+			for l := 0; l < layers; l++ {
+				n := 1 + rng.Intn(width)
+				for i := 0; i < n; i++ {
+					seq := alphabet[rng.Intn(len(alphabet))]
+					layerNodes[l] = append(layerNodes[l], g.AddNode([]byte(seq)))
+				}
+				// Duplicate one node per layer with probability 1/2 so
+				// sibling collapses actually occur.
+				if rng.Intn(2) == 0 {
+					dup := g.Seq(layerNodes[l][0])
+					layerNodes[l] = append(layerNodes[l], g.AddNode(dup))
+				}
+			}
+			// Random walks layer to layer become paths (and create edges).
+			for w := 0; w < 12; w++ {
+				var walk []graph.NodeID
+				for l := 0; l < layers; l++ {
+					walk = append(walk, layerNodes[l][rng.Intn(len(layerNodes[l]))])
+				}
+				if err := g.AddPath(fmt.Sprintf("walk%02d", w), walk); err != nil {
+					t.Fatal(err)
+				}
+			}
+			checkCollapsePreservesPaths(t, g)
+		})
+	}
+}
+
+// TestCollapseSiblingsOnMCGraph: the differential property on real pipeline
+// output — re-running the GFAffix-style polish on a finished MC graph must
+// preserve every embedded haplotype spelling. (The pass is single-sweep, not
+// a fixpoint, so a second run may merge more nodes; only the spellings are
+// invariant.)
+func TestCollapseSiblingsOnMCGraph(t *testing.T) {
+	names, seqs := testAssemblies(t, 6000, 4)
+	cfg := DefaultMCConfig()
+	cfg.LayoutIterations = 0
+	res, err := MinigraphCactus(context.Background(), names, seqs, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCollapsePreservesPaths(t, res.Graph)
+}

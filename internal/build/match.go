@@ -2,6 +2,7 @@ package build
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -33,8 +34,9 @@ type PairStats struct {
 	WFATime      time.Duration
 }
 
-// add merges o into s (for the all-vs-all aggregate).
-func (s *PairStats) add(o PairStats) {
+// Add merges o into s (the all-vs-all aggregate; serve-mode also uses it
+// to aggregate cached per-pair stats).
+func (s *PairStats) Add(o PairStats) {
 	s.Anchors += o.Anchors
 	s.Windows += o.Windows
 	s.WindowsKept += o.WindowsKept
@@ -242,10 +244,17 @@ func PairMatches(ia int, a []byte, ib int, b []byte, k, w int, probe *perf.Probe
 // canonical pair order ((0,1), (0,2), …, (n-2,n-1)), so the returned block
 // slice is identical regardless of worker count or scheduling.
 //
+// ctx cancels the search between pairs: a canceled context returns
+// ctx.Err() without waiting for the remaining pairs (serve-mode request
+// timeouts ride on this). A nil ctx behaves like context.Background().
+//
 // The perf probe is not safe for concurrent use, so an instrumented run
 // (probe != nil) executes the pairs serially — the same rule the kernel
 // registry applies to instrumented kernel runs.
-func AllPairMatches(seqs [][]byte, k, w, workers int, probe *perf.Probe) ([]MatchBlock, PairStats, error) {
+func AllPairMatches(ctx context.Context, seqs [][]byte, k, w, workers int, probe *perf.Probe) ([]MatchBlock, PairStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := len(seqs)
 	type pairJob struct{ i, j int }
 	var jobs []pairJob
@@ -266,6 +275,9 @@ func AllPairMatches(seqs [][]byte, k, w, workers int, probe *perf.Probe) ([]Matc
 	}
 	if probe != nil || workers <= 1 {
 		for ji, job := range jobs {
+			if err := ctx.Err(); err != nil {
+				return nil, PairStats{}, err
+			}
 			results[ji], stats[ji], errs[ji] = PairMatches(job.i, seqs[job.i], job.j, seqs[job.j], k, w, probe)
 		}
 	} else {
@@ -277,7 +289,7 @@ func AllPairMatches(seqs [][]byte, k, w, workers int, probe *perf.Probe) ([]Matc
 				defer wg.Done()
 				for {
 					ji := int(atomic.AddInt64(&next, 1)) - 1
-					if ji >= len(jobs) {
+					if ji >= len(jobs) || ctx.Err() != nil {
 						return
 					}
 					job := jobs[ji]
@@ -286,6 +298,9 @@ func AllPairMatches(seqs [][]byte, k, w, workers int, probe *perf.Probe) ([]Matc
 			}()
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, PairStats{}, err
+		}
 	}
 
 	var out []MatchBlock
@@ -295,7 +310,7 @@ func AllPairMatches(seqs [][]byte, k, w, workers int, probe *perf.Probe) ([]Matc
 			return nil, agg, errs[ji]
 		}
 		out = append(out, results[ji]...)
-		agg.add(stats[ji])
+		agg.Add(stats[ji])
 	}
 	return out, agg, nil
 }

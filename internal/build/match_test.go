@@ -2,6 +2,7 @@ package build
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"runtime"
 	"testing"
@@ -123,7 +124,7 @@ func TestPairMatchesRejectsEmpty(t *testing.T) {
 // GOMAXPROCS (run under -race in CI to exercise the pool).
 func TestAllPairMatchesWorkerInvariance(t *testing.T) {
 	_, seqs := testAssemblies(t, 6000, 4)
-	want, wantStats, err := AllPairMatches(seqs, 15, 10, 1, nil)
+	want, wantStats, err := AllPairMatches(context.Background(), seqs, 15, 10, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestAllPairMatchesWorkerInvariance(t *testing.T) {
 		t.Fatal("no blocks from all-vs-all matching")
 	}
 	for _, workers := range []int{2, 3, 8, 0} {
-		got, gotStats, err := AllPairMatches(seqs, 15, 10, workers, nil)
+		got, gotStats, err := AllPairMatches(context.Background(), seqs, 15, 10, workers, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,7 +148,7 @@ func TestAllPairMatchesWorkerInvariance(t *testing.T) {
 	// GOMAXPROCS must not matter either.
 	old := runtime.GOMAXPROCS(1)
 	defer runtime.GOMAXPROCS(old)
-	got, _, err := AllPairMatches(seqs, 15, 10, 4, nil)
+	got, _, err := AllPairMatches(context.Background(), seqs, 15, 10, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestAllPairMatchesWorkerInvariance(t *testing.T) {
 		t.Fatal("GOMAXPROCS=1 changed the merged blocks")
 	}
 	// An instrumented (serial) run matches the parallel result.
-	got, _, err = AllPairMatches(seqs, 15, 10, 4, perf.NewProbe())
+	got, _, err = AllPairMatches(context.Background(), seqs, 15, 10, 4, perf.NewProbe())
 	if err != nil {
 		t.Fatal(err)
 	}

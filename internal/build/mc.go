@@ -1,6 +1,7 @@
 package build
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -88,8 +89,13 @@ type planItem struct {
 // collapses redundant sibling nodes, and PG-SGD lays the graph out.
 //
 // Stage timing: GWFA accumulates inside Alignment, POATime inside
-// Induction. The run is deterministic for fixed inputs and config.
-func MinigraphCactus(names []string, seqs [][]byte, cfg MCConfig, probe *perf.Probe) (*Result, error) {
+// Induction. ctx cancels the run between assemblies and mapping chunks;
+// a nil ctx behaves like context.Background(). The run is deterministic
+// for fixed inputs and config.
+func MinigraphCactus(ctx context.Context, names []string, seqs [][]byte, cfg MCConfig, probe *perf.Probe) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(names) != len(seqs) || len(seqs) < 2 {
 		return nil, fmt.Errorf("build: MinigraphCactus needs ≥2 named assemblies (got %d names, %d seqs)", len(names), len(seqs))
 	}
@@ -125,6 +131,9 @@ func MinigraphCactus(names []string, seqs [][]byte, cfg MCConfig, probe *perf.Pr
 	novel := map[[2]graph.NodeID][]graph.NodeID{}
 
 	for ai := 1; ai < len(seqs); ai++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		asm := seqs[ai]
 		var plan []planItem
 
@@ -136,6 +145,9 @@ func MinigraphCactus(names []string, seqs [][]byte, cfg MCConfig, probe *perf.Pr
 				return
 			}
 			for chunkLo := 0; chunkLo < len(asm); chunkLo += cfg.MapChunk {
+				if err = ctx.Err(); err != nil {
+					return
+				}
 				chunkHi := chunkLo + cfg.MapChunk
 				if chunkHi > len(asm) {
 					chunkHi = len(asm)

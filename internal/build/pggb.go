@@ -1,6 +1,7 @@
 package build
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -51,9 +52,48 @@ func DefaultPGGBConfig() PGGBConfig {
 //     realigned with banded POA (timed as POATime) and a consensus taken.
 //  4. Visualization — PG-SGD layout of the induced graph.
 //
-// The run is deterministic for fixed inputs and config, independent of
-// Workers and GOMAXPROCS.
-func PGGB(names []string, seqs [][]byte, cfg PGGBConfig, probe *perf.Probe) (*Result, error) {
+// ctx cancels the run between pipeline units of work (pairs, polish
+// windows); a nil ctx behaves like context.Background(). The run is
+// deterministic for fixed inputs and config, independent of Workers and
+// GOMAXPROCS.
+func PGGB(ctx context.Context, names []string, seqs [][]byte, cfg PGGBConfig, probe *perf.Probe) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(names) != len(seqs) || len(seqs) < 2 {
+		return nil, fmt.Errorf("build: PGGB needs ≥2 named assemblies (got %d names, %d seqs)", len(names), len(seqs))
+	}
+
+	// 1. Alignment: parallel all-vs-all matching.
+	var blocks []MatchBlock
+	var mst PairStats
+	var err error
+	var alignTime time.Duration
+	timeStage(&alignTime, func() {
+		blocks, mst, err = AllPairMatches(ctx, seqs, cfg.K, cfg.W, cfg.Workers, probe)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := PGGBFromMatches(ctx, names, seqs, blocks, mst, cfg, probe)
+	if err != nil {
+		return nil, err
+	}
+	res.Breakdown.Alignment = alignTime
+	return res, nil
+}
+
+// PGGBFromMatches runs the PGGB pipeline downstream of the alignment stage:
+// induction, polishing and layout over an already-computed set of match
+// blocks (with their aggregate PairStats). This is the entry point the
+// serve-mode build service uses when overlapping cohorts reuse cached
+// per-pair match results — the returned Result is identical to PGGB's for
+// the same blocks, except Breakdown.Alignment, which belongs to whoever
+// produced the blocks.
+func PGGBFromMatches(ctx context.Context, names []string, seqs [][]byte, blocks []MatchBlock, mst PairStats, cfg PGGBConfig, probe *perf.Probe) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(names) != len(seqs) || len(seqs) < 2 {
 		return nil, fmt.Errorf("build: PGGB needs ≥2 named assemblies (got %d names, %d seqs)", len(names), len(seqs))
 	}
@@ -62,21 +102,11 @@ func PGGB(names []string, seqs [][]byte, cfg PGGBConfig, probe *perf.Probe) (*Re
 	bd.Pipeline = "PGGB"
 	res.Stats.Assemblies = len(seqs)
 	res.Stats.Pairs = len(seqs) * (len(seqs) - 1) / 2
-
-	// 1. Alignment: parallel all-vs-all matching.
-	var blocks []MatchBlock
-	var mst PairStats
-	var err error
-	timeStage(&bd.Alignment, func() {
-		blocks, mst, err = AllPairMatches(seqs, cfg.K, cfg.W, cfg.Workers, probe)
-	})
-	if err != nil {
-		return nil, err
-	}
 	res.Stats.MatchBlocks = mst.Blocks
 	res.Stats.MatchedBases = mst.MatchedBases
 
 	// 2. Induction: transclosure + graph emission.
+	var err error
 	timeStage(&bd.Induction, func() {
 		var b *seqwish.Builder
 		b, err = seqwish.NewBuilder(names, seqs)
@@ -96,12 +126,18 @@ func PGGB(names []string, seqs [][]byte, cfg PGGBConfig, probe *perf.Probe) (*Re
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// 3. Polishing: smoothXG-style partitioned POA.
 	if cfg.PolishWindow > 0 {
 		timeStage(&bd.Polishing, func() {
 			base := seqs[0]
 			for start := 0; start < len(base); start += cfg.PolishWindow {
+				if err = ctx.Err(); err != nil {
+					return
+				}
 				end := start + cfg.PolishWindow
 				if end > len(base) {
 					end = len(base)
@@ -135,6 +171,9 @@ func PGGB(names []string, seqs [][]byte, cfg PGGBConfig, probe *perf.Probe) (*Re
 
 	// 4. Visualization: PG-SGD layout.
 	if cfg.LayoutIterations > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		timeStage(&bd.Layout, func() {
 			res.Layout, err = runLayout(res.Graph, cfg.LayoutIterations, cfg.LayoutSeed, probe)
 		})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -184,11 +185,11 @@ func (s *Suite) Fig2() (Table, error) {
 func (s *Suite) Fig3() (Table, error) {
 	names, seqs := s.Pop.AssemblyView()
 	pcfg := build.DefaultPGGBConfig()
-	pres, err := build.PGGB(names, seqs, pcfg, nil)
+	pres, err := build.PGGB(context.Background(), names, seqs, pcfg, nil)
 	if err != nil {
 		return Table{}, err
 	}
-	mres, err := build.MinigraphCactus(names, seqs, build.DefaultMCConfig(), nil)
+	mres, err := build.MinigraphCactus(context.Background(), names, seqs, build.DefaultMCConfig(), nil)
 	if err != nil {
 		return Table{}, err
 	}

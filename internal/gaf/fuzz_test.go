@@ -1,0 +1,56 @@
+package gaf
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzRead: any records the parser accepts must each pass Validate and must
+// survive a Write/Read round trip byte-for-byte (no silently-altered node
+// IDs, intervals, or tags).
+func FuzzRead(f *testing.F) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.gaf"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte("r\t4\t0\t4\t+\t>1\t4\t0\t4\t4\t4\t0\n"))
+	f.Add([]byte("r\t4\t0\t4\t+\t>2147483648\t4\t0\t4\t4\t4\t0\n"))
+	f.Add([]byte("r\t4\t0\t4\t+\t>4294967297\t4\t0\t4\t4\t4\t0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: fine, as long as we didn't panic
+		}
+		for i, r := range recs {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("accepted record %d fails validation: %v", i, err)
+			}
+			for _, id := range r.Path {
+				if id < 1 {
+					t.Fatalf("accepted record %d has invalid node ID %d", i, id)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, recs); err != nil {
+			t.Fatalf("write of accepted records failed: %v", err)
+		}
+		back, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of written records failed: %v\n%s", err, buf.Bytes())
+		}
+		if len(recs) > 0 && !reflect.DeepEqual(recs, back) {
+			t.Fatalf("round trip altered records:\n got %+v\nwant %+v", back, recs)
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -36,6 +37,15 @@ type Record struct {
 func (r Record) Validate() error {
 	if r.QueryName == "" {
 		return fmt.Errorf("gaf: empty query name")
+	}
+	// Tabs would break the record's field structure; \r\n would be eaten by
+	// the line trimming on re-parse. Reject both so Write output always
+	// round-trips.
+	if strings.ContainsAny(r.QueryName, "\t\r\n") {
+		return fmt.Errorf("gaf: query name %q contains control characters", r.QueryName)
+	}
+	if strings.ContainsAny(r.Cigar, "\t\r\n") {
+		return fmt.Errorf("gaf: cigar contains control characters")
 	}
 	if r.QueryStart < 0 || r.QueryEnd < r.QueryStart || r.QueryEnd > r.QueryLen {
 		return fmt.Errorf("gaf: query interval [%d,%d) outside [0,%d)", r.QueryStart, r.QueryEnd, r.QueryLen)
@@ -158,7 +168,10 @@ func parsePath(s string) ([]graph.NodeID, error) {
 			j++
 		}
 		id, err := strconv.Atoi(s[i+1 : j])
-		if err != nil || id < 1 {
+		// NodeID is int32: reject anything outside its range before the
+		// conversion below silently wraps (">2147483648" must not become a
+		// negative — or worse, a different valid — node).
+		if err != nil || id < 1 || id > math.MaxInt32 {
 			return nil, fmt.Errorf("bad path step %q", s[i:j])
 		}
 		out = append(out, graph.NodeID(id))

@@ -1,0 +1,53 @@
+package gfa_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pangenomicsbench/internal/gfa"
+)
+
+// fuzzSeeds loads every testdata file as a corpus seed.
+func fuzzSeeds(f *testing.F, pattern string) {
+	f.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", pattern))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+}
+
+// FuzzRead: any input the parser accepts must yield a structurally valid
+// graph that survives a Write/Read round trip unchanged.
+func FuzzRead(f *testing.F) {
+	fuzzSeeds(f, "*.gfa")
+	f.Add([]byte("S\t1\tA\nP\tp\t1+\t*\n"))
+	f.Add([]byte("S\t-3\tAC\nS\t5\tG\nL\t-3\t+\t5\t+\t0M\n"))
+	f.Add([]byte("S\t2147483647\tACGT\nP\tq\t2147483647+,2147483647+\t*\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := gfa.Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: fine, as long as we didn't panic
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := gfa.Write(&buf, g); err != nil {
+			t.Fatalf("write of accepted graph failed: %v", err)
+		}
+		back, err := gfa.Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of written graph failed: %v\n%s", err, buf.Bytes())
+		}
+		graphsEqual(t, g, back)
+	})
+}

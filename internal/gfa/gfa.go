@@ -83,6 +83,12 @@ func Read(r io.Reader) (*graph.Graph, error) {
 			if fields[2] == "*" || fields[2] == "" {
 				return nil, fmt.Errorf("gfa: line %d: segment %d has no sequence", line, name)
 			}
+			// \r\n inside a sequence would be eaten by line trimming when the
+			// graph is written and re-parsed; reject so accepted graphs
+			// always round-trip.
+			if strings.ContainsAny(fields[2], "\t\r\n") {
+				return nil, fmt.Errorf("gfa: line %d: segment %d sequence contains control characters", line, name)
+			}
 			segs[name] = []byte(fields[2])
 		case "L":
 			if len(fields) < 5 {

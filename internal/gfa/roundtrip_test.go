@@ -1,0 +1,132 @@
+package gfa_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"pangenomicsbench/internal/build"
+	"pangenomicsbench/internal/gensim"
+	"pangenomicsbench/internal/gfa"
+	"pangenomicsbench/internal/graph"
+)
+
+// graphsEqual asserts g2 reproduces g1's segments, links and paths exactly.
+func graphsEqual(t *testing.T, g1, g2 *graph.Graph) {
+	t.Helper()
+	if g1.NumNodes() != g2.NumNodes() {
+		t.Fatalf("node count %d != %d", g1.NumNodes(), g2.NumNodes())
+	}
+	for _, id := range g1.SortedNodeIDs() {
+		if !bytes.Equal(g1.Seq(id), g2.Seq(id)) {
+			t.Fatalf("segment %d sequence differs", id)
+		}
+		out1, out2 := g1.Out(id), g2.Out(id)
+		if len(out1) != len(out2) {
+			t.Fatalf("node %d has %d vs %d out-edges", id, len(out1), len(out2))
+		}
+		seen := map[graph.NodeID]bool{}
+		for _, to := range out1 {
+			seen[to] = true
+		}
+		for _, to := range out2 {
+			if !seen[to] {
+				t.Fatalf("node %d gained edge to %d", id, to)
+			}
+		}
+	}
+	p1, p2 := g1.Paths(), g2.Paths()
+	if len(p1) != len(p2) {
+		t.Fatalf("path count %d != %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i].Name != p2[i].Name {
+			t.Fatalf("path %d name %q != %q", i, p1[i].Name, p2[i].Name)
+		}
+		if len(p1[i].Nodes) != len(p2[i].Nodes) {
+			t.Fatalf("path %q has %d vs %d steps", p1[i].Name, len(p1[i].Nodes), len(p2[i].Nodes))
+		}
+		for j := range p1[i].Nodes {
+			if p1[i].Nodes[j] != p2[i].Nodes[j] {
+				t.Fatalf("path %q step %d: %d != %d", p1[i].Name, j, p1[i].Nodes[j], p2[i].Nodes[j])
+			}
+		}
+	}
+}
+
+// TestPGGBGraphRoundTrip is the round-trip losslessness property: for
+// gensim-seeded cohorts, a PGGB result graph written as GFA and re-parsed
+// reproduces identical segments, links and paths.
+func TestPGGBGraphRoundTrip(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := gensim.DefaultConfig()
+			cfg.RefLen = 4000
+			cfg.Haplotypes = 4
+			cfg.Seed = seed
+			pop, err := gensim.Simulate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			names, seqs := pop.AssemblyView()
+			bcfg := build.DefaultPGGBConfig()
+			bcfg.LayoutIterations = 0
+			res, err := build.PGGB(context.Background(), names, seqs, bcfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var buf bytes.Buffer
+			if err := gfa.Write(&buf, res.Graph); err != nil {
+				t.Fatal(err)
+			}
+			first := buf.String()
+			back, err := gfa.Read(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("re-parse failed: %v", err)
+			}
+			graphsEqual(t, res.Graph, back)
+			if err := back.Validate(); err != nil {
+				t.Fatalf("re-parsed graph invalid: %v", err)
+			}
+			// Paths must still spell every assembly after the round trip.
+			for i, p := range back.Paths() {
+				if got := string(back.PathSeq(p)); got != string(seqs[i]) {
+					t.Fatalf("path %s no longer spells its assembly after round trip", p.Name)
+				}
+			}
+			// Serialization is a fixpoint: writing the re-parsed graph
+			// reproduces the same bytes.
+			var buf2 bytes.Buffer
+			if err := gfa.Write(&buf2, back); err != nil {
+				t.Fatal(err)
+			}
+			if buf2.String() != first {
+				t.Fatal("GFA serialization is not a fixpoint under round trip")
+			}
+		})
+	}
+}
+
+// TestGensimGraphRoundTrip extends the property to the simulator's bubble
+// graphs, which have denser branching than PGGB output.
+func TestGensimGraphRoundTrip(t *testing.T) {
+	cfg := gensim.DefaultConfig()
+	cfg.RefLen = 6000
+	cfg.Haplotypes = 6
+	pop, err := gensim.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gfa.Write(&buf, pop.Graph); err != nil {
+		t.Fatal(err)
+	}
+	back, err := gfa.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, pop.Graph, back)
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"pangenomicsbench/internal/build"
+	"pangenomicsbench/internal/perf"
+)
+
+// pairKey identifies one canonical pair-match computation: the two assembly
+// names in lexicographic order plus the (w,k)-minimizer scheme. Requests
+// whose cohorts overlap hit the same keys regardless of cohort ordering.
+type pairKey struct {
+	a, b string // a < b lexicographically
+	k, w int
+}
+
+// entryState tracks a cache entry through its lifecycle.
+type entryState int
+
+const (
+	statePending entryState = iota // owner is computing; ready not yet closed
+	stateReady                     // blocks/stats valid
+	stateFailed                    // compute failed; entry removed from map
+)
+
+// pairEntry is one cached canonical pair-match result. blocks are stored in
+// canonical orientation (SeqA = 0 names key.a, SeqB = 1 names key.b) and are
+// never mutated after publish; readers remap copies into cohort indices.
+type pairEntry struct {
+	key    pairKey
+	state  entryState
+	ready  chan struct{} // closed on publish or failure
+	err    error
+	blocks []build.MatchBlock
+	stats  build.PairStats
+	cost   int // approximate bytes held
+	refs   int // pinned by in-flight requests; >0 blocks eviction
+	elem   *list.Element
+}
+
+// pairCache is a size-bounded, reference-counted LRU of canonical pair-match
+// results with per-pair single-flight: concurrent requests needing the same
+// uncomputed pair share one execution. Entries pinned by in-flight requests
+// (refs > 0) are never evicted, so the cache can transiently exceed its
+// capacity when every resident entry is in use.
+type pairCache struct {
+	mu        sync.Mutex
+	capacity  int
+	size      int
+	entries   map[pairKey]*pairEntry
+	lru       *list.List // front = most recent; holds only unpinned ready entries
+	metrics   *perf.Metrics
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// matchBlockCost approximates the bytes one MatchBlock holds (5 ints).
+const matchBlockCost = 40
+
+func newPairCache(capacity int, metrics *perf.Metrics) *pairCache {
+	return &pairCache{
+		capacity: capacity,
+		entries:  map[pairKey]*pairEntry{},
+		lru:      list.New(),
+		metrics:  metrics,
+	}
+}
+
+// acquire returns the entry for key, computing it with compute on a miss.
+// The returned entry is pinned: the caller must release it once done reading
+// its blocks. hit reports whether the result came from the cache (including
+// waiting on another request's in-flight computation of the same pair).
+func (c *pairCache) acquire(ctx context.Context, key pairKey, compute func() ([]build.MatchBlock, build.PairStats, error)) (e *pairEntry, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		e = c.entries[key]
+		if e == nil {
+			// Miss: become the owner of this pair's computation.
+			e = &pairEntry{key: key, state: statePending, ready: make(chan struct{}), refs: 1}
+			c.entries[key] = e
+			c.misses++
+			c.mu.Unlock()
+			c.metrics.Add("serve.pair_misses", 1)
+
+			blocks, stats, cerr := compute()
+			c.mu.Lock()
+			if cerr != nil {
+				e.state = stateFailed
+				e.err = cerr
+				delete(c.entries, key)
+				close(e.ready)
+				c.mu.Unlock()
+				return nil, false, cerr
+			}
+			e.state = stateReady
+			e.blocks = blocks
+			e.stats = stats
+			e.cost = matchBlockCost*len(blocks) + 64
+			c.size += e.cost
+			c.evict()
+			close(e.ready)
+			c.mu.Unlock()
+			return e, false, nil
+		}
+
+		// Hit (ready) or join (pending): pin so the entry outlives any
+		// eviction pressure while we wait or read.
+		e.refs++
+		if e.elem != nil {
+			c.lru.Remove(e.elem)
+			e.elem = nil
+		}
+		c.mu.Unlock()
+
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			c.release(e)
+			return nil, false, ctx.Err()
+		}
+		if e.state == stateReady {
+			c.mu.Lock()
+			c.hits++
+			c.mu.Unlock()
+			c.metrics.Add("serve.pair_hits", 1)
+			return e, true, nil
+		}
+		// The owner failed and removed the entry; retry as a fresh owner
+		// (a second failure surfaces the error to this caller directly).
+		c.release(e)
+	}
+}
+
+// release unpins an entry. The last release of a ready, still-resident entry
+// makes it evictable by pushing it to the LRU front.
+func (c *pairCache) release(e *pairEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.refs--
+	if e.refs > 0 || e.state != stateReady {
+		return
+	}
+	if c.entries[e.key] != e {
+		return // already evicted (or replaced) while pinned
+	}
+	e.elem = c.lru.PushFront(e)
+	c.evict()
+}
+
+// evict drops least-recently-used unpinned entries until the cache fits its
+// capacity. Called with c.mu held.
+func (c *pairCache) evict() {
+	for c.size > c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			return // everything resident is pinned
+		}
+		e := back.Value.(*pairEntry)
+		c.lru.Remove(back)
+		e.elem = nil
+		delete(c.entries, e.key)
+		c.size -= e.cost
+		c.evictions++
+		c.metrics.Add("serve.evictions", 1)
+	}
+}
+
+// counters returns (hits, misses, evictions) so far.
+func (c *pairCache) counters() (hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// resident returns the number of cached entries and their total cost.
+func (c *pairCache) resident() (entries, bytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.size
+}

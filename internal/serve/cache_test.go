@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pangenomicsbench/internal/build"
+)
+
+func testBlocks(n int) []build.MatchBlock {
+	out := make([]build.MatchBlock, n)
+	for i := range out {
+		out[i] = build.MatchBlock{SeqA: 0, PosA: i, SeqB: 1, PosB: i, Len: 16}
+	}
+	return out
+}
+
+// TestPairCacheSingleFlight: many concurrent acquires of one uncomputed key
+// run compute exactly once and all observe the same blocks.
+func TestPairCacheSingleFlight(t *testing.T) {
+	c := newPairCache(1<<20, nil)
+	key := pairKey{a: "a", b: "b", k: 15, w: 10}
+	var computes int32
+	gate := make(chan struct{})
+
+	const waiters = 16
+	entries := make([]*pairEntry, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, _, err := c.acquire(context.Background(), key, func() ([]build.MatchBlock, build.PairStats, error) {
+				atomic.AddInt32(&computes, 1)
+				<-gate // hold every other acquirer in the pending state
+				return testBlocks(3), build.PairStats{Blocks: 3}, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			entries[i] = e
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes)
+	}
+	for i, e := range entries {
+		if e == nil || len(e.blocks) != 3 {
+			t.Fatalf("waiter %d got entry %+v", i, e)
+		}
+		c.release(e)
+	}
+	if hits, misses, _ := c.counters(); misses != 1 || hits != waiters-1 {
+		t.Fatalf("hits=%d misses=%d, want %d/1", hits, misses, waiters-1)
+	}
+}
+
+// TestPairCachePinnedEntriesSurviveEviction: a pinned entry is never
+// evicted, even when the cache is far over capacity; it becomes evictable
+// only after release.
+func TestPairCachePinnedEntriesSurviveEviction(t *testing.T) {
+	c := newPairCache(64, nil) // smaller than a single entry's cost
+	keyA := pairKey{a: "a", b: "b"}
+	eA, _, err := c.acquire(context.Background(), keyA, func() ([]build.MatchBlock, build.PairStats, error) {
+		return testBlocks(8), build.PairStats{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill with another entry; only the unpinned one may be evicted.
+	keyB := pairKey{a: "c", b: "d"}
+	eB, _, err := c.acquire(context.Background(), keyB, func() ([]build.MatchBlock, build.PairStats, error) {
+		return testBlocks(8), build.PairStats{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.release(eB) // now evictable and over capacity → evicted
+
+	c.mu.Lock()
+	_, aResident := c.entries[keyA]
+	_, bResident := c.entries[keyB]
+	c.mu.Unlock()
+	if !aResident {
+		t.Fatal("pinned entry was evicted")
+	}
+	if bResident {
+		t.Fatal("unpinned entry survived over-capacity eviction")
+	}
+
+	// Re-acquiring the pinned entry while over capacity still hits.
+	again, hit, err := c.acquire(context.Background(), keyA, func() ([]build.MatchBlock, build.PairStats, error) {
+		t.Fatal("resident entry recomputed")
+		return nil, build.PairStats{}, nil
+	})
+	if err != nil || !hit || again != eA {
+		t.Fatalf("re-acquire: hit=%v err=%v", hit, err)
+	}
+	c.release(again)
+	c.release(eA) // last release → entry becomes evictable and is dropped
+	if entries, bytes := c.resident(); entries != 0 || bytes != 0 {
+		t.Fatalf("cache not empty after releases: %d entries, %d bytes", entries, bytes)
+	}
+}
+
+// TestPairCacheComputeFailure: a failed compute surfaces its error to the
+// owner, wakes waiters to retry, and leaves no residue.
+func TestPairCacheComputeFailure(t *testing.T) {
+	c := newPairCache(1<<20, nil)
+	key := pairKey{a: "a", b: "b"}
+	boom := errors.New("boom")
+	if _, _, err := c.acquire(context.Background(), key, func() ([]build.MatchBlock, build.PairStats, error) {
+		return nil, build.PairStats{}, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failed key recomputes on the next acquire.
+	e, hit, err := c.acquire(context.Background(), key, func() ([]build.MatchBlock, build.PairStats, error) {
+		return testBlocks(1), build.PairStats{}, nil
+	})
+	if err != nil || hit {
+		t.Fatalf("retry after failure: hit=%v err=%v", hit, err)
+	}
+	c.release(e)
+}
+
+// TestPairCacheContextCanceledWaiter: a waiter whose context dies while an
+// owner computes returns the context error without corrupting the entry.
+func TestPairCacheContextCanceledWaiter(t *testing.T) {
+	c := newPairCache(1<<20, nil)
+	key := pairKey{a: "a", b: "b"}
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e, _, err := c.acquire(context.Background(), key, func() ([]build.MatchBlock, build.PairStats, error) {
+			close(started)
+			<-gate
+			return testBlocks(2), build.PairStats{}, nil
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.release(e)
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.acquire(ctx, key, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter err = %v", err)
+	}
+	close(gate)
+	<-done
+	// The owner's publish must be intact after the waiter bailed.
+	e, hit, err := c.acquire(context.Background(), key, nil)
+	if err != nil || !hit || len(e.blocks) != 2 {
+		t.Fatalf("entry corrupted after canceled waiter: hit=%v err=%v", hit, err)
+	}
+	c.release(e)
+}

@@ -1,0 +1,419 @@
+// Package serve wraps the graph-construction pipelines (build.PGGB,
+// build.MinigraphCactus) behind a request API — the serve-mode subsystem of
+// the ROADMAP's production north star. A Service holds a catalog of named
+// assemblies and executes build requests for cohorts drawn from it on a
+// bounded worker pool, with three forms of work sharing:
+//
+//   - Per-pair caching: PGGB's all-vs-all matching is decomposed into
+//     canonical (name-sorted) pairs whose results live in a size-bounded,
+//     reference-counted LRU, so repeated builds of overlapping cohorts skip
+//     the redundant quadratic matching work.
+//   - Pair single-flight: concurrent requests needing the same uncomputed
+//     pair share one execution.
+//   - Request coalescing: identical in-flight requests (same tool, cohort
+//     and config) share one build.
+//
+// Every request is cancellable and deadline-bounded through a
+// context.Context threaded into the pipelines, and service activity
+// (requests, cache hits/misses, evictions, in-flight, per-stage latency) is
+// recorded in a perf.Metrics set.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pangenomicsbench/internal/build"
+	"pangenomicsbench/internal/perf"
+)
+
+// Tool selects the construction pipeline of a request.
+type Tool string
+
+// Supported construction tools.
+const (
+	ToolPGGB Tool = "pggb"
+	ToolMC   Tool = "mc"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Workers bounds concurrently executing builds; ≤0 uses GOMAXPROCS.
+	Workers int
+	// PairWorkers bounds one PGGB request's concurrent pair computations;
+	// ≤0 uses GOMAXPROCS.
+	PairWorkers int
+	// CacheCapacity bounds the pair-match cache in bytes; ≤0 uses 64 MiB.
+	CacheCapacity int
+	// DefaultTimeout bounds requests that don't set their own Timeout;
+	// ≤0 means no default deadline.
+	DefaultTimeout time.Duration
+	// Metrics receives service counters and latencies; nil disables
+	// recording (a fresh set is NOT created, matching perf's nil rule).
+	Metrics *perf.Metrics
+}
+
+// Request is one graph-construction job: a tool, a cohort of registered
+// assembly names, and the tool's config. Timeout (when > 0) bounds this
+// request's execution.
+type Request struct {
+	Tool    Tool
+	Cohort  []string
+	PGGB    build.PGGBConfig
+	MC      build.MCConfig
+	Timeout time.Duration
+}
+
+// Response is the outcome of one request.
+type Response struct {
+	Result *build.Result
+	// PairHits / PairMisses count this request's pair-match cache outcomes
+	// (PGGB only; zero for MC).
+	PairHits, PairMisses int
+	// Coalesced reports that this request shared an identical in-flight
+	// request's execution instead of running its own.
+	Coalesced bool
+	// QueueWait is the time spent waiting for a build slot; Exec the build
+	// execution time.
+	QueueWait, Exec time.Duration
+}
+
+// flight is one in-flight request execution that identical requests join.
+type flight struct {
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+// Service executes build requests over a catalog of named assemblies.
+type Service struct {
+	cfg     Config
+	metrics *perf.Metrics
+	cache   *pairCache
+	slots   chan struct{}
+
+	mu       sync.Mutex
+	catalog  map[string][]byte
+	inflight map[string]*flight
+}
+
+// New returns a Service with the given config.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.PairWorkers <= 0 {
+		cfg.PairWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheCapacity <= 0 {
+		cfg.CacheCapacity = 64 << 20
+	}
+	return &Service{
+		cfg:      cfg,
+		metrics:  cfg.Metrics,
+		cache:    newPairCache(cfg.CacheCapacity, cfg.Metrics),
+		slots:    make(chan struct{}, cfg.Workers),
+		catalog:  map[string][]byte{},
+		inflight: map[string]*flight{},
+	}
+}
+
+// RegisterAssembly adds one named assembly to the catalog. Names must be
+// unique and sequences non-empty.
+func (s *Service) RegisterAssembly(name string, seq []byte) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty assembly name")
+	}
+	if strings.ContainsAny(name, "\x00\n\t") {
+		return fmt.Errorf("serve: assembly name %q contains reserved characters", name)
+	}
+	if len(seq) == 0 {
+		return fmt.Errorf("serve: assembly %q has an empty sequence", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.catalog[name]; dup {
+		return fmt.Errorf("serve: assembly %q already registered", name)
+	}
+	s.catalog[name] = seq
+	return nil
+}
+
+// RegisterAssemblies registers parallel name/sequence slices.
+func (s *Service) RegisterAssemblies(names []string, seqs [][]byte) error {
+	if len(names) != len(seqs) {
+		return fmt.Errorf("serve: %d names but %d sequences", len(names), len(seqs))
+	}
+	for i := range names {
+		if err := s.RegisterAssembly(names[i], seqs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Metrics returns a snapshot of the service's metric set (empty when the
+// service was configured without one).
+func (s *Service) Metrics() perf.MetricsSnapshot { return s.metrics.Snapshot() }
+
+// CacheCounters returns the lifetime pair-cache counters
+// (hits, misses, evictions).
+func (s *Service) CacheCounters() (hits, misses, evictions int64) {
+	return s.cache.counters()
+}
+
+// CacheResident returns the pair-cache occupancy (entries, bytes).
+func (s *Service) CacheResident() (entries, bytes int) { return s.cache.resident() }
+
+// resolve maps a cohort onto catalog sequences.
+func (s *Service) resolve(cohort []string) ([][]byte, error) {
+	if len(cohort) < 2 {
+		return nil, fmt.Errorf("serve: cohort needs ≥2 assemblies (got %d)", len(cohort))
+	}
+	seen := map[string]bool{}
+	seqs := make([][]byte, len(cohort))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, name := range cohort {
+		if seen[name] {
+			return nil, fmt.Errorf("serve: assembly %q repeated in cohort", name)
+		}
+		seen[name] = true
+		seq, ok := s.catalog[name]
+		if !ok {
+			return nil, fmt.Errorf("serve: assembly %q not registered", name)
+		}
+		seqs[i] = seq
+	}
+	return seqs, nil
+}
+
+// fingerprint identifies a request for coalescing: tool, cohort and the
+// tool's full config.
+func (r Request) fingerprint() string {
+	switch r.Tool {
+	case ToolPGGB:
+		return fmt.Sprintf("pggb\x00%s\x00%+v", strings.Join(r.Cohort, "\x00"), r.PGGB)
+	case ToolMC:
+		return fmt.Sprintf("mc\x00%s\x00%+v", strings.Join(r.Cohort, "\x00"), r.MC)
+	}
+	return fmt.Sprintf("%s\x00%s", r.Tool, strings.Join(r.Cohort, "\x00"))
+}
+
+// Build executes one request. Identical in-flight requests share a single
+// execution (the joiner's Response reports Coalesced and shares the leader's
+// Result). ctx cancels or deadline-bounds the request; req.Timeout (or the
+// service default) adds a per-request deadline on top.
+func (s *Service) Build(ctx context.Context, req Request) (*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if req.Tool != ToolPGGB && req.Tool != ToolMC {
+		return nil, fmt.Errorf("serve: unknown tool %q", req.Tool)
+	}
+	seqs, err := s.resolve(req.Cohort)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.Add("serve.requests", 1)
+
+	// Request coalescing: join an identical in-flight execution if any.
+	fp := req.fingerprint()
+	s.mu.Lock()
+	if f := s.inflight[fp]; f != nil {
+		s.mu.Unlock()
+		s.metrics.Add("serve.coalesced", 1)
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if f.err != nil {
+			return nil, f.err
+		}
+		joined := *f.resp
+		joined.Coalesced = true
+		return &joined, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[fp] = f
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, fp)
+		s.mu.Unlock()
+		close(f.done)
+	}()
+
+	f.resp, f.err = s.execute(ctx, req, seqs)
+	return f.resp, f.err
+}
+
+// execute runs one non-coalesced request: waits for a build slot, applies
+// the request deadline, and dispatches to the tool pipeline.
+func (s *Service) execute(ctx context.Context, req Request, seqs [][]byte) (*Response, error) {
+	t0 := time.Now()
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.slots }()
+	resp := &Response{QueueWait: time.Since(t0)}
+	s.metrics.Observe("serve.queue_wait", resp.QueueWait)
+
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	s.metrics.Add("serve.inflight", 1)
+	defer s.metrics.Add("serve.inflight", -1)
+
+	t1 := time.Now()
+	var res *build.Result
+	var err error
+	switch req.Tool {
+	case ToolPGGB:
+		res, err = s.buildPGGB(ctx, req, seqs, resp)
+	case ToolMC:
+		res, err = build.MinigraphCactus(ctx, req.Cohort, seqs, req.MC, nil)
+	}
+	resp.Exec = time.Since(t1)
+	s.metrics.Observe("serve.exec", resp.Exec)
+	if err != nil {
+		s.metrics.Add("serve.errors", 1)
+		return nil, err
+	}
+	bd := res.Breakdown
+	s.metrics.Observe("serve.stage.alignment", bd.Alignment)
+	s.metrics.Observe("serve.stage.induction", bd.Induction)
+	s.metrics.Observe("serve.stage.polishing", bd.Polishing)
+	s.metrics.Observe("serve.stage.layout", bd.Layout)
+	resp.Result = res
+	return resp, nil
+}
+
+// buildPGGB runs the PGGB pipeline with the alignment stage routed through
+// the pair cache: every unordered cohort pair resolves to a canonical
+// (name-sorted) PairMatches result that is computed at most once while
+// cached, then remapped into this cohort's indices. The resulting block set
+// — and therefore the built graph — is byte-identical whether each pair was
+// computed fresh or reused.
+func (s *Service) buildPGGB(ctx context.Context, req Request, seqs [][]byte, resp *Response) (*build.Result, error) {
+	cfg := req.PGGB
+	names := req.Cohort
+	type pairJob struct{ i, j int }
+	var jobs []pairJob
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			jobs = append(jobs, pairJob{i, j})
+		}
+	}
+
+	t0 := time.Now()
+	results := make([][]build.MatchBlock, len(jobs))
+	stats := make([]build.PairStats, len(jobs))
+	hits := make([]bool, len(jobs))
+	errs := make([]error, len(jobs))
+
+	workers := s.cfg.PairWorkers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				ji := next
+				next++
+				mu.Unlock()
+				if ji >= len(jobs) || ctx.Err() != nil {
+					return
+				}
+				job := jobs[ji]
+				results[ji], stats[ji], hits[ji], errs[ji] =
+					s.matchPair(ctx, names[job.i], seqs[job.i], job.i, names[job.j], seqs[job.j], job.j, cfg)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	var blocks []build.MatchBlock
+	var agg build.PairStats
+	for ji := range jobs {
+		if errs[ji] != nil {
+			return nil, errs[ji]
+		}
+		blocks = append(blocks, results[ji]...)
+		agg.Add(stats[ji])
+		if hits[ji] {
+			resp.PairHits++
+		} else {
+			resp.PairMisses++
+		}
+	}
+	alignTime := time.Since(t0)
+
+	res, err := build.PGGBFromMatches(ctx, names, seqs, blocks, agg, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.Breakdown.Alignment = alignTime
+	return res, nil
+}
+
+// matchPair resolves one cohort pair (cohort indices i < j) through the
+// cache and remaps the canonical blocks into cohort coordinates.
+func (s *Service) matchPair(ctx context.Context, nameI string, seqI []byte, i int, nameJ string, seqJ []byte, j int, cfg build.PGGBConfig) ([]build.MatchBlock, build.PairStats, bool, error) {
+	lo, hi := nameI, nameJ
+	seqLo, seqHi := seqI, seqJ
+	swapped := false
+	if lo > hi {
+		lo, hi = hi, lo
+		seqLo, seqHi = seqHi, seqLo
+		swapped = true
+	}
+	key := pairKey{a: lo, b: hi, k: cfg.K, w: cfg.W}
+	entry, hit, err := s.cache.acquire(ctx, key, func() ([]build.MatchBlock, build.PairStats, error) {
+		return build.PairMatches(0, seqLo, 1, seqHi, cfg.K, cfg.W, nil)
+	})
+	if err != nil {
+		return nil, build.PairStats{}, false, err
+	}
+	defer s.cache.release(entry)
+
+	out := make([]build.MatchBlock, len(entry.blocks))
+	for bi, b := range entry.blocks {
+		if swapped {
+			b.PosA, b.PosB = b.PosB, b.PosA
+		}
+		out[bi] = build.MatchBlock{SeqA: i, PosA: b.PosA, SeqB: j, PosB: b.PosB, Len: b.Len}
+	}
+	// Restore canonical (PosA, PosB) block order after a swap.
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].PosA != out[b].PosA {
+			return out[a].PosA < out[b].PosA
+		}
+		return out[a].PosB < out[b].PosB
+	})
+	return out, entry.stats, hit, nil
+}
