@@ -1,0 +1,39 @@
+package main
+
+import (
+	"flag"
+
+	"pangenomicsbench/internal/gensim"
+)
+
+// newFlagSet is the common flag-set constructor for pgbench subcommands.
+func newFlagSet(name string) *flag.FlagSet {
+	return flag.NewFlagSet(name, flag.ContinueOnError)
+}
+
+// popFlags is the population flag block shared by the trace-replay commands
+// (serve-sim, map-serve): both start from the same deterministic simulated
+// assembly catalog, so the flags and the simulation step live in one place.
+type popFlags struct {
+	refLen *int
+	haps   *int
+	seed   *int64
+}
+
+// addPopFlags registers the shared population/trace flags on fs with
+// command-specific catalog defaults.
+func addPopFlags(fs *flag.FlagSet, defRef, defHaps int) *popFlags {
+	return &popFlags{
+		refLen: fs.Int("ref", defRef, "simulated reference length (bp)"),
+		haps:   fs.Int("haps", defHaps, "assemblies in the catalog"),
+		seed:   fs.Int64("seed", 42, "trace seed"),
+	}
+}
+
+// simulate builds the deterministic population behind the trace.
+func (p *popFlags) simulate() (*gensim.Population, error) {
+	cfg := gensim.DefaultConfig()
+	cfg.RefLen = *p.refLen
+	cfg.Haplotypes = *p.haps
+	return gensim.Simulate(cfg)
+}

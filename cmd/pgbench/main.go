@@ -8,6 +8,7 @@
 //	pgbench run [-scale small|bench|large] <experiment>...
 //	pgbench all [-scale small|bench|large]
 //	pgbench serve-sim [flags]
+//	pgbench map-serve [flags]
 package main
 
 import (
@@ -106,6 +107,8 @@ func run(args []string) error {
 		return nil
 	case "serve-sim":
 		return serveSim(rest)
+	case "map-serve":
+		return mapServe(rest)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -129,9 +132,8 @@ func parseScale(s string) (core.Scale, error) {
 // serveSim replays a synthetic multi-tenant build-request trace against the
 // serve-mode construction service and reports throughput and cache reuse.
 func serveSim(args []string) error {
-	fs := flag.NewFlagSet("serve-sim", flag.ContinueOnError)
-	refLen := fs.Int("ref", 20_000, "simulated reference length (bp)")
-	haps := fs.Int("haps", 10, "assemblies in the catalog")
+	fs := newFlagSet("serve-sim")
+	pf := addPopFlags(fs, 20_000, 10)
 	tenants := fs.Int("tenants", 4, "simulated tenants")
 	requests := fs.Int("requests", 24, "requests in the trace")
 	cohortMin := fs.Int("cohort-min", 3, "minimum cohort size")
@@ -141,7 +143,6 @@ func serveSim(args []string) error {
 	cacheMB := fs.Int("cache-mb", 64, "pair-match cache capacity (MiB)")
 	timeout := fs.Duration("timeout", 0, "per-request timeout (0 = none)")
 	toolName := fs.String("tool", "pggb", "construction tool: pggb or mc")
-	seed := fs.Int64("seed", 42, "trace seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -150,10 +151,7 @@ func serveSim(args []string) error {
 		return fmt.Errorf("unknown tool %q (want pggb or mc)", *toolName)
 	}
 
-	gcfg := gensim.DefaultConfig()
-	gcfg.RefLen = *refLen
-	gcfg.Haplotypes = *haps
-	pop, err := gensim.Simulate(gcfg)
+	pop, err := pf.simulate()
 	if err != nil {
 		return err
 	}
@@ -164,7 +162,7 @@ func serveSim(args []string) error {
 		CohortMin: *cohortMin,
 		CohortMax: *cohortMax,
 		Drift:     0.25,
-		Seed:      *seed,
+		Seed:      *pf.seed,
 	})
 	if err != nil {
 		return err
@@ -184,7 +182,7 @@ func serveSim(args []string) error {
 	pcfg := build.DefaultPGGBConfig()
 	mcfg := build.DefaultMCConfig()
 	fmt.Printf("serve-sim: %d assemblies (%d bp ref), %d tenants, %d requests, %d clients, tool=%s\n\n",
-		len(names), *refLen, *tenants, len(trace), *conc, tool)
+		len(names), *pf.refLen, *tenants, len(trace), *conc, tool)
 
 	// Replay: conc clients drain the trace in issue order.
 	var next int
@@ -239,5 +237,8 @@ func usage() {
   pgbench gen [-scale S] [-out DIR]            export datasets (FASTA/FASTQ/GFA)
   pgbench serve-sim [flags]                    replay a multi-tenant build trace
                                                against the serve-mode service
+  pgbench map-serve [flags]                    replay a read-query trace against
+                                               the batched mapping service with a
+                                               mid-trace snapshot hot-swap
 scales: small (quick check), bench (default), large`)
 }

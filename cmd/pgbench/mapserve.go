@@ -1,0 +1,227 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pangenomicsbench/internal/build"
+	"pangenomicsbench/internal/gensim"
+	"pangenomicsbench/internal/mapserve"
+	"pangenomicsbench/internal/perf"
+	"pangenomicsbench/internal/serve"
+)
+
+// mapServe replays a deterministic read-query trace against the batched
+// map-serve query service: the serve-mode construction service builds the
+// cohort graph, publishes it as a mapserve snapshot, and — mid-trace — an
+// equivalent rebuild hot-swaps in while clients keep querying. Reports
+// throughput, exact tail latency, the batch-size distribution, shed rates,
+// and verifies that repeated (byte-identical) reads mapped identically
+// across the swap.
+func mapServe(args []string) error {
+	fs := newFlagSet("map-serve")
+	pf := addPopFlags(fs, 20_000, 5)
+	queries := fs.Int("queries", 512, "queries in the trace")
+	clients := fs.Int("clients", 8, "concurrent query clients")
+	readLen := fs.Int("read-len", 150, "query read length (bp)")
+	repeat := fs.Float64("repeat", 0.2, "fraction of queries re-issuing an earlier read byte-for-byte")
+	workers := fs.Int("workers", 0, "mapping worker slots (0 = GOMAXPROCS)")
+	maxBatch := fs.Int("batch", 32, "micro-batch size cap")
+	batchWait := fs.Duration("batch-wait", 2*time.Millisecond, "micro-batch max wait")
+	queueDepth := fs.Int("queue", 1024, "admission queue depth")
+	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none)")
+	toolName := fs.String("tool", "giraffe", "mapping tool: giraffe, vgmap, graphaligner or minigraph-lr")
+	swapAt := fs.Int("swap-at", -2, "query index triggering the mid-trace rebuild+hot-swap (-2 = midpoint, -1 = never)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	toolCfg := mapserve.DefaultToolConfig(mapserve.ToolKind(*toolName))
+	switch toolCfg.Kind {
+	case mapserve.ToolGiraffe, mapserve.ToolVgMap, mapserve.ToolGraphAligner, mapserve.ToolMinigraphLR:
+	default:
+		return fmt.Errorf("unknown tool %q (want giraffe, vgmap, graphaligner or minigraph-lr)", *toolName)
+	}
+	if *swapAt == -2 {
+		*swapAt = *queries / 2
+	}
+
+	pop, err := pf.simulate()
+	if err != nil {
+		return err
+	}
+	trace, err := pop.ReadQueryTrace(gensim.ReadTraceConfig{
+		Queries:    *queries,
+		Clients:    *clients,
+		ReadLen:    *readLen,
+		SubRate:    0.002,
+		IndelRate:  0.0001,
+		RepeatRate: *repeat,
+		Seed:       *pf.seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Build-then-serve handoff: the serve-mode construction service builds
+	// the full-catalog cohort; its OnResult hook publishes each finished
+	// graph into the query registry as a fresh snapshot generation.
+	metrics := perf.NewMetrics()
+	reg := &mapserve.Registry{}
+	names, seqs := pop.AssemblyView()
+	var snapSeq uint64
+	var publishErr error
+	var publishMu sync.Mutex
+	builder := serve.New(serve.Config{
+		CacheCapacity: 64 << 20,
+		OnResult: func(req serve.Request, res *build.Result) {
+			n := atomic.AddUint64(&snapSeq, 1)
+			snap, err := mapserve.SnapshotFromBuild(fmt.Sprintf("cohort-%d", n), res, toolCfg)
+			if err == nil {
+				_, err = reg.Publish(snap)
+			}
+			if err != nil {
+				publishMu.Lock()
+				publishErr = err
+				publishMu.Unlock()
+			}
+		},
+	})
+	if err := builder.RegisterAssemblies(names, seqs); err != nil {
+		return err
+	}
+	cohort := serve.Request{Tool: serve.ToolPGGB, Cohort: names, PGGB: build.DefaultPGGBConfig(), MC: build.DefaultMCConfig()}
+
+	fmt.Printf("map-serve: %d assemblies (%d bp ref), tool=%s, %d queries, %d clients, batch≤%d/%v, queue=%d\n",
+		len(names), *pf.refLen, toolCfg.Kind, len(trace), *clients, *maxBatch, *batchWait, *queueDepth)
+	t0 := time.Now()
+	if _, err := builder.Build(context.Background(), cohort); err != nil {
+		return fmt.Errorf("initial cohort build: %w", err)
+	}
+	publishMu.Lock()
+	perr := publishErr
+	publishMu.Unlock()
+	if perr != nil {
+		return fmt.Errorf("initial snapshot publish: %w", perr)
+	}
+	fmt.Printf("cohort built and published as generation %d in %v\n\n", reg.Generation(), time.Since(t0).Round(time.Millisecond))
+
+	svc := mapserve.New(reg, mapserve.Config{
+		Workers:    *workers,
+		MaxBatch:   *maxBatch,
+		BatchWait:  *batchWait,
+		QueueDepth: *queueDepth,
+		Metrics:    metrics,
+	})
+	defer svc.Close()
+
+	// Replay: each trace client drains its own query stream in issue order;
+	// crossing the swap index triggers an equivalent cohort rebuild whose
+	// publication hot-swaps mid-traffic.
+	type outcome struct {
+		resp *mapserve.Response
+		err  error
+		gen  uint64
+	}
+	results := make([]outcome, len(trace))
+	latencies := make([]time.Duration, 0, len(trace))
+	var latMu sync.Mutex
+	var issued int64
+	var swapWG sync.WaitGroup
+	var wg sync.WaitGroup
+	replayStart := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i, q := range trace {
+				if q.Client != c {
+					continue
+				}
+				if *swapAt >= 0 && atomic.AddInt64(&issued, 1) == int64(*swapAt) {
+					swapWG.Add(1)
+					go func() {
+						defer swapWG.Done()
+						if _, err := builder.Build(context.Background(), cohort); err != nil {
+							fmt.Fprintf(os.Stderr, "mid-trace rebuild: %v\n", err)
+						}
+					}()
+				}
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if *timeout > 0 {
+					ctx, cancel = context.WithTimeout(ctx, *timeout)
+				}
+				t0 := time.Now()
+				resp, err := svc.Map(ctx, q.Read.Seq)
+				lat := time.Since(t0)
+				cancel()
+				results[i] = outcome{resp: resp, err: err}
+				if resp != nil {
+					results[i].gen = resp.Generation
+				}
+				latMu.Lock()
+				latencies = append(latencies, lat)
+				latMu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	swapWG.Wait()
+	wall := time.Since(replayStart)
+
+	// Repeat queries pin the hot-swap determinism contract: a re-issued read
+	// must map identically even when the two executions straddled a swap.
+	repeats, mismatches, crossGen := 0, 0, 0
+	var failures int
+	for i, q := range trace {
+		if results[i].err != nil {
+			failures++
+			continue
+		}
+		if q.Repeat < 0 || results[q.Repeat].err != nil {
+			continue
+		}
+		repeats++
+		if results[i].gen != results[q.Repeat].gen {
+			crossGen++
+		}
+		if results[i].resp.Result != results[q.Repeat].resp.Result {
+			mismatches++
+			fmt.Fprintf(os.Stderr, "query %d (repeat of %d): %+v != %+v\n",
+				i, q.Repeat, results[i].resp.Result, results[q.Repeat].resp.Result)
+		}
+	}
+
+	fmt.Printf("replayed %d queries in %v (%.0f q/s), %d failed/shed\n",
+		len(trace), wall.Round(time.Millisecond), float64(len(trace)-failures)/wall.Seconds(), failures)
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if n := len(latencies); n > 0 {
+		fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n",
+			latencies[n/2].Round(time.Microsecond),
+			latencies[n*90/100].Round(time.Microsecond),
+			latencies[n*99/100].Round(time.Microsecond),
+			latencies[n-1].Round(time.Microsecond))
+	}
+	fmt.Printf("snapshot generations published: %d (current gen %d)\n", atomic.LoadUint64(&snapSeq), reg.Generation())
+	fmt.Printf("repeat queries: %d verified, %d spanned a hot-swap, %d mismatched\n", repeats, crossGen, mismatches)
+
+	snap := metrics.Snapshot()
+	if bs, ok := snap.Values["mapserve.batch_size"]; ok {
+		fmt.Printf("batch size: mean=%.1f max=%.0f over %d batches\n", bs.Mean(), bs.Max, bs.Count)
+	}
+	shed := snap.Counters["mapserve.shed_queue"] + snap.Counters["mapserve.shed_deadline"]
+	fmt.Printf("shed: %d queue, %d deadline (%.1f%% of trace)\n",
+		snap.Counters["mapserve.shed_queue"], snap.Counters["mapserve.shed_deadline"],
+		100*float64(shed)/float64(len(trace)))
+	fmt.Println("\nservice metrics:")
+	fmt.Print(snap.Render())
+	if mismatches > 0 {
+		return fmt.Errorf("%d repeated reads changed mapping across snapshots", mismatches)
+	}
+	return nil
+}

@@ -271,6 +271,15 @@ func TestFig5Shape(t *testing.T) {
 	} else {
 		t.Error("missing seqwish")
 	}
+	// Construction curve: C(n,2) pair tasks bound parallelism, so at 56
+	// threads it must scale no better than the mapping tools.
+	if ap, ok := rows["PGGB-allpair"]; ok {
+		if g, ok2 := rows["VgGiraffe"]; ok2 && val(ap, 4) > val(g, 4) {
+			t.Errorf("PGGB-allpair (%v) should scale no better than Giraffe (%v)", val(ap, 4), val(g, 4))
+		}
+	} else {
+		t.Error("missing PGGB-allpair")
+	}
 }
 
 func TestFig9Shape(t *testing.T) {

@@ -388,7 +388,8 @@ func (s *Suite) Fig5() (Table, error) {
 		Notes: []string{
 			"simulated from measured single-thread task costs (see DESIGN.md substitutions);",
 			"paper shapes: mapping tools near-linear to 28 then HT drop; Minigraph-cr flat;",
-			"seqwish plateaus ~4 threads; odgi-layout sublinear (sequential path index + barriers)",
+			"seqwish plateaus ~4 threads; odgi-layout sublinear (sequential path index + barriers);",
+			"PGGB-allpair (construction) caps at C(n,2) pair tasks + sequential merge",
 		},
 	}
 	for _, w := range workloads {
@@ -479,6 +480,48 @@ func (s *Suite) scalingWorkloads() ([]sched.Workload, error) {
 			{Name: "transclose", Tasks: compute, EmitChunks: emit, MemFraction: 0.3},
 			{Name: "gfa-out", Sequential: tcTime * 0.15},
 		}})
+	}
+
+	// PGGB all-vs-all construction (build.AllPairMatches as a sched workload):
+	// C(n,2) independent pair-match tasks on the worker pool, then the
+	// sequential canonical-order merge of the per-pair match blocks. With few
+	// assemblies the task count bounds parallelism, so the curve plateaus far
+	// below the mapping tools — the construction-side contrast in Fig. 5.
+	{
+		seqs := make([][]byte, 0, len(s.Pop.Haplotypes))
+		for _, h := range s.Pop.Haplotypes {
+			seq := h.Seq
+			if len(seq) > 60_000 {
+				seq = seq[:60_000]
+			}
+			seqs = append(seqs, seq)
+		}
+		var tasks []float64
+		var blocks [][]build.MatchBlock
+		for i := 0; i < len(seqs); i++ {
+			for j := i + 1; j < len(seqs); j++ {
+				t0 := time.Now()
+				blk, _, err := build.PairMatches(i, seqs[i], j, seqs[j], s.Cfg.K, s.Cfg.W, nil)
+				if err != nil {
+					continue
+				}
+				tasks = append(tasks, time.Since(t0).Seconds())
+				blocks = append(blocks, blk)
+			}
+		}
+		if len(tasks) > 0 {
+			t0 := time.Now()
+			merged := make([]build.MatchBlock, 0)
+			for _, blk := range blocks {
+				merged = append(merged, blk...)
+			}
+			_ = merged
+			mergeTime := time.Since(t0).Seconds()
+			out = append(out, sched.Workload{Name: "PGGB-allpair", Phases: []sched.Phase{
+				{Name: "pair-match", Tasks: tasks, MemFraction: 0.25},
+				{Name: "merge", Sequential: mergeTime},
+			}})
+		}
 	}
 
 	// odgi-layout: sequential path index + 30 barriered PGSGD iterations.

@@ -1,0 +1,113 @@
+package gensim
+
+import (
+	"bytes"
+	"testing"
+)
+
+func traceTestPop(t *testing.T) *Population {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.RefLen = 5000
+	cfg.Haplotypes = 4
+	pop, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pop
+}
+
+func TestReadQueryTraceDeterministic(t *testing.T) {
+	pop := traceTestPop(t)
+	cfg := DefaultReadTraceConfig()
+	cfg.Queries = 64
+	a, err := pop.ReadQueryTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pop.ReadQueryTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != cfg.Queries || len(b) != cfg.Queries {
+		t.Fatalf("trace lengths %d/%d, want %d", len(a), len(b), cfg.Queries)
+	}
+	for i := range a {
+		if a[i].Client != b[i].Client || a[i].Repeat != b[i].Repeat ||
+			!bytes.Equal(a[i].Read.Seq, b[i].Read.Seq) {
+			t.Fatalf("query %d differs across identical-seed traces", i)
+		}
+	}
+	cfg.Seed++
+	c, err := pop.ReadQueryTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if bytes.Equal(a[i].Read.Seq, c[i].Read.Seq) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestReadQueryTraceRepeats(t *testing.T) {
+	pop := traceTestPop(t)
+	cfg := DefaultReadTraceConfig()
+	cfg.Queries = 200
+	cfg.RepeatRate = 0.5
+	trace, err := pop.ReadQueryTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repeats := 0
+	for i, q := range trace {
+		if q.Client != i%cfg.Clients {
+			t.Fatalf("query %d: client %d, want round-robin %d", i, q.Client, i%cfg.Clients)
+		}
+		if q.Repeat < 0 {
+			continue
+		}
+		repeats++
+		if q.Repeat >= i {
+			t.Fatalf("query %d repeats later query %d", i, q.Repeat)
+		}
+		orig := trace[q.Repeat].Read
+		if !bytes.Equal(q.Read.Seq, orig.Seq) || q.Read.Hap != orig.Hap || q.Read.Pos != orig.Pos {
+			t.Fatalf("query %d repeat differs from original %d", i, q.Repeat)
+		}
+	}
+	// With RepeatRate 0.5 over 200 queries, repeats should be plentiful.
+	if repeats < 50 {
+		t.Fatalf("only %d repeats in a 50%%-repeat trace", repeats)
+	}
+
+	cfg.RepeatRate = 0
+	trace, err = pop.ReadQueryTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range trace {
+		if q.Repeat != -1 {
+			t.Fatalf("query %d marked repeat with RepeatRate 0", i)
+		}
+	}
+}
+
+func TestReadQueryTraceValidation(t *testing.T) {
+	pop := traceTestPop(t)
+	bad := []ReadTraceConfig{
+		{Queries: 0, Clients: 1, ReadLen: 100},
+		{Queries: 1, Clients: 0, ReadLen: 100},
+		{Queries: 1, Clients: 1, ReadLen: 0},
+		{Queries: 1, Clients: 1, ReadLen: 100, RepeatRate: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := pop.ReadQueryTrace(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package mapserve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"pangenomicsbench/internal/perf"
+	"pangenomicsbench/internal/pipeline"
+)
+
+// Admission and lifecycle errors.
+var (
+	// ErrOverloaded sheds a query at admission: the bounded queue is full.
+	ErrOverloaded = errors.New("mapserve: overloaded, query shed")
+	// ErrNoSnapshot rejects queries before the first snapshot publication.
+	ErrNoSnapshot = errors.New("mapserve: no snapshot published")
+	// ErrClosed rejects queries after Close.
+	ErrClosed = errors.New("mapserve: service closed")
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Workers bounds concurrently executing batches; ≤0 uses GOMAXPROCS.
+	Workers int
+	// MaxBatch caps queries per micro-batch; ≤0 uses 32.
+	MaxBatch int
+	// BatchWait bounds how long a forming batch waits for more queries
+	// after its first; ≤0 uses 2ms. A full batch dispatches immediately.
+	BatchWait time.Duration
+	// QueueDepth bounds queued-but-undispatched queries; a full queue sheds
+	// new queries with ErrOverloaded. ≤0 uses 1024.
+	QueueDepth int
+	// Metrics receives service counters, latencies and the batch-size
+	// histogram; nil disables recording.
+	Metrics *perf.Metrics
+}
+
+// Response is the outcome of one mapped query.
+type Response struct {
+	Result pipeline.Result
+	Stages pipeline.StageTimes
+	// SnapshotID / Generation identify the snapshot that served the query.
+	SnapshotID string
+	Generation uint64
+	// BatchSize is the size of the micro-batch the query rode in.
+	BatchSize int
+	// QueueWait is time from admission to batch execution; MapTime the
+	// in-kernel mapping time.
+	QueueWait, MapTime time.Duration
+}
+
+// pending is one admitted query awaiting execution.
+type pending struct {
+	ctx  context.Context
+	read []byte
+	enq  time.Time
+	resp *Response
+	err  error
+	done chan struct{}
+}
+
+// Service is the batched read-mapping executor. Incoming queries are
+// admitted into a bounded queue, micro-batched by count and max-wait
+// deadline, and dispatched on a bounded worker pool. Each batch acquires the
+// registry's current snapshot exactly once — amortizing snapshot/index
+// access across the batch the way the paper's mapping tools amortize seeding
+// — so a hot-swap between batches is invisible to in-flight queries.
+type Service struct {
+	cfg     Config
+	metrics *perf.Metrics
+	reg     *Registry
+
+	queue   chan *pending
+	batches chan []*pending
+	stop    chan struct{}
+
+	closeMu sync.RWMutex
+	closed  bool
+
+	dispatcherDone chan struct{}
+	workers        sync.WaitGroup
+}
+
+// New starts a service mapping queries against reg's current snapshot.
+// Callers publish snapshots into reg (before or after New; queries fail
+// with ErrNoSnapshot until the first Publish) and must Close the service
+// to stop its goroutines.
+func New(reg *Registry, cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 32
+	}
+	if cfg.BatchWait <= 0 {
+		cfg.BatchWait = 2 * time.Millisecond
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	s := &Service{
+		cfg:            cfg,
+		metrics:        cfg.Metrics,
+		reg:            reg,
+		queue:          make(chan *pending, cfg.QueueDepth),
+		batches:        make(chan []*pending, cfg.Workers),
+		stop:           make(chan struct{}),
+		dispatcherDone: make(chan struct{}),
+	}
+	go s.dispatch()
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Registry returns the snapshot registry the service maps against.
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Map admits one read query and blocks until it is mapped, shed, or failed.
+// ctx deadlines/cancellation are honored while the query waits in the queue
+// and inside the mapping kernels (ContextTool.MapCtx).
+func (s *Service) Map(ctx context.Context, read []byte) (*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(read) == 0 {
+		return nil, errors.New("mapserve: empty read")
+	}
+	p := &pending{ctx: ctx, read: read, enq: time.Now(), done: make(chan struct{})}
+
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return nil, ErrClosed
+	}
+	s.metrics.Add("mapserve.queries", 1)
+	select {
+	case s.queue <- p:
+		s.metrics.Add("mapserve.queue_depth", 1)
+		s.closeMu.RUnlock()
+	default:
+		s.closeMu.RUnlock()
+		s.metrics.Add("mapserve.shed_queue", 1)
+		return nil, ErrOverloaded
+	}
+
+	<-p.done
+	return p.resp, p.err
+}
+
+// dispatch forms micro-batches: the first query of a batch starts a
+// BatchWait timer, and the batch dispatches when it reaches MaxBatch or the
+// timer fires, whichever comes first.
+func (s *Service) dispatch() {
+	defer close(s.dispatcherDone)
+	defer close(s.batches)
+	for {
+		var first *pending
+		select {
+		case first = <-s.queue:
+		case <-s.stop:
+			s.drain()
+			return
+		}
+		batch := append(make([]*pending, 0, s.cfg.MaxBatch), first)
+		timer := time.NewTimer(s.cfg.BatchWait)
+	fill:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case p := <-s.queue:
+				batch = append(batch, p)
+			case <-timer.C:
+				break fill
+			case <-s.stop:
+				break fill
+			}
+		}
+		timer.Stop()
+		s.batches <- batch
+	}
+}
+
+// drain flushes queries admitted before Close into final batches. Close
+// excludes new admissions first, so the queue can only shrink here.
+func (s *Service) drain() {
+	batch := make([]*pending, 0, s.cfg.MaxBatch)
+	for {
+		select {
+		case p := <-s.queue:
+			batch = append(batch, p)
+			if len(batch) == s.cfg.MaxBatch {
+				s.batches <- batch
+				batch = make([]*pending, 0, s.cfg.MaxBatch)
+			}
+		default:
+			if len(batch) > 0 {
+				s.batches <- batch
+			}
+			return
+		}
+	}
+}
+
+// worker executes batches.
+func (s *Service) worker() {
+	defer s.workers.Done()
+	for batch := range s.batches {
+		s.runBatch(batch)
+	}
+}
+
+// runBatch maps every query of one batch against a single snapshot
+// acquisition. Queries whose context is already done are shed without
+// mapping; a context firing mid-map stops the kernel at its next loop
+// boundary and the query fails with ctx.Err().
+func (s *Service) runBatch(batch []*pending) {
+	s.metrics.Add("mapserve.batches", 1)
+	s.metrics.ObserveValue("mapserve.batch_size", float64(len(batch)))
+
+	snap := s.reg.Acquire()
+	if snap != nil {
+		defer snap.Release()
+	}
+	for _, p := range batch {
+		s.metrics.Add("mapserve.queue_depth", -1)
+		wait := time.Since(p.enq)
+		s.metrics.Observe("mapserve.queue_wait", wait)
+		switch {
+		case snap == nil:
+			p.err = ErrNoSnapshot
+		case p.ctx.Err() != nil:
+			s.metrics.Add("mapserve.shed_deadline", 1)
+			p.err = p.ctx.Err()
+		default:
+			t0 := time.Now()
+			res, stages, err := snap.Map(p.ctx, p.read)
+			mt := time.Since(t0)
+			if err != nil {
+				s.metrics.Add("mapserve.shed_deadline", 1)
+				p.err = err
+				break
+			}
+			s.metrics.Add("mapserve.mapped", 1)
+			s.metrics.Observe("mapserve.map", mt)
+			s.metrics.Observe("mapserve.stage.seed", stages.Seed)
+			s.metrics.Observe("mapserve.stage.chain", stages.Chain)
+			s.metrics.Observe("mapserve.stage.filter", stages.Filter)
+			s.metrics.Observe("mapserve.stage.align", stages.Align)
+			p.resp = &Response{
+				Result:     res,
+				Stages:     stages,
+				SnapshotID: snap.ID,
+				Generation: snap.Generation,
+				BatchSize:  len(batch),
+				QueueWait:  wait,
+				MapTime:    mt,
+			}
+		}
+		close(p.done)
+	}
+}
+
+// Close stops admissions, drains already-admitted queries (every admitted
+// query still gets an answer), and waits for the workers to exit.
+func (s *Service) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+	close(s.stop)
+	<-s.dispatcherDone
+	s.workers.Wait()
+}
+
+// Metrics returns a snapshot of the service's metric set (empty when the
+// service was configured without one).
+func (s *Service) Metrics() perf.MetricsSnapshot { return s.metrics.Snapshot() }

@@ -1,0 +1,434 @@
+package mapserve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pangenomicsbench/internal/gensim"
+	"pangenomicsbench/internal/perf"
+	"pangenomicsbench/internal/pipeline"
+)
+
+// blockingTool is a stub ContextTool whose MapCtx parks until released —
+// the deterministic way to keep workers busy for admission-control tests.
+type blockingTool struct {
+	gate    chan struct{} // MapCtx blocks until this closes (nil = no block)
+	started chan struct{} // one send per MapCtx entry, if non-nil
+}
+
+func (b *blockingTool) Name() string { return "blocking" }
+func (b *blockingTool) Map(read []byte, probe *perf.Probe) (pipeline.Result, pipeline.StageTimes) {
+	r, st, _ := b.MapCtx(context.Background(), read, probe)
+	return r, st
+}
+func (b *blockingTool) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) (pipeline.Result, pipeline.StageTimes, error) {
+	if b.started != nil {
+		b.started <- struct{}{}
+	}
+	if b.gate != nil {
+		select {
+		case <-b.gate:
+		case <-ctx.Done():
+			return pipeline.Result{}, pipeline.StageTimes{}, ctx.Err()
+		}
+	}
+	return pipeline.Result{Mapped: true, Node: 1, EditDistance: len(read)}, pipeline.StageTimes{}, nil
+}
+
+// stubService wires a blockingTool snapshot into a fresh service.
+func stubService(t *testing.T, tool *blockingTool, cfg Config) (*Service, *Registry) {
+	t.Helper()
+	pop := testPop(t, 2000, 2)
+	snap, err := NewSnapshotWithTool("stub", pop.Graph, tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := &Registry{}
+	if _, err := reg.Publish(snap); err != nil {
+		t.Fatal(err)
+	}
+	return New(reg, cfg), reg
+}
+
+// TestMapBeforePublish rejects queries with ErrNoSnapshot but leaves the
+// service healthy for queries after the first publication.
+func TestMapBeforePublish(t *testing.T) {
+	reg := &Registry{}
+	s := New(reg, Config{Workers: 1})
+	defer s.Close()
+
+	if _, err := s.Map(context.Background(), []byte("ACGT")); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("pre-publish map: %v, want ErrNoSnapshot", err)
+	}
+	if _, err := s.Map(context.Background(), nil); err == nil {
+		t.Fatal("empty read accepted")
+	}
+
+	pop := testPop(t, 2000, 2)
+	snap, err := NewSnapshotWithTool("s", pop.Graph, &blockingTool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish(snap); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Map(context.Background(), []byte("ACGTACGT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Result.Mapped || resp.SnapshotID != "s" || resp.Generation != 1 {
+		t.Fatalf("response %+v", resp)
+	}
+}
+
+// TestBatching verifies micro-batch formation: with one worker parked on the
+// first batch, a burst of queries coalesces into shared batches, bounded by
+// MaxBatch, and the batch-size histogram records them.
+func TestBatching(t *testing.T) {
+	tool := &blockingTool{gate: make(chan struct{}), started: make(chan struct{}, 64)}
+	m := perf.NewMetrics()
+	s, _ := stubService(t, tool, Config{
+		Workers: 1, MaxBatch: 4, BatchWait: 20 * time.Millisecond, QueueDepth: 64, Metrics: m,
+	})
+
+	// First query occupies the single worker (blocked on the gate).
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		if _, err := s.Map(context.Background(), []byte("AAAA")); err != nil {
+			t.Errorf("first query: %v", err)
+		}
+	}()
+	<-tool.started
+
+	// Burst of 8 while the worker is parked: the dispatcher batches them
+	// into groups of ≤4 behind the in-flight batch.
+	var wg sync.WaitGroup
+	sizes := make(chan int, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := s.Map(context.Background(), []byte("CCCC"))
+			if err != nil {
+				t.Errorf("burst query: %v", err)
+				return
+			}
+			sizes <- resp.BatchSize
+		}()
+	}
+	// Give the dispatcher time to form full batches, then open the gate.
+	time.Sleep(50 * time.Millisecond)
+	close(tool.gate)
+	wg.Wait()
+	<-firstDone
+	s.Close()
+	close(sizes)
+
+	maxSize := 0
+	for sz := range sizes {
+		if sz > 4 {
+			t.Errorf("batch size %d exceeds MaxBatch 4", sz)
+		}
+		if sz > maxSize {
+			maxSize = sz
+		}
+	}
+	if maxSize < 2 {
+		t.Errorf("no query rode a shared batch (max size %d)", maxSize)
+	}
+	snap := m.Snapshot()
+	hist := snap.Values["mapserve.batch_size"]
+	if hist.Count == 0 || hist.Max > 4 {
+		t.Errorf("batch-size histogram %+v", hist)
+	}
+	if got := snap.Counters["mapserve.queue_depth"]; got != 0 {
+		t.Errorf("queue depth gauge did not return to zero: %d", got)
+	}
+	if snap.Counters["mapserve.mapped"] != 9 {
+		t.Errorf("mapped = %d, want 9", snap.Counters["mapserve.mapped"])
+	}
+}
+
+// TestQueueShedding fills the pipeline behind a parked worker until
+// admission sheds with ErrOverloaded, then verifies every admitted query
+// still completes.
+func TestQueueShedding(t *testing.T) {
+	tool := &blockingTool{gate: make(chan struct{}), started: make(chan struct{}, 64)}
+	m := perf.NewMetrics()
+	s, _ := stubService(t, tool, Config{
+		Workers: 1, MaxBatch: 1, BatchWait: time.Millisecond, QueueDepth: 2, Metrics: m,
+	})
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	admitted, shed := 0, 0
+	// Keep issuing queries until one sheds. The worker never finishes, so
+	// queue capacity (2) + the dispatcher's formed batches bound admissions.
+	for i := 0; i < 32 && shed == 0; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Map(context.Background(), []byte("GGGG"))
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				admitted++
+			case errors.Is(err, ErrOverloaded):
+				shed++
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+		time.Sleep(5 * time.Millisecond)
+		mu.Lock()
+		shedNow := shed
+		mu.Unlock()
+		if shedNow > 0 {
+			break
+		}
+	}
+	close(tool.gate)
+	wg.Wait()
+	s.Close()
+
+	if shed == 0 {
+		t.Fatal("bounded queue never shed under a parked worker")
+	}
+	if admitted == 0 {
+		t.Fatal("no queries completed after the gate opened")
+	}
+	if got := m.Counter("mapserve.shed_queue"); got != int64(shed) {
+		t.Errorf("shed_queue = %d, want %d", got, shed)
+	}
+}
+
+// TestDeadlineShedding covers deadline-aware admission control: a query
+// whose context expires while queued is shed without mapping, and a deadline
+// firing mid-map stops the kernel and fails only that query.
+func TestDeadlineShedding(t *testing.T) {
+	gate := make(chan struct{})
+	tool := &blockingTool{gate: gate, started: make(chan struct{}, 8)}
+	m := perf.NewMetrics()
+	s, _ := stubService(t, tool, Config{
+		Workers: 1, MaxBatch: 1, BatchWait: time.Millisecond, QueueDepth: 8, Metrics: m,
+	})
+	defer s.Close()
+
+	// Park the worker, then enqueue a query with an already-canceled context:
+	// it must be shed at execution, not mapped.
+	parked := make(chan struct{})
+	go func() {
+		defer close(parked)
+		if _, err := s.Map(context.Background(), []byte("AAAA")); err != nil {
+			t.Errorf("parked query: %v", err)
+		}
+	}()
+	<-tool.started
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	shedDone := make(chan error, 1)
+	go func() {
+		_, err := s.Map(canceled, []byte("CCCC"))
+		shedDone <- err
+	}()
+
+	// A live-deadline query behind it: its deadline fires mid-map (inside
+	// the gate wait), so MapCtx returns ctx.Err().
+	deadlineDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		defer cancel()
+		_, err := s.Map(ctx, []byte("TTTT"))
+		deadlineDone <- err
+	}()
+
+	time.Sleep(60 * time.Millisecond) // let the mid-map deadline expire
+	close(gate)
+	<-parked
+	if err := <-shedDone; !errors.Is(err, context.Canceled) {
+		t.Errorf("queued canceled query: %v, want context.Canceled", err)
+	}
+	if err := <-deadlineDone; !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("mid-map deadline query: %v, want context.DeadlineExceeded", err)
+	}
+	if got := m.Counter("mapserve.shed_deadline"); got != 2 {
+		t.Errorf("shed_deadline = %d, want 2", got)
+	}
+}
+
+// TestCloseDrains verifies Close answers every admitted query and rejects
+// later ones.
+func TestCloseDrains(t *testing.T) {
+	tool := &blockingTool{}
+	s, _ := stubService(t, tool, Config{Workers: 2, MaxBatch: 4, BatchWait: time.Millisecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Map(context.Background(), []byte("ACGT")); err != nil {
+				t.Errorf("pre-close query failed: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Map(context.Background(), []byte("ACGT")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close map: %v, want ErrClosed", err)
+	}
+}
+
+// TestServedIdenticalColdWarmConcurrent is the mapping-determinism
+// acceptance test: the same reads served through the batched executor —
+// cold, warm, and fully concurrently — produce results identical to direct
+// single-threaded tool.Map calls.
+func TestServedIdenticalColdWarmConcurrent(t *testing.T) {
+	pop := testPop(t, 8000, 4)
+	reads, err := pop.SimulateReads(gensim.ReadConfig{Count: 24, Length: 150, SubRate: 0.002, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultToolConfig(ToolGiraffe)
+	snap, err := NewSnapshot("pop", pop.Graph, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct reference: a separately built tool, mapped serially.
+	ref, err := pipeline.NewVgGiraffe(pop.Graph, cfg.K, cfg.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]pipeline.Result, len(reads))
+	for i, r := range reads {
+		want[i], _ = ref.Map(r.Seq, nil)
+	}
+
+	reg := &Registry{}
+	if _, err := reg.Publish(snap); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, Config{Workers: 4, MaxBatch: 8, BatchWait: time.Millisecond})
+	defer s.Close()
+
+	check := func(phase string, concurrent bool) {
+		t.Helper()
+		got := make([]pipeline.Result, len(reads))
+		if concurrent {
+			var wg sync.WaitGroup
+			for i := range reads {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					resp, err := s.Map(context.Background(), reads[i].Seq)
+					if err != nil {
+						t.Errorf("%s read %d: %v", phase, i, err)
+						return
+					}
+					got[i] = resp.Result
+				}(i)
+			}
+			wg.Wait()
+		} else {
+			for i := range reads {
+				resp, err := s.Map(context.Background(), reads[i].Seq)
+				if err != nil {
+					t.Fatalf("%s read %d: %v", phase, i, err)
+				}
+				got[i] = resp.Result
+			}
+		}
+		for i := range reads {
+			if got[i] != want[i] {
+				t.Errorf("%s read %d: served %+v != direct %+v", phase, i, got[i], want[i])
+			}
+		}
+	}
+	check("cold", false)
+	check("warm", false)
+	check("concurrent", true)
+}
+
+// TestHotSwapDuringTraffic is the hot-swap acceptance test (run under -race
+// in CI): concurrent queries race repeated snapshot publications; no query
+// may fail, every query's result must match the direct mapping, and
+// generations observed by queries must be coherent (monotonically available,
+// old snapshots retiring only after their queries finish).
+func TestHotSwapDuringTraffic(t *testing.T) {
+	pop := testPop(t, 8000, 4)
+	reads, err := pop.SimulateReads(gensim.ReadConfig{Count: 12, Length: 150, SubRate: 0.002, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultToolConfig(ToolGiraffe)
+
+	ref, err := pipeline.NewVgGiraffe(pop.Graph, cfg.K, cfg.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]pipeline.Result, len(reads))
+	for i, r := range reads {
+		want[i], _ = ref.Map(r.Seq, nil)
+	}
+
+	reg := &Registry{}
+	first, err := NewSnapshot("gen", pop.Graph, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish(first); err != nil {
+		t.Fatal(err)
+	}
+	m := perf.NewMetrics()
+	s := New(reg, Config{Workers: 4, MaxBatch: 4, BatchWait: 500 * time.Microsecond, Metrics: m})
+	defer s.Close()
+
+	const swaps = 5
+	const rounds = 6
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				for i := range reads {
+					resp, err := s.Map(context.Background(), reads[i].Seq)
+					if err != nil {
+						t.Errorf("client %d round %d read %d: %v", c, round, i, err)
+						return
+					}
+					if resp.Result != want[i] {
+						t.Errorf("client %d read %d on gen %d: %+v != %+v",
+							c, i, resp.Generation, resp.Result, want[i])
+					}
+				}
+			}
+		}(c)
+	}
+	// Publisher: equivalent snapshots (same graph, same tool config) swap in
+	// mid-traffic, so identical reads must keep mapping identically.
+	for i := 0; i < swaps; i++ {
+		snap, err := NewSnapshot("gen", pop.Graph, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg.Publish(snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+
+	if got := reg.Generation(); got != swaps+1 {
+		t.Fatalf("generation = %d, want %d", got, swaps+1)
+	}
+	if shed := m.Counter("mapserve.shed_queue") + m.Counter("mapserve.shed_deadline"); shed != 0 {
+		t.Fatalf("%d queries shed during hot-swap traffic", shed)
+	}
+}

@@ -1,0 +1,177 @@
+package mapserve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pangenomicsbench/internal/gensim"
+)
+
+// testPop simulates a small population for snapshot tests.
+func testPop(t testing.TB, refLen, haps int) *gensim.Population {
+	t.Helper()
+	cfg := gensim.DefaultConfig()
+	cfg.RefLen = refLen
+	cfg.Haplotypes = haps
+	pop, err := gensim.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pop
+}
+
+func TestSnapshotValidation(t *testing.T) {
+	pop := testPop(t, 2000, 2)
+	if _, err := NewSnapshot("x", nil, DefaultToolConfig(ToolGiraffe)); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := NewSnapshot("x", pop.Graph, ToolConfig{Kind: "bwa", K: 15, W: 10}); err == nil {
+		t.Error("unknown tool accepted")
+	}
+	if _, err := NewSnapshot("x", pop.Graph, ToolConfig{Kind: ToolGiraffe}); err == nil {
+		t.Error("zero minimizer scheme accepted")
+	}
+	if _, err := SnapshotFromBuild("x", nil, DefaultToolConfig(ToolGiraffe)); err == nil {
+		t.Error("nil build result accepted")
+	}
+	for _, kind := range []ToolKind{ToolGiraffe, ToolVgMap, ToolGraphAligner, ToolMinigraphLR} {
+		if _, err := NewSnapshot(string(kind), pop.Graph, DefaultToolConfig(kind)); err != nil {
+			t.Errorf("tool %s: %v", kind, err)
+		}
+	}
+}
+
+// TestRegistryLifecycle covers the refcount protocol: a swapped-out snapshot
+// retires only after its last outstanding reference releases, and exactly
+// once.
+func TestRegistryLifecycle(t *testing.T) {
+	pop := testPop(t, 2000, 2)
+	var retired []string
+	reg := &Registry{OnRetire: func(s *Snapshot) { retired = append(retired, s.ID) }}
+
+	if got := reg.Acquire(); got != nil {
+		t.Fatal("empty registry acquired a snapshot")
+	}
+	if _, err := reg.Publish(nil); err == nil {
+		t.Fatal("nil publish accepted")
+	}
+
+	a, err := NewSnapshot("a", pop.Graph, DefaultToolConfig(ToolGiraffe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := reg.Publish(a)
+	if err != nil || gen != 1 || a.Generation != 1 {
+		t.Fatalf("publish a: gen=%d err=%v", gen, err)
+	}
+	if _, err := reg.Publish(a); err == nil {
+		t.Fatal("double publish accepted")
+	}
+
+	held := reg.Acquire() // a, with one query reference
+	if held != a {
+		t.Fatal("acquire did not return the current snapshot")
+	}
+
+	b, err := NewSnapshot("b", pop.Graph, DefaultToolConfig(ToolGiraffe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen, err := reg.Publish(b); err != nil || gen != 2 {
+		t.Fatalf("publish b: gen=%d err=%v", gen, err)
+	}
+	if len(retired) != 0 {
+		t.Fatalf("a retired while a query still held it: %v", retired)
+	}
+	held.Release()
+	if len(retired) != 1 || retired[0] != "a" {
+		t.Fatalf("retired = %v, want [a]", retired)
+	}
+	if got := reg.Acquire(); got != b {
+		t.Fatal("current snapshot is not b")
+	} else {
+		got.Release()
+	}
+	if len(retired) != 1 {
+		t.Fatalf("current snapshot retired: %v", retired)
+	}
+}
+
+// TestRegistryHotSwapRace races queries against publications under -race:
+// every acquire must return a coherent, mappable snapshot, retirement must
+// never fire while references are outstanding, and every swapped-out
+// snapshot must retire exactly once.
+func TestRegistryHotSwapRace(t *testing.T) {
+	pop := testPop(t, 4000, 3)
+	reads, err := pop.SimulateReads(gensim.ReadConfig{Count: 4, Length: 120, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var retireCount int64
+	reg := &Registry{OnRetire: func(s *Snapshot) {
+		if refs := atomic.LoadInt64(&s.refs); refs != 0 {
+			t.Errorf("snapshot %s retired with %d refs outstanding", s.ID, refs)
+		}
+		atomic.AddInt64(&retireCount, 1)
+	}}
+
+	first, err := NewSnapshot("gen0", pop.Graph, DefaultToolConfig(ToolGiraffe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish(first); err != nil {
+		t.Fatal(err)
+	}
+
+	const publishes = 8
+	const readers = 4
+	var wg sync.WaitGroup
+	stopReaders := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				snap := reg.Acquire()
+				if snap == nil {
+					t.Error("acquire returned nil after first publish")
+					return
+				}
+				if _, _, err := snap.Map(context.Background(), reads[i%len(reads)].Seq); err != nil {
+					t.Errorf("map on snapshot %s: %v", snap.ID, err)
+				}
+				snap.Release()
+			}
+		}(r)
+	}
+
+	// Publisher: swap in fresh (equivalent) snapshots as fast as they build.
+	for i := 1; i <= publishes; i++ {
+		snap, err := NewSnapshot("swap", pop.Graph, DefaultToolConfig(ToolGiraffe))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen, err := reg.Publish(snap); err != nil || gen != uint64(i+1) {
+			t.Fatalf("publish %d: gen=%d err=%v", i, gen, err)
+		}
+	}
+	close(stopReaders)
+	wg.Wait()
+
+	// All but the current snapshot must have retired by now (no readers
+	// left), each exactly once.
+	if got := atomic.LoadInt64(&retireCount); got != publishes {
+		t.Fatalf("retired %d snapshots, want %d", got, publishes)
+	}
+	if reg.Generation() != publishes+1 {
+		t.Fatalf("generation = %d, want %d", reg.Generation(), publishes+1)
+	}
+}

@@ -11,12 +11,46 @@ func TestNilMetricsIsSafe(t *testing.T) {
 	var m *Metrics
 	m.Add("x", 1)
 	m.Observe("y", time.Second)
+	m.ObserveValue("z", 4)
 	if got := m.Counter("x"); got != 0 {
 		t.Fatalf("nil metrics counter = %d", got)
 	}
 	snap := m.Snapshot()
-	if len(snap.Counters) != 0 || len(snap.Latencies) != 0 {
+	if len(snap.Counters) != 0 || len(snap.Latencies) != 0 || len(snap.Values) != 0 {
 		t.Fatalf("nil metrics snapshot not empty: %+v", snap)
+	}
+}
+
+func TestMetricsValueHistogram(t *testing.T) {
+	m := NewMetrics()
+	for _, v := range []float64{1, 1, 2, 3, 5, 8, 100} {
+		m.ObserveValue("batch", v)
+	}
+	h := m.Snapshot().Values["batch"]
+	if h.Count != 7 || h.Min != 1 || h.Max != 100 {
+		t.Fatalf("summary = %+v", h)
+	}
+	if got := h.Mean(); got < 17.1 || got > 17.2 { // 120/7
+		t.Fatalf("mean = %v", got)
+	}
+	// Buckets: ≤1:{1,1} ≤2:{2} ≤4:{3} ≤8:{5,8} ≤128:{100}.
+	want := map[int]int64{0: 2, 1: 1, 2: 1, 3: 2, 7: 1}
+	for i, c := range want {
+		if h.Buckets[i] != c {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, h.Buckets[i], c, h.Buckets)
+		}
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("p0 = %v, want 1", q)
+	}
+	if q := h.Quantile(0.5); q != 4 {
+		t.Fatalf("p50 = %v, want 4 (bucket edge over median sample 3)", q)
+	}
+	if q := h.Quantile(0.99); q != 128 {
+		t.Fatalf("p99 = %v, want 128", q)
+	}
+	if out := m.Snapshot().Render(); !strings.Contains(out, "batch") || !strings.Contains(out, "≤8:2") {
+		t.Fatalf("render missing histogram:\n%s", out)
 	}
 }
 

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"pangenomicsbench/internal/align"
@@ -57,11 +58,19 @@ func (t *VgGiraffe) Name() string { return "VgGiraffe" }
 
 // Map implements Tool.
 func (t *VgGiraffe) Map(read []byte, probe *perf.Probe) (Result, StageTimes) {
+	r, st, _ := t.MapCtx(context.Background(), read, probe)
+	return r, st
+}
+
+// MapCtx implements ContextTool: cancellation is observed between stages and
+// at every cluster of the dominant haplotype-extension loop.
+func (t *VgGiraffe) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) (Result, StageTimes, error) {
+	done := ctx.Done()
 	var st StageTimes
 	var anchors []chain.Anchor
 	timeStage(&st.Seed, func() { anchors = seedGraph(t.idx, read, t.idx.K(), probe) })
 	if len(anchors) == 0 {
-		return Result{}, st
+		return Result{}, st, nil
 	}
 
 	// Clustering over the distance index: anchors get approximate linear
@@ -77,7 +86,10 @@ func (t *VgGiraffe) Map(read []byte, probe *perf.Probe) (Result, StageTimes) {
 		clusters = chain.Filter(clusters, 0.4, 4)
 	})
 	if len(clusters) == 0 {
-		return Result{}, st
+		return Result{}, st, nil
+	}
+	if stopped(done) {
+		return Result{}, st, ctx.Err()
 	}
 
 	// Filtering: gapless haplotype extension of every seed of every
@@ -89,8 +101,13 @@ func (t *VgGiraffe) Map(read []byte, probe *perf.Probe) (Result, StageTimes) {
 		start      int
 	}
 	var exts []extension
+	canceled := false
 	timeStage(&st.Filter, func() {
 		for _, cl := range clusters {
+			if stopped(done) {
+				canceled = true
+				return
+			}
 			for _, an := range cl.Anchors {
 				walk, refSeq, anchorStart := t.extendSeed(an, read, probe)
 				if walk == nil {
@@ -115,8 +132,11 @@ func (t *VgGiraffe) Map(read []byte, probe *perf.Probe) (Result, StageTimes) {
 			}
 		}
 	})
+	if canceled {
+		return Result{}, st, ctx.Err()
+	}
 	if len(exts) == 0 {
-		return Result{}, st
+		return Result{}, st, nil
 	}
 
 	best := Result{EditDistance: 1 << 30}
@@ -147,7 +167,7 @@ func (t *VgGiraffe) Map(read []byte, probe *perf.Probe) (Result, StageTimes) {
 		}
 		best = Result{Mapped: true, Node: exts[bi].startNode, EditDistance: total}
 	})
-	return best, st
+	return best, st, nil
 }
 
 // extendSeed walks from a seed's node along haplotypes in both directions

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -39,11 +40,20 @@ func (t *GraphAligner) Name() string { return "GraphAligner" }
 
 // Map implements Tool.
 func (t *GraphAligner) Map(read []byte, probe *perf.Probe) (Result, StageTimes) {
+	r, st, _ := t.MapCtx(context.Background(), read, probe)
+	return r, st
+}
+
+// MapCtx implements ContextTool: long reads align in 64 bp chunks, and
+// cancellation is observed before every chunk — the finest-grained stop point
+// of the four tools, matching GBV's ~90% share of GraphAligner's runtime.
+func (t *GraphAligner) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) (Result, StageTimes, error) {
+	done := ctx.Done()
 	var st StageTimes
 	var anchors []chain.Anchor
 	timeStage(&st.Seed, func() { anchors = seedGraph(t.idx, read, t.idx.K(), probe) })
 	if len(anchors) == 0 {
-		return Result{}, st
+		return Result{}, st, nil
 	}
 
 	// Lightweight clustering: just sort anchors by query position and keep
@@ -53,11 +63,16 @@ func (t *GraphAligner) Map(read []byte, probe *perf.Probe) (Result, StageTimes) 
 	})
 
 	best := Result{EditDistance: 1 << 30}
+	canceled := false
 	timeStage(&st.Align, func() {
 		total := 0
 		var endNode graph.NodeID
 		ai := 0
 		for off := 0; off < len(read); off += align.MaxMyersQuery {
+			if stopped(done) {
+				canceled = true
+				return
+			}
 			end := off + align.MaxMyersQuery
 			if end > len(read) {
 				end = len(read)
@@ -89,5 +104,8 @@ func (t *GraphAligner) Map(read []byte, probe *perf.Probe) (Result, StageTimes) 
 			best = Result{Mapped: true, Node: node, EditDistance: total}
 		}
 	})
-	return best, st
+	if canceled {
+		return Result{}, st, ctx.Err()
+	}
+	return best, st, nil
 }

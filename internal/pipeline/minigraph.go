@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"pangenomicsbench/internal/align"
@@ -47,17 +48,27 @@ func (t *Minigraph) Name() string {
 
 // Map implements Tool.
 func (t *Minigraph) Map(read []byte, probe *perf.Probe) (Result, StageTimes) {
+	r, st, _ := t.MapCtx(context.Background(), read, probe)
+	return r, st
+}
+
+// MapCtx implements ContextTool: cancellation is observed before every GWFA
+// anchor bridge — the dominant cost of minigraph's chaining stage — and
+// before the final base-level alignment.
+func (t *Minigraph) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) (Result, StageTimes, error) {
+	done := ctx.Done()
 	var st StageTimes
 	var anchors []chain.Anchor
 	timeStage(&st.Seed, func() { anchors = seedGraph(t.idx, read, t.idx.K(), probe) })
 	if len(anchors) == 0 {
-		return Result{}, st
+		return Result{}, st, nil
 	}
 
 	// Chaining: 2D DP over anchors, then GWFA bridges between consecutive
 	// anchors of the best chain.
 	var chains []chain.Chain
 	bridged := 0
+	canceled := false
 	timeStage(&st.Chain, func() {
 		maxGap := 2 * len(read)
 		if t.ChromosomeMode {
@@ -80,6 +91,10 @@ func (t *Minigraph) Map(read []byte, probe *perf.Probe) (Result, StageTimes) {
 		}
 		prev := best.Anchors[0]
 		for i := 1; i < len(best.Anchors); i++ {
+			if stopped(done) {
+				canceled = true
+				return
+			}
 			cur := best.Anchors[i]
 			if cur.QPos-prev.QPos < minSpan {
 				continue
@@ -105,8 +120,14 @@ func (t *Minigraph) Map(read []byte, probe *perf.Probe) (Result, StageTimes) {
 			prev = cur
 		}
 	})
+	if canceled {
+		return Result{}, st, ctx.Err()
+	}
 	if len(chains) == 0 {
-		return Result{}, st
+		return Result{}, st, nil
+	}
+	if stopped(done) {
+		return Result{}, st, ctx.Err()
 	}
 
 	timeStage(&st.Filter, func() { chains = chain.Filter(chains, 0.7, 2) })
@@ -128,5 +149,5 @@ func (t *Minigraph) Map(read []byte, probe *perf.Probe) (Result, StageTimes) {
 			best = Result{Mapped: true, Node: start, EditDistance: r.Distance}
 		}
 	})
-	return best, st
+	return best, st, nil
 }

@@ -11,6 +11,7 @@
 package pipeline
 
 import (
+	"context"
 	"time"
 
 	"pangenomicsbench/internal/graph"
@@ -37,6 +38,29 @@ type Result struct {
 type Tool interface {
 	Name() string
 	Map(read []byte, probe *perf.Probe) (Result, StageTimes)
+}
+
+// ContextTool is a Tool whose mapping loops honor context cancellation:
+// MapCtx returns ctx.Err() as soon as the deadline or cancellation is
+// observed at a loop boundary (per cluster, chunk, or bridge), abandoning the
+// rest of the read. All four tools in this package implement it; Map is
+// MapCtx with context.Background(). The serve-mode mapping executor relies
+// on this to stop work mid-batch when a query's deadline expires.
+type ContextTool interface {
+	Tool
+	MapCtx(ctx context.Context, read []byte, probe *perf.Probe) (Result, StageTimes, error)
+}
+
+// stopped reports whether a context's done channel has fired. Mapping loops
+// poll it at their iteration boundaries; a nil channel (context.Background)
+// never fires and costs only the select.
+func stopped(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 // Kernel input captures (paper §4.2: "running the tool with datasets …

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"pangenomicsbench/internal/align"
@@ -58,27 +59,43 @@ func seedGraph(idx *minimizer.GraphIndex, read []byte, k int, probe *perf.Probe)
 
 // Map implements Tool.
 func (t *VgMap) Map(read []byte, probe *perf.Probe) (Result, StageTimes) {
+	r, st, _ := t.MapCtx(context.Background(), read, probe)
+	return r, st
+}
+
+// MapCtx implements ContextTool: cancellation is observed between stages and
+// before every per-chain GSSW alignment, the tool's dominant cost.
+func (t *VgMap) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) (Result, StageTimes, error) {
+	done := ctx.Done()
 	var st StageTimes
 	var anchors []chain.Anchor
 	timeStage(&st.Seed, func() { anchors = seedGraph(t.idx, read, t.idx.K(), probe) })
 	if len(anchors) == 0 {
-		return Result{}, st
+		return Result{}, st, nil
 	}
 
 	var chains []chain.Chain
 	timeStage(&st.Chain, func() { chains = chain.GraphChains(t.g, anchors, 2*len(read), probe) })
 	if len(chains) == 0 {
-		return Result{}, st
+		return Result{}, st, nil
+	}
+	if stopped(done) {
+		return Result{}, st, ctx.Err()
 	}
 	timeStage(&st.Filter, func() { chains = chain.Filter(chains, 0.6, 3) })
 
 	best := Result{}
+	canceled := false
 	timeStage(&st.Align, func() {
 		radius := t.Radius
 		if radius <= 0 {
 			radius = len(read) + len(read)/2
 		}
 		for _, ch := range chains {
+			if stopped(done) {
+				canceled = true
+				return
+			}
 			mid := ch.Anchors[len(ch.Anchors)/2]
 			sub := graph.Extract(t.g, mid.Node, radius)
 			dag := sub.Acyclify()
@@ -98,5 +115,8 @@ func (t *VgMap) Map(read []byte, probe *perf.Probe) (Result, StageTimes) {
 			}
 		}
 	})
-	return best, st
+	if canceled {
+		return Result{}, st, ctx.Err()
+	}
+	return best, st, nil
 }

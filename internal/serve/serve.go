@@ -56,6 +56,13 @@ type Config struct {
 	// Metrics receives service counters and latencies; nil disables
 	// recording (a fresh set is NOT created, matching perf's nil rule).
 	Metrics *perf.Metrics
+	// OnResult, when set, observes every successfully built result (leader
+	// executions only — coalesced joiners share the leader's result and do
+	// not re-fire it). The map-serve tier uses it to publish a finished
+	// cohort rebuild as a fresh query snapshot. It runs synchronously on the
+	// building goroutine, while the build slot is still held, so it must not
+	// call back into Build.
+	OnResult func(Request, *build.Result)
 }
 
 // Request is one graph-construction job: a tool, a cohort of registered
@@ -301,6 +308,9 @@ func (s *Service) execute(ctx context.Context, req Request, seqs [][]byte) (*Res
 	s.metrics.Observe("serve.stage.polishing", bd.Polishing)
 	s.metrics.Observe("serve.stage.layout", bd.Layout)
 	resp.Result = res
+	if s.cfg.OnResult != nil {
+		s.cfg.OnResult(req, res)
+	}
 	return resp, nil
 }
 

@@ -360,6 +360,68 @@ func TestRequestValidation(t *testing.T) {
 	}
 }
 
+// TestOnResultHook verifies the build-completion hook fires once per leader
+// execution with the finished result — including coalesced requests, which
+// share one execution and so fire it once.
+func TestOnResultHook(t *testing.T) {
+	names, seqs := testCatalog(t, 4000, 4)
+	var mu sync.Mutex
+	var fired []Request
+	cfg := Config{Workers: 2, OnResult: func(req Request, res *build.Result) {
+		if res == nil || res.Graph == nil {
+			t.Error("OnResult fired without a graph")
+		}
+		mu.Lock()
+		fired = append(fired, req)
+		mu.Unlock()
+	}}
+	s := testService(t, cfg, names, seqs)
+
+	if _, err := s.Build(context.Background(), pggbRequest(names)); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || len(fired[0].Cohort) != len(names) {
+		t.Fatalf("after one build, hook fired %d times", len(fired))
+	}
+
+	// A failed build must not fire the hook.
+	bad := pggbRequest(names)
+	bad.Timeout = time.Nanosecond
+	if _, err := s.Build(context.Background(), bad); err == nil {
+		t.Fatal("nanosecond build did not fail")
+	}
+	if len(fired) != 1 {
+		t.Fatalf("failed build fired the hook (%d fires)", len(fired))
+	}
+
+	// Leader + coalesced joiner: one execution, one fire.
+	req := pggbRequest(names[:3])
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		if _, err := s.Build(context.Background(), req); err != nil {
+			t.Errorf("leader: %v", err)
+		}
+	}()
+	fp := req.fingerprint()
+	for {
+		s.mu.Lock()
+		_, inflight := s.inflight[fp]
+		s.mu.Unlock()
+		if inflight {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if _, err := s.Build(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	<-leaderDone
+	if len(fired) != 2 {
+		t.Fatalf("coalesced pair fired the hook %d times total, want 2", len(fired))
+	}
+}
+
 // TestMetricsRecorded spot-checks the service metric names the serve-sim
 // report relies on.
 func TestMetricsRecorded(t *testing.T) {
