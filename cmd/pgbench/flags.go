@@ -2,8 +2,10 @@ package main
 
 import (
 	"flag"
+	"fmt"
 
 	"pangenomicsbench/internal/gensim"
+	"pangenomicsbench/internal/obs"
 )
 
 // newFlagSet is the common flag-set constructor for pgbench subcommands.
@@ -36,4 +38,44 @@ func (p *popFlags) simulate() (*gensim.Population, error) {
 	cfg.RefLen = *p.refLen
 	cfg.Haplotypes = *p.haps
 	return gensim.Simulate(cfg)
+}
+
+// obsFlags is the admin-endpoint flag block shared by the serve commands.
+type obsFlags struct {
+	addr *string
+}
+
+// addObsFlag registers -obs on fs.
+func addObsFlag(fs *flag.FlagSet) *obsFlags {
+	return &obsFlags{
+		addr: fs.String("obs", "", "admin/metrics listen address, e.g. :8080 (empty = no endpoint)"),
+	}
+}
+
+// start launches the obs admin server when -obs was given and returns its
+// closer (a no-op closer otherwise).
+func (o *obsFlags) start(cfg obs.ServerConfig) (func(), error) {
+	if *o.addr == "" {
+		return func() {}, nil
+	}
+	srv := obs.NewServer(cfg)
+	bound, err := srv.Start(*o.addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("admin endpoint: http://%s/ (/metrics /traces /snapshots /healthz)\n", bound)
+	return func() { _ = srv.Close() }, nil
+}
+
+// printSlowest renders the top-n slowest retained trace trees — the
+// replay-end flight-recorder report.
+func printSlowest(tr *obs.Tracer, n int) {
+	slow := tr.Recorder().Slowest(n)
+	if len(slow) == 0 {
+		return
+	}
+	fmt.Printf("\nslowest %d traces:\n", len(slow))
+	for _, d := range slow {
+		fmt.Println(d.Tree())
+	}
 }

@@ -22,6 +22,7 @@ import (
 	"pangenomicsbench/internal/build"
 	"pangenomicsbench/internal/core"
 	"pangenomicsbench/internal/gensim"
+	"pangenomicsbench/internal/obs"
 	"pangenomicsbench/internal/perf"
 	"pangenomicsbench/internal/serve"
 )
@@ -143,6 +144,7 @@ func serveSim(args []string) error {
 	cacheMB := fs.Int("cache-mb", 64, "pair-match cache capacity (MiB)")
 	timeout := fs.Duration("timeout", 0, "per-request timeout (0 = none)")
 	toolName := fs.String("tool", "pggb", "construction tool: pggb or mc")
+	of := addObsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -169,15 +171,25 @@ func serveSim(args []string) error {
 	}
 
 	metrics := perf.NewMetrics()
+	tracer := obs.NewTracer(obs.TracerConfig{Metrics: metrics})
 	svc := serve.New(serve.Config{
 		Workers:        *workers,
 		CacheCapacity:  *cacheMB << 20,
 		DefaultTimeout: *timeout,
 		Metrics:        metrics,
+		Tracer:         tracer,
 	})
 	if err := svc.RegisterAssemblies(names, seqs); err != nil {
 		return err
 	}
+	stopObs, err := of.start(obs.ServerConfig{
+		Metrics:  metrics.Snapshot,
+		Recorder: tracer.Recorder(),
+	})
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 
 	pcfg := build.DefaultPGGBConfig()
 	mcfg := build.DefaultMCConfig()
@@ -226,6 +238,7 @@ func serveSim(args []string) error {
 	}
 	fmt.Println("\nservice metrics:")
 	fmt.Print(metrics.Snapshot().Render())
+	printSlowest(tracer, 3)
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"pangenomicsbench/internal/build"
 	"pangenomicsbench/internal/gensim"
 	"pangenomicsbench/internal/mapserve"
+	"pangenomicsbench/internal/obs"
 	"pangenomicsbench/internal/perf"
 	"pangenomicsbench/internal/serve"
 )
@@ -37,6 +38,7 @@ func mapServe(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none)")
 	toolName := fs.String("tool", "giraffe", "mapping tool: giraffe, vgmap, graphaligner or minigraph-lr")
 	swapAt := fs.Int("swap-at", -2, "query index triggering the mid-trace rebuild+hot-swap (-2 = midpoint, -1 = never)")
+	of := addObsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +73,7 @@ func mapServe(args []string) error {
 	// the full-catalog cohort; its OnResult hook publishes each finished
 	// graph into the query registry as a fresh snapshot generation.
 	metrics := perf.NewMetrics()
+	tracer := obs.NewTracer(obs.TracerConfig{Metrics: metrics})
 	reg := &mapserve.Registry{}
 	names, seqs := pop.AssemblyView()
 	var snapSeq uint64
@@ -78,6 +81,8 @@ func mapServe(args []string) error {
 	var publishMu sync.Mutex
 	builder := serve.New(serve.Config{
 		CacheCapacity: 64 << 20,
+		Metrics:       metrics,
+		Tracer:        tracer,
 		OnResult: func(req serve.Request, res *build.Result) {
 			n := atomic.AddUint64(&snapSeq, 1)
 			snap, err := mapserve.SnapshotFromBuild(fmt.Sprintf("cohort-%d", n), res, toolCfg)
@@ -116,8 +121,18 @@ func mapServe(args []string) error {
 		BatchWait:  *batchWait,
 		QueueDepth: *queueDepth,
 		Metrics:    metrics,
+		Tracer:     tracer,
 	})
 	defer svc.Close()
+	stopObs, err := of.start(obs.ServerConfig{
+		Metrics:   metrics.Snapshot,
+		Recorder:  tracer.Recorder(),
+		Snapshots: reg.Stats,
+	})
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 
 	// Replay: each trace client drains its own query stream in issue order;
 	// crossing the swap index triggers an equivalent cohort rebuild whose
@@ -220,6 +235,7 @@ func mapServe(args []string) error {
 		100*float64(shed)/float64(len(trace)))
 	fmt.Println("\nservice metrics:")
 	fmt.Print(snap.Render())
+	printSlowest(tracer, 3)
 	if mismatches > 0 {
 		return fmt.Errorf("%d repeated reads changed mapping across snapshots", mismatches)
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"pangenomicsbench/internal/obs"
 	"pangenomicsbench/internal/perf"
 	"pangenomicsbench/internal/pipeline"
 )
@@ -36,6 +37,16 @@ type Config struct {
 	// Metrics receives service counters, latencies and the batch-size
 	// histogram; nil disables recording.
 	Metrics *perf.Metrics
+	// Tracer records one span tree per query — admission wait, snapshot
+	// acquire, kernel map with per-stage breakdown — into its flight
+	// recorder. nil disables tracing and adds zero allocations to the hot
+	// path (the nil-Probe rule).
+	Tracer *obs.Tracer
+	// TraceProbes, when tracing is enabled, attaches a perf.Probe to each
+	// traced kernel map span so traces also carry dynamic instruction
+	// counts. Expensive (full cache/branch simulation per query) — meant
+	// for targeted debugging, not steady-state serving.
+	TraceProbes bool
 }
 
 // Response is the outcome of one mapped query.
@@ -57,6 +68,7 @@ type pending struct {
 	ctx  context.Context
 	read []byte
 	enq  time.Time
+	span *obs.Span
 	resp *Response
 	err  error
 	done chan struct{}
@@ -71,6 +83,7 @@ type pending struct {
 type Service struct {
 	cfg     Config
 	metrics *perf.Metrics
+	tracer  *obs.Tracer
 	reg     *Registry
 
 	queue   chan *pending
@@ -104,6 +117,7 @@ func New(reg *Registry, cfg Config) *Service {
 	s := &Service{
 		cfg:            cfg,
 		metrics:        cfg.Metrics,
+		tracer:         cfg.Tracer,
 		reg:            reg,
 		queue:          make(chan *pending, cfg.QueueDepth),
 		batches:        make(chan []*pending, cfg.Workers),
@@ -131,25 +145,33 @@ func (s *Service) Map(ctx context.Context, read []byte) (*Response, error) {
 	if len(read) == 0 {
 		return nil, errors.New("mapserve: empty read")
 	}
-	p := &pending{ctx: ctx, read: read, enq: time.Now(), done: make(chan struct{})}
+	sp := s.tracer.StartRoot("mapserve.query")
+	sp.SetInt("read_len", int64(len(read)))
+	p := &pending{ctx: ctx, read: read, enq: time.Now(), span: sp, done: make(chan struct{})}
 
 	s.closeMu.RLock()
 	if s.closed {
 		s.closeMu.RUnlock()
+		sp.Error(ErrClosed)
+		sp.End()
 		return nil, ErrClosed
 	}
 	s.metrics.Add("mapserve.queries", 1)
 	select {
 	case s.queue <- p:
-		s.metrics.Add("mapserve.queue_depth", 1)
+		s.metrics.GaugeAdd("mapserve.queue_depth", 1)
 		s.closeMu.RUnlock()
 	default:
 		s.closeMu.RUnlock()
 		s.metrics.Add("mapserve.shed_queue", 1)
+		sp.Shed("queue")
+		sp.Error(ErrOverloaded)
+		sp.End()
 		return nil, ErrOverloaded
 	}
 
 	<-p.done
+	sp.End()
 	return p.resp, p.err
 }
 
@@ -222,29 +244,54 @@ func (s *Service) runBatch(batch []*pending) {
 	s.metrics.Add("mapserve.batches", 1)
 	s.metrics.ObserveValue("mapserve.batch_size", float64(len(batch)))
 
+	acqStart := time.Now()
 	snap := s.reg.Acquire()
+	acqDur := time.Since(acqStart)
 	if snap != nil {
 		defer snap.Release()
 	}
 	for _, p := range batch {
-		s.metrics.Add("mapserve.queue_depth", -1)
+		s.metrics.GaugeAdd("mapserve.queue_depth", -1)
 		wait := time.Since(p.enq)
 		s.metrics.Observe("mapserve.queue_wait", wait)
+		// Trace attribution: the admission span covers enqueue → this
+		// query's turn (batch assembly plus any earlier queries of the
+		// batch), so a query's direct children sum to its request latency.
+		p.span.Stage("admission", p.enq, wait)
+		p.span.SetInt("batch_size", int64(len(batch)))
 		switch {
 		case snap == nil:
+			p.span.Error(ErrNoSnapshot)
 			p.err = ErrNoSnapshot
 		case p.ctx.Err() != nil:
 			s.metrics.Add("mapserve.shed_deadline", 1)
+			p.span.Shed("deadline")
+			p.span.Error(p.ctx.Err())
 			p.err = p.ctx.Err()
 		default:
+			p.span.Stage("snapshot.acquire", acqStart, acqDur)
+			p.span.Set("snapshot", snap.ID)
+			p.span.SetInt("generation", int64(snap.Generation))
+			ms := p.span.Child("map")
+			ctx := obs.ContextWithSpan(p.ctx, ms)
+			var probe *perf.Probe
+			if s.cfg.TraceProbes && ms != nil {
+				probe = perf.NewProbe()
+				ms.AttachProbe(probe)
+			}
 			t0 := time.Now()
-			res, stages, err := snap.Map(p.ctx, p.read)
+			res, stages, err := snap.MapWithProbe(ctx, p.read, probe)
 			mt := time.Since(t0)
 			if err != nil {
 				s.metrics.Add("mapserve.shed_deadline", 1)
+				ms.Error(err)
+				ms.End()
+				p.span.Shed("deadline")
+				p.span.Error(err)
 				p.err = err
 				break
 			}
+			ms.End()
 			s.metrics.Add("mapserve.mapped", 1)
 			s.metrics.Observe("mapserve.map", mt)
 			s.metrics.Observe("mapserve.stage.seed", stages.Seed)
@@ -261,6 +308,10 @@ func (s *Service) runBatch(batch []*pending) {
 				MapTime:    mt,
 			}
 		}
+		// End the root span here, when the response is ready: request latency
+		// then excludes the client goroutine's wake-up delay, so the span's
+		// children account for (nearly) all of it. Map's End is idempotent.
+		p.span.End()
 		close(p.done)
 	}
 }

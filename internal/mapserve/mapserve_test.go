@@ -145,8 +145,12 @@ func TestBatching(t *testing.T) {
 	if hist.Count == 0 || hist.Max > 4 {
 		t.Errorf("batch-size histogram %+v", hist)
 	}
-	if got := snap.Counters["mapserve.queue_depth"]; got != 0 {
-		t.Errorf("queue depth gauge did not return to zero: %d", got)
+	g := snap.Gauges["mapserve.queue_depth"]
+	if g.Value != 0 {
+		t.Errorf("queue depth gauge did not return to zero: %d", g.Value)
+	}
+	if g.Watermark < 1 {
+		t.Errorf("queue depth watermark = %d, want ≥1", g.Watermark)
 	}
 	if snap.Counters["mapserve.mapped"] != 9 {
 		t.Errorf("mapped = %d, want 9", snap.Counters["mapserve.mapped"])

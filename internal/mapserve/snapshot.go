@@ -12,11 +12,14 @@ package mapserve
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"pangenomicsbench/internal/build"
 	"pangenomicsbench/internal/graph"
+	"pangenomicsbench/internal/obs"
+	"pangenomicsbench/internal/perf"
 	"pangenomicsbench/internal/pipeline"
 )
 
@@ -130,6 +133,13 @@ func (s *Snapshot) Map(ctx context.Context, read []byte) (pipeline.Result, pipel
 	return s.tool.MapCtx(ctx, read, nil)
 }
 
+// MapWithProbe is Map with a kernel perf.Probe attached (nil records
+// nothing) — the hook the traced executor uses to carry dynamic
+// instruction counts on map spans.
+func (s *Snapshot) MapWithProbe(ctx context.Context, read []byte, probe *perf.Probe) (pipeline.Result, pipeline.StageTimes, error) {
+	return s.tool.MapCtx(ctx, read, probe)
+}
+
 // Release drops one reference acquired from a Registry. When the last
 // reference of an unpublished (swapped-out) snapshot drops, the registry's
 // retire hook fires — exactly once, and never while queries hold the
@@ -154,6 +164,9 @@ type Registry struct {
 	mu      sync.Mutex
 	current *Snapshot
 	gen     uint64
+	// live tracks every published snapshot until it retires, so Stats can
+	// report swapped-out generations still pinned by in-flight queries.
+	live map[uint64]*Snapshot
 
 	// OnRetire, when set before the first Publish, observes each snapshot
 	// after its last reference drops (metrics, index teardown logging).
@@ -175,8 +188,12 @@ func (r *Registry) Publish(s *Snapshot) (uint64, error) {
 	}
 	r.gen++
 	s.Generation = r.gen
-	s.retire = r.OnRetire
+	s.retire = r.retireSnapshot
 	atomic.StoreInt64(&s.refs, 1) // the registry's own reference
+	if r.live == nil {
+		r.live = map[uint64]*Snapshot{}
+	}
+	r.live[s.Generation] = s
 	prev := r.current
 	r.current = s
 	r.mu.Unlock()
@@ -204,4 +221,42 @@ func (r *Registry) Generation() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.gen
+}
+
+// retireSnapshot fires when a published snapshot's last reference drops: it
+// leaves the live set, then the user's OnRetire hook (if any) observes it.
+func (r *Registry) retireSnapshot(s *Snapshot) {
+	r.mu.Lock()
+	delete(r.live, s.Generation)
+	cb := r.OnRetire
+	r.mu.Unlock()
+	if cb != nil {
+		cb(s)
+	}
+}
+
+// Stats reports every still-referenced snapshot generation — the /snapshots
+// view of the registry: refcounts, in-flight queries (refs minus the
+// registry's own reference on the current snapshot), and which generation
+// is current. Sorted by generation.
+func (r *Registry) Stats() []obs.SnapshotInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	infos := make([]obs.SnapshotInfo, 0, len(r.live))
+	for _, s := range r.live {
+		refs := atomic.LoadInt64(&s.refs)
+		info := obs.SnapshotInfo{
+			ID:         s.ID,
+			Generation: s.Generation,
+			Refs:       refs,
+			InFlight:   refs,
+			Current:    s == r.current,
+		}
+		if info.Current {
+			info.InFlight-- // the registry's own reference is not a query
+		}
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Generation < infos[j].Generation })
+	return infos
 }

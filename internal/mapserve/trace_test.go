@@ -1,0 +1,253 @@
+package mapserve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pangenomicsbench/internal/gensim"
+	"pangenomicsbench/internal/obs"
+	"pangenomicsbench/internal/perf"
+)
+
+// findChild returns the first direct child span named name.
+func findChild(d obs.SpanData, name string) (obs.SpanData, bool) {
+	for _, c := range d.Children {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return obs.SpanData{}, false
+}
+
+// attrValue returns the value of the span's first attribute with key.
+func attrValue(d obs.SpanData, key string) string {
+	for _, a := range d.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// TestTracedQueryStageSum is the trace-attribution acceptance test: a query
+// mapped through a real tool produces a trace whose direct children
+// (admission → snapshot.acquire → map) account for the request latency —
+// their durations sum to within 10% of the root span's — and whose map span
+// carries the kernel's per-stage breakdown as children.
+func TestTracedQueryStageSum(t *testing.T) {
+	pop := testPop(t, 8000, 4)
+	reads, err := pop.SimulateReads(gensim.ReadConfig{Count: 1, Length: 150, SubRate: 0.002, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := NewSnapshot("pop", pop.Graph, DefaultToolConfig(ToolGiraffe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := &Registry{}
+	if _, err := reg.Publish(snap); err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer(obs.TracerConfig{})
+	// A long BatchWait makes the admission stage dominate the request, so
+	// the attribution check is robust to scheduler noise around wake-ups.
+	s := New(reg, Config{Workers: 1, MaxBatch: 4, BatchWait: 25 * time.Millisecond, Tracer: tr})
+	defer s.Close()
+
+	if _, err := s.Map(context.Background(), reads[0].Seq); err != nil {
+		t.Fatal(err)
+	}
+
+	traces := tr.Recorder().Last(1)
+	if len(traces) != 1 {
+		t.Fatalf("recorder retained %d traces, want 1", len(traces))
+	}
+	root := traces[0]
+	if root.Name != "mapserve.query" {
+		t.Fatalf("root span %q, want mapserve.query", root.Name)
+	}
+	if root.Failed() {
+		t.Fatalf("successful query marked failed: %s", root.Tree())
+	}
+	for _, name := range []string{"admission", "snapshot.acquire", "map"} {
+		if _, ok := findChild(root, name); !ok {
+			t.Errorf("trace missing %q child:\n%s", name, root.Tree())
+		}
+	}
+	if got := attrValue(root, "snapshot"); got != "pop" {
+		t.Errorf("snapshot attr %q, want pop", got)
+	}
+	if got := attrValue(root, "generation"); got != "1" {
+		t.Errorf("generation attr %q, want 1", got)
+	}
+
+	// The kernel's stage timers annotate the map span through the context
+	// the executor threads into MapCtx.
+	mapSpan, _ := findChild(root, "map")
+	for _, stage := range []string{"seed", "chain", "align"} {
+		if _, ok := findChild(mapSpan, stage); !ok {
+			t.Errorf("map span missing kernel stage %q:\n%s", stage, root.Tree())
+		}
+	}
+
+	// Attribution: direct children must account for the request latency.
+	sum, dur := root.StageSum(), root.Duration
+	if diff := (sum - dur); diff < 0 {
+		diff = -diff
+	}
+	lo, hi := dur-dur/10, dur+dur/10
+	if sum < lo || sum > hi {
+		t.Errorf("stage sum %v outside 10%% of request latency %v:\n%s", sum, dur, root.Tree())
+	}
+}
+
+// TestShedTracesDistinctCountersAndExemplars covers the shed paths end to
+// end: queue-overflow and deadline sheds increment their own counters, and
+// both produce shed/error traces that the flight recorder's exemplar set
+// retains even after successful traffic scrolls them out of the ring.
+func TestShedTracesDistinctCountersAndExemplars(t *testing.T) {
+	gate := make(chan struct{})
+	tool := &blockingTool{gate: gate, started: make(chan struct{}, 8)}
+	m := perf.NewMetrics()
+	tr := obs.NewTracer(obs.TracerConfig{Capacity: 2, Metrics: m})
+	s, _ := stubService(t, tool, Config{
+		Workers: 1, MaxBatch: 1, BatchWait: time.Millisecond, QueueDepth: 1,
+		Metrics: m, Tracer: tr,
+	})
+
+	// Park the single worker on the gate.
+	parked := make(chan struct{})
+	go func() {
+		defer close(parked)
+		if _, err := s.Map(context.Background(), []byte("AAAA")); err != nil {
+			t.Errorf("parked query: %v", err)
+		}
+	}()
+	<-tool.started
+
+	// A queued query with an already-canceled context sheds on deadline at
+	// its execution turn.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	deadlineDone := make(chan error, 1)
+	go func() {
+		_, err := s.Map(canceled, []byte("CCCC"))
+		deadlineDone <- err
+	}()
+
+	// Spam queries behind the parked worker until admission sheds one.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	shed := 0
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Map(context.Background(), []byte("GGGG"))
+			if errors.Is(err, ErrOverloaded) {
+				mu.Lock()
+				shed++
+				mu.Unlock()
+			}
+		}()
+		time.Sleep(2 * time.Millisecond)
+		mu.Lock()
+		done := shed > 0
+		mu.Unlock()
+		if done {
+			break
+		}
+	}
+
+	close(gate)
+	wg.Wait()
+	<-parked
+	if err := <-deadlineDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled query: %v, want context.Canceled", err)
+	}
+
+	// Distinct counters per shed cause.
+	if got := m.Counter("mapserve.shed_queue"); got != int64(shed) || shed == 0 {
+		t.Errorf("shed_queue = %d, want %d (>0)", got, shed)
+	}
+	if got := m.Counter("mapserve.shed_deadline"); got != 1 {
+		t.Errorf("shed_deadline = %d, want 1", got)
+	}
+
+	// Scroll the ring (capacity 2) with fresh successful queries: the shed
+	// traces must survive in the exemplar set.
+	for i := 0; i < 4; i++ {
+		if _, err := s.Map(context.Background(), []byte("TTTT")); err != nil {
+			t.Fatalf("post-shed query %d: %v", i, err)
+		}
+	}
+	s.Close()
+
+	for _, d := range tr.Recorder().Last(2) {
+		if d.Failed() {
+			t.Errorf("ring still holds a failed trace after scroll-out: %s", d.Tree())
+		}
+	}
+	reasons := map[string]int{}
+	for _, d := range tr.Recorder().Errors() {
+		if !d.Shed {
+			t.Errorf("error exemplar not marked shed: %s", d.Tree())
+		}
+		if d.Error == "" {
+			t.Errorf("shed exemplar has no error: %s", d.Tree())
+		}
+		reasons[attrValue(d, "shed")]++
+	}
+	if reasons["queue"] == 0 || reasons["deadline"] == 0 {
+		t.Errorf("exemplar shed reasons %v, want both queue and deadline", reasons)
+	}
+	// Exemplars() pools slowest-per-endpoint and the shed/error traces.
+	failed := 0
+	for _, d := range tr.Recorder().Exemplars() {
+		if d.Failed() {
+			failed++
+		}
+	}
+	if failed < 2 {
+		t.Errorf("exemplar set retains %d failed traces, want ≥2", failed)
+	}
+}
+
+// BenchmarkMapNilTracer pins the hot-path allocation baseline with tracing
+// disabled: the nil-tracer instrumentation must add zero allocations over
+// the untraced executor (the nil-Probe rule; obs.TestNilTracerZeroAlloc
+// asserts the instrumentation sequence itself allocates nothing).
+func BenchmarkMapNilTracer(b *testing.B) {
+	benchmarkMap(b, nil)
+}
+
+// BenchmarkMapTraced is the traced counterpart, for comparing against
+// BenchmarkMapNilTracer.
+func BenchmarkMapTraced(b *testing.B) {
+	benchmarkMap(b, obs.NewTracer(obs.TracerConfig{}))
+}
+
+func benchmarkMap(b *testing.B, tr *obs.Tracer) {
+	pop := testPop(b, 2000, 2)
+	snap, err := NewSnapshotWithTool("bench", pop.Graph, &blockingTool{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := &Registry{}
+	if _, err := reg.Publish(snap); err != nil {
+		b.Fatal(err)
+	}
+	s := New(reg, Config{Workers: 2, MaxBatch: 8, BatchWait: 100 * time.Microsecond, Tracer: tr})
+	defer s.Close()
+	read := []byte("ACGTACGTACGTACGT")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Map(context.Background(), read); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pangenomicsbench/internal/perf"
+)
+
+// PromText renders a perf.MetricsSnapshot in the Prometheus text exposition
+// format (version 0.0.4): counters as <name>_total, gauges as <name> plus a
+// <name>_watermark gauge, latency accumulators as <name>_seconds summaries
+// (count/sum plus a _max gauge), and log2 value histograms as cumulative
+// le-bucketed histograms. Metric names are sanitized (every character
+// outside [a-zA-Z0-9_:] becomes '_') and families are emitted in sorted
+// order so consecutive scrapes diff cleanly.
+func PromText(s perf.MetricsSnapshot) string {
+	var b strings.Builder
+
+	for _, k := range sortedKeys(s.Counters) {
+		name := promName(k) + "_total"
+		fmt.Fprintf(&b, "# HELP %s Counter %q.\n# TYPE %s counter\n%s %d\n",
+			name, k, name, name, s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		g := s.Gauges[k]
+		name := promName(k)
+		fmt.Fprintf(&b, "# HELP %s Gauge %q.\n# TYPE %s gauge\n%s %d\n",
+			name, k, name, name, g.Value)
+		fmt.Fprintf(&b, "# HELP %s_watermark High watermark of gauge %q.\n# TYPE %s_watermark gauge\n%s_watermark %d\n",
+			name, k, name, name, g.Watermark)
+	}
+	for _, k := range sortedKeys(s.Latencies) {
+		l := s.Latencies[k]
+		name := promName(k) + "_seconds"
+		fmt.Fprintf(&b, "# HELP %s Latency summary %q.\n# TYPE %s summary\n", name, k, name)
+		fmt.Fprintf(&b, "%s_count %d\n%s_sum %s\n", name, l.Count, name, promFloat(l.Total.Seconds()))
+		fmt.Fprintf(&b, "# HELP %s_max Maximum latency sample %q.\n# TYPE %s_max gauge\n%s_max %s\n",
+			name, k, name, name, promFloat(l.Max.Seconds()))
+	}
+	for _, k := range sortedKeys(s.Values) {
+		v := s.Values[k]
+		name := promName(k)
+		fmt.Fprintf(&b, "# HELP %s Value distribution %q (log2 buckets).\n# TYPE %s histogram\n", name, k, name)
+		idxs := make([]int, 0, len(v.Buckets))
+		for i := range v.Buckets {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		var cum int64
+		for _, i := range idxs {
+			cum += v.Buckets[i]
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", name, int64(1)<<uint(i), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, v.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n%s_count %d\n", name, promFloat(v.Sum), name, v.Count)
+	}
+	return b.String()
+}
+
+// promName sanitizes a dotted metric name into the Prometheus alphabet.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a float sample value ('g' keeps integers short and
+// never emits a locale-dependent form).
+func promFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

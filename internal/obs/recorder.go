@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanData is one immutable node of a completed trace tree — what the
+// flight recorder retains and the /traces endpoint serves. Duration
+// marshals as nanoseconds.
+type SpanData struct {
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+	Error    string        `json:"error,omitempty"`
+	Shed     bool          `json:"shed,omitempty"`
+	Children []SpanData    `json:"children,omitempty"`
+}
+
+// Failed reports whether the trace (root) recorded an error or a shed.
+func (d SpanData) Failed() bool { return d.Error != "" || d.Shed }
+
+// Recorder is the bounded flight recorder: a ring of the last N completed
+// traces plus an always-kept exemplar set — the slowest trace per root name
+// (endpoint) and the most recent shed/error traces. The ring answers "what
+// just happened"; the exemplars answer "what was the worst, even if it
+// scrolled out of the ring an hour ago".
+type Recorder struct {
+	mu      sync.Mutex
+	ring    []SpanData
+	next    int
+	filled  bool
+	total   uint64
+	slowest map[string]SpanData
+	errs    []SpanData
+	errCap  int
+}
+
+func newRecorder(capacity, errCapacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if errCapacity <= 0 {
+		errCapacity = 32
+	}
+	return &Recorder{
+		ring:    make([]SpanData, capacity),
+		slowest: map[string]SpanData{},
+		errCap:  errCapacity,
+	}
+}
+
+// add retains one completed trace. Nil-safe so a nil tracer's spans cost
+// nothing.
+func (r *Recorder) add(d SpanData) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	r.ring[r.next] = d
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.filled = true
+	}
+	if cur, ok := r.slowest[d.Name]; !ok || d.Duration > cur.Duration {
+		r.slowest[d.Name] = d
+	}
+	if d.Failed() {
+		r.errs = append(r.errs, d)
+		if len(r.errs) > r.errCap {
+			r.errs = r.errs[len(r.errs)-r.errCap:]
+		}
+	}
+}
+
+// Total returns the number of traces ever completed (including those that
+// have scrolled out of the ring).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Last returns up to n retained traces, most recent first.
+func (r *Recorder) Last(n int) []SpanData {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.next
+	if r.filled {
+		size = len(r.ring)
+	}
+	if n > size {
+		n = size
+	}
+	out := make([]SpanData, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.ring[(r.next-i+len(r.ring))%len(r.ring)])
+	}
+	return out
+}
+
+// Exemplars returns the always-kept set: the slowest trace per root name
+// followed by the retained shed/error traces.
+func (r *Recorder) Exemplars() []SpanData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.slowest))
+	for name := range r.slowest {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]SpanData, 0, len(names)+len(r.errs))
+	for _, name := range names {
+		out = append(out, r.slowest[name])
+	}
+	return append(out, r.errs...)
+}
+
+// Errors returns the retained shed/error traces, oldest first.
+func (r *Recorder) Errors() []SpanData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanData(nil), r.errs...)
+}
+
+// Slowest returns up to n distinct retained traces — ring and exemplars
+// pooled — slowest first.
+func (r *Recorder) Slowest(n int) []SpanData {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	pool := make([]SpanData, 0, len(r.ring)+len(r.slowest))
+	size := r.next
+	if r.filled {
+		size = len(r.ring)
+	}
+	pool = append(pool, r.ring[:size]...)
+	for _, d := range r.slowest {
+		pool = append(pool, d)
+	}
+	r.mu.Unlock()
+
+	sort.SliceStable(pool, func(i, j int) bool { return pool[i].Duration > pool[j].Duration })
+	type key struct {
+		name  string
+		start time.Time
+	}
+	seen := map[key]bool{}
+	out := make([]SpanData, 0, n)
+	for _, d := range pool {
+		k := key{d.Name, d.Start}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, d)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}

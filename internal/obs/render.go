@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Tree renders the trace as a human-readable span tree:
+//
+//	mapserve.query 12.4ms [gen=3 batch=8]
+//	├─ admission 1.2ms
+//	└─ map 11.1ms
+//	   ├─ seed 2.0ms
+//	   └─ align 9.1ms
+func (d SpanData) Tree() string {
+	var b strings.Builder
+	d.writeTree(&b, "", "")
+	return b.String()
+}
+
+func (d SpanData) writeTree(b *strings.Builder, branch, indent string) {
+	b.WriteString(branch)
+	b.WriteString(d.Name)
+	fmt.Fprintf(b, " %v", d.Duration.Round(time.Microsecond))
+	if len(d.Attrs) > 0 {
+		parts := make([]string, len(d.Attrs))
+		for i, a := range d.Attrs {
+			parts[i] = a.Key + "=" + a.Value
+		}
+		fmt.Fprintf(b, " [%s]", strings.Join(parts, " "))
+	}
+	if d.Error != "" {
+		fmt.Fprintf(b, " ERROR(%s)", d.Error)
+	}
+	b.WriteByte('\n')
+	for i, c := range d.Children {
+		if i == len(d.Children)-1 {
+			c.writeTree(b, indent+"└─ ", indent+"   ")
+		} else {
+			c.writeTree(b, indent+"├─ ", indent+"│  ")
+		}
+	}
+}
+
+// JSONLine renders the trace as one compact JSON object (the /traces
+// endpoint's JSON-lines format).
+func (d SpanData) JSONLine() string {
+	raw, err := json.Marshal(d)
+	if err != nil {
+		return fmt.Sprintf(`{"name":%q,"marshal_error":%q}`, d.Name, err.Error())
+	}
+	return string(raw)
+}
+
+// StageSum returns the summed duration of the trace's direct children —
+// the accounted-for fraction of the request latency. A well-attributed
+// trace's StageSum is within a few percent of its root Duration.
+func (d SpanData) StageSum() time.Duration {
+	var sum time.Duration
+	for _, c := range d.Children {
+		sum += c.Duration
+	}
+	return sum
+}

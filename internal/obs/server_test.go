@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"pangenomicsbench/internal/perf"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServerScrape is the CI obs smoke test: it starts the admin server,
+// scrapes /metrics and /healthz, verifies the Prometheus output parses with
+// no duplicate metric names, and that counters are monotonic across two
+// scrapes with traffic in between.
+func TestServerScrape(t *testing.T) {
+	m := perf.NewMetrics()
+	m.Add("svc.requests", 3)
+	m.GaugeAdd("svc.inflight", 1)
+	m.Observe("svc.exec", 5*time.Millisecond)
+	m.ObserveValue("svc.batch", 4)
+
+	tr := NewTracer(TracerConfig{Metrics: m})
+	sp := tr.StartRoot("svc.request")
+	sp.Stage("admission", time.Now(), time.Millisecond)
+	sp.End()
+
+	healthy := true
+	srv := NewServer(ServerConfig{
+		Metrics:  m.Snapshot,
+		Recorder: tr.Recorder(),
+		Snapshots: func() []SnapshotInfo {
+			return []SnapshotInfo{{ID: "cohort-1", Generation: 3, Refs: 2, InFlight: 1, Current: true}}
+		},
+		Health: func() error {
+			if !healthy {
+				return errors.New("registry empty")
+			}
+			return nil
+		},
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr
+
+	code, body := get(t, base+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	first := parseProm(t, body)
+	if first["svc_requests_total"] != 3 {
+		t.Fatalf("svc_requests_total = %v, want 3", first["svc_requests_total"])
+	}
+
+	// More traffic, then a second scrape: every counter must be monotonic.
+	m.Add("svc.requests", 2)
+	m.Add("svc.errors", 1)
+	_, body = get(t, base+"/metrics")
+	second := parseProm(t, body)
+	for name, v := range first {
+		if strings.HasSuffix(name, "_total") || strings.HasSuffix(name, "_count") {
+			if second[name] < v {
+				t.Errorf("counter %s went backwards: %v -> %v", name, v, second[name])
+			}
+		}
+	}
+	if second["svc_requests_total"] != 5 {
+		t.Errorf("svc_requests_total after traffic = %v, want 5", second["svc_requests_total"])
+	}
+
+	// /traces: tree and jsonl forms.
+	code, body = get(t, base+"/traces")
+	if code != http.StatusOK || !strings.Contains(body, "svc.request") || !strings.Contains(body, "└─ admission") {
+		t.Fatalf("/traces = %d:\n%s", code, body)
+	}
+	code, body = get(t, base+"/traces?format=jsonl&which=recent&n=5")
+	if code != http.StatusOK {
+		t.Fatalf("/traces jsonl = %d", code)
+	}
+	var d SpanData
+	if err := json.Unmarshal([]byte(strings.Split(strings.TrimSpace(body), "\n")[0]), &d); err != nil {
+		t.Fatalf("jsonl line does not parse: %v\n%s", err, body)
+	}
+	if d.Name != "svc.request" || len(d.Children) != 1 {
+		t.Fatalf("jsonl trace = %+v", d)
+	}
+	if code, _ := get(t, base+"/traces?format=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bogus format = %d, want 400", code)
+	}
+
+	// /snapshots.
+	code, body = get(t, base+"/snapshots")
+	if code != http.StatusOK {
+		t.Fatalf("/snapshots = %d", code)
+	}
+	var infos []SnapshotInfo
+	if err := json.Unmarshal([]byte(body), &infos); err != nil {
+		t.Fatalf("/snapshots does not parse: %v\n%s", err, body)
+	}
+	if len(infos) != 1 || infos[0].Generation != 3 || !infos[0].Current {
+		t.Fatalf("/snapshots = %+v", infos)
+	}
+
+	// Health flip serves 503.
+	healthy = false
+	if code, body := get(t, base+"/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "registry empty") {
+		t.Fatalf("unhealthy /healthz = %d %q", code, body)
+	}
+
+	// Index + 404.
+	if code, body := get(t, base+"/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index = %d %q", code, body)
+	}
+	if code, _ := get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestServerEmptySources(t *testing.T) {
+	srv := NewServer(ServerConfig{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr
+	for _, path := range []string{"/metrics", "/traces", "/snapshots", "/healthz"} {
+		if code, _ := get(t, base+path); code != http.StatusOK {
+			t.Errorf("%s with no sources = %d, want 200", path, code)
+		}
+	}
+	if _, body := get(t, base+"/snapshots"); !strings.HasPrefix(strings.TrimSpace(body), "[") {
+		t.Errorf("/snapshots with no source = %q, want a JSON array", body)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := NewServer(ServerConfig{})
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close before start: %v", err)
+	}
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,8 +20,17 @@ import (
 type Metrics struct {
 	mu       sync.Mutex
 	counters map[string]int64
+	gauges   map[string]*gaugeAcc
 	lats     map[string]*latAcc
 	hists    map[string]*histAcc
+}
+
+// gaugeAcc is a settable level with a high watermark — the right shape for
+// in-flight counts and queue depths, where the peak matters as much as the
+// instant value and the Add(+1)/Add(-1) counter pattern loses it.
+type gaugeAcc struct {
+	val int64
+	max int64
 }
 
 type latAcc struct {
@@ -42,6 +51,7 @@ type histAcc struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		counters: map[string]int64{},
+		gauges:   map[string]*gaugeAcc{},
 		lats:     map[string]*latAcc{},
 		hists:    map[string]*histAcc{},
 	}
@@ -56,6 +66,57 @@ func (m *Metrics) Add(name string, delta int64) {
 	m.mu.Lock()
 	m.counters[name] += delta
 	m.mu.Unlock()
+}
+
+// GaugeSet sets the named gauge to v, tracking its high watermark.
+func (m *Metrics) GaugeSet(name string, v int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	g := m.gauges[name]
+	if g == nil {
+		g = &gaugeAcc{}
+		m.gauges[name] = g
+	}
+	g.val = v
+	if v > g.max {
+		g.max = v
+	}
+	m.mu.Unlock()
+}
+
+// GaugeAdd adjusts the named gauge by delta (typically ±1 around an
+// in-flight section), tracking its high watermark.
+func (m *Metrics) GaugeAdd(name string, delta int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	g := m.gauges[name]
+	if g == nil {
+		g = &gaugeAcc{}
+		m.gauges[name] = g
+	}
+	g.val += delta
+	if g.val > g.max {
+		g.max = g.val
+	}
+	m.mu.Unlock()
+}
+
+// Gauge returns the named gauge's current value and high watermark
+// (0, 0 if never touched).
+func (m *Metrics) Gauge(name string) (value, watermark int64) {
+	if m == nil {
+		return 0, 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g := m.gauges[name]; g != nil {
+		return g.val, g.max
+	}
+	return 0, 0
 }
 
 // Observe records one latency sample under name.
@@ -155,12 +216,20 @@ func (v ValueSummary) Mean() float64 {
 	return v.Sum / float64(v.Count)
 }
 
-// Quantile returns the upper edge of the bucket holding the q-th sample
-// (0 ≤ q ≤ 1) — a ≤2× overestimate, which is all a log2 histogram can
-// promise. Returns 0 with no samples.
+// Quantile returns the upper edge of the bucket holding the q-th sample —
+// a ≤2× overestimate, which is all a log2 histogram can promise — clamped
+// into [Min, Max] so it never extrapolates past an observed sample. The
+// edges answer exactly: no samples returns 0, q ≤ 0 returns Min, and q ≥ 1
+// or a single-sample summary returns Max.
 func (v ValueSummary) Quantile(q float64) float64 {
 	if v.Count == 0 {
 		return 0
+	}
+	if q <= 0 {
+		return v.Min
+	}
+	if q >= 1 || v.Count == 1 {
+		return v.Max
 	}
 	rank := int64(q * float64(v.Count))
 	if rank >= v.Count {
@@ -171,19 +240,35 @@ func (v ValueSummary) Quantile(q float64) float64 {
 		idxs = append(idxs, i)
 	}
 	sort.Ints(idxs)
+	est := v.Max
 	var seen int64
 	for _, i := range idxs {
 		seen += v.Buckets[i]
 		if seen > rank {
-			return float64(int64(1) << uint(i))
+			est = float64(int64(1) << uint(i))
+			break
 		}
 	}
-	return v.Max
+	if est < v.Min {
+		est = v.Min
+	}
+	if est > v.Max {
+		est = v.Max
+	}
+	return est
+}
+
+// GaugeSummary is one gauge's snapshot: its instant value and the high
+// watermark it ever reached.
+type GaugeSummary struct {
+	Value     int64
+	Watermark int64
 }
 
 // MetricsSnapshot is a consistent copy of a metric set.
 type MetricsSnapshot struct {
 	Counters  map[string]int64
+	Gauges    map[string]GaugeSummary
 	Latencies map[string]LatencySummary
 	Values    map[string]ValueSummary
 }
@@ -192,6 +277,7 @@ type MetricsSnapshot struct {
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	snap := MetricsSnapshot{
 		Counters:  map[string]int64{},
+		Gauges:    map[string]GaugeSummary{},
 		Latencies: map[string]LatencySummary{},
 		Values:    map[string]ValueSummary{},
 	}
@@ -202,6 +288,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	defer m.mu.Unlock()
 	for k, v := range m.counters {
 		snap.Counters[k] = v
+	}
+	for k, g := range m.gauges {
+		snap.Gauges[k] = GaugeSummary{Value: g.val, Watermark: g.max}
 	}
 	for k, acc := range m.lats {
 		snap.Latencies[k] = LatencySummary{Count: acc.count, Total: acc.total, Max: acc.max}
@@ -226,6 +315,15 @@ func (s MetricsSnapshot) Render() string {
 	sort.Strings(names)
 	for _, k := range names {
 		fmt.Fprintf(&b, "%-28s %12d\n", k, s.Counters[k])
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		g := s.Gauges[k]
+		fmt.Fprintf(&b, "%-28s %12d  (high watermark %d)\n", k, g.Value, g.Watermark)
 	}
 	names = names[:0]
 	for k := range s.Latencies {

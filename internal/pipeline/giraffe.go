@@ -68,7 +68,7 @@ func (t *VgGiraffe) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) 
 	done := ctx.Done()
 	var st StageTimes
 	var anchors []chain.Anchor
-	timeStage(&st.Seed, func() { anchors = seedGraph(t.idx, read, t.idx.K(), probe) })
+	timeStageCtx(ctx, "seed", &st.Seed, func() { anchors = seedGraph(t.idx, read, t.idx.K(), probe) })
 	if len(anchors) == 0 {
 		return Result{}, st, nil
 	}
@@ -77,7 +77,7 @@ func (t *VgGiraffe) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) 
 	// coordinates, then coordinate-based chaining (O(1) per pair — no
 	// graph traversal, unlike Vg Map).
 	var clusters []chain.Chain
-	timeStage(&st.Chain, func() {
+	timeStageCtx(ctx, "chain", &st.Chain, func() {
 		for i := range anchors {
 			anchors[i].RPos = t.nodePos[anchors[i].Node] + anchors[i].Offset
 			probe.Op(perf.ScalarInt, 2)
@@ -102,7 +102,7 @@ func (t *VgGiraffe) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) 
 	}
 	var exts []extension
 	canceled := false
-	timeStage(&st.Filter, func() {
+	timeStageCtx(ctx, "filter", &st.Filter, func() {
 		for _, cl := range clusters {
 			if stopped(done) {
 				canceled = true
@@ -140,7 +140,7 @@ func (t *VgGiraffe) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) 
 	}
 
 	best := Result{EditDistance: 1 << 30}
-	timeStage(&st.Align, func() {
+	timeStageCtx(ctx, "align", &st.Align, func() {
 		// Best extension; full alignment only if every extension failed.
 		bi := 0
 		for i := range exts {

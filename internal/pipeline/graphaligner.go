@@ -51,20 +51,20 @@ func (t *GraphAligner) MapCtx(ctx context.Context, read []byte, probe *perf.Prob
 	done := ctx.Done()
 	var st StageTimes
 	var anchors []chain.Anchor
-	timeStage(&st.Seed, func() { anchors = seedGraph(t.idx, read, t.idx.K(), probe) })
+	timeStageCtx(ctx, "seed", &st.Seed, func() { anchors = seedGraph(t.idx, read, t.idx.K(), probe) })
 	if len(anchors) == 0 {
 		return Result{}, st, nil
 	}
 
 	// Lightweight clustering: just sort anchors by query position and keep
 	// the densest run — no chaining DP, no graph-distance queries.
-	timeStage(&st.Chain, func() {
+	timeStageCtx(ctx, "chain", &st.Chain, func() {
 		sort.Slice(anchors, func(i, j int) bool { return anchors[i].QPos < anchors[j].QPos })
 	})
 
 	best := Result{EditDistance: 1 << 30}
 	canceled := false
-	timeStage(&st.Align, func() {
+	timeStageCtx(ctx, "align", &st.Align, func() {
 		total := 0
 		var endNode graph.NodeID
 		ai := 0

@@ -59,7 +59,7 @@ func (t *Minigraph) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) 
 	done := ctx.Done()
 	var st StageTimes
 	var anchors []chain.Anchor
-	timeStage(&st.Seed, func() { anchors = seedGraph(t.idx, read, t.idx.K(), probe) })
+	timeStageCtx(ctx, "seed", &st.Seed, func() { anchors = seedGraph(t.idx, read, t.idx.K(), probe) })
 	if len(anchors) == 0 {
 		return Result{}, st, nil
 	}
@@ -69,7 +69,7 @@ func (t *Minigraph) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) 
 	var chains []chain.Chain
 	bridged := 0
 	canceled := false
-	timeStage(&st.Chain, func() {
+	timeStageCtx(ctx, "chain", &st.Chain, func() {
 		maxGap := 2 * len(read)
 		if t.ChromosomeMode {
 			maxGap = 4 * len(read)
@@ -130,12 +130,12 @@ func (t *Minigraph) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) 
 		return Result{}, st, ctx.Err()
 	}
 
-	timeStage(&st.Filter, func() { chains = chain.Filter(chains, 0.7, 2) })
+	timeStageCtx(ctx, "filter", &st.Filter, func() { chains = chain.Filter(chains, 0.7, 2) })
 
 	// Final base-level alignment: edit distance of the read against the
 	// graph from the chain start (WFA-style refinement).
 	best := Result{EditDistance: 1 << 30}
-	timeStage(&st.Align, func() {
+	timeStageCtx(ctx, "align", &st.Align, func() {
 		ch := chains[0]
 		start := ch.Anchors[0].Node
 		// Cap the aligned span in chromosome mode so one call stays

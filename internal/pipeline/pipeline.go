@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"pangenomicsbench/internal/graph"
+	"pangenomicsbench/internal/obs"
 	"pangenomicsbench/internal/perf"
 	"pangenomicsbench/internal/seqmap"
 )
@@ -95,4 +96,17 @@ func timeStage(d *time.Duration, fn func()) {
 	t0 := time.Now()
 	fn()
 	*d += time.Since(t0)
+}
+
+// timeStageCtx is timeStage plus trace attribution: when the serve tier
+// threaded an obs span into ctx (the same ctx MapCtx already carries for
+// cancellation), the stage is also recorded as a completed child span, so
+// every mapped read's trace breaks down into the kernel's own stages. With
+// no span in ctx the extra cost is one context lookup — no allocations.
+func timeStageCtx(ctx context.Context, name string, d *time.Duration, fn func()) {
+	t0 := time.Now()
+	fn()
+	dur := time.Since(t0)
+	*d += dur
+	obs.AddStage(ctx, name, t0, dur)
 }

@@ -69,24 +69,24 @@ func (t *VgMap) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) (Res
 	done := ctx.Done()
 	var st StageTimes
 	var anchors []chain.Anchor
-	timeStage(&st.Seed, func() { anchors = seedGraph(t.idx, read, t.idx.K(), probe) })
+	timeStageCtx(ctx, "seed", &st.Seed, func() { anchors = seedGraph(t.idx, read, t.idx.K(), probe) })
 	if len(anchors) == 0 {
 		return Result{}, st, nil
 	}
 
 	var chains []chain.Chain
-	timeStage(&st.Chain, func() { chains = chain.GraphChains(t.g, anchors, 2*len(read), probe) })
+	timeStageCtx(ctx, "chain", &st.Chain, func() { chains = chain.GraphChains(t.g, anchors, 2*len(read), probe) })
 	if len(chains) == 0 {
 		return Result{}, st, nil
 	}
 	if stopped(done) {
 		return Result{}, st, ctx.Err()
 	}
-	timeStage(&st.Filter, func() { chains = chain.Filter(chains, 0.6, 3) })
+	timeStageCtx(ctx, "filter", &st.Filter, func() { chains = chain.Filter(chains, 0.6, 3) })
 
 	best := Result{}
 	canceled := false
-	timeStage(&st.Align, func() {
+	timeStageCtx(ctx, "align", &st.Align, func() {
 		radius := t.Radius
 		if radius <= 0 {
 			radius = len(read) + len(read)/2

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"pangenomicsbench/internal/build"
+	"pangenomicsbench/internal/obs"
 	"pangenomicsbench/internal/perf"
 )
 
@@ -56,6 +57,9 @@ type Config struct {
 	// Metrics receives service counters and latencies; nil disables
 	// recording (a fresh set is NOT created, matching perf's nil rule).
 	Metrics *perf.Metrics
+	// Tracer records one span tree per build request — admission wait,
+	// execution, per-stage construction breakdown; nil disables tracing.
+	Tracer *obs.Tracer
 	// OnResult, when set, observes every successfully built result (leader
 	// executions only — coalesced joiners share the leader's result and do
 	// not re-fire it). The map-serve tier uses it to publish a finished
@@ -101,6 +105,7 @@ type flight struct {
 type Service struct {
 	cfg     Config
 	metrics *perf.Metrics
+	tracer  *obs.Tracer
 	cache   *pairCache
 	slots   chan struct{}
 
@@ -123,6 +128,7 @@ func New(cfg Config) *Service {
 	return &Service{
 		cfg:      cfg,
 		metrics:  cfg.Metrics,
+		tracer:   cfg.Tracer,
 		cache:    newPairCache(cfg.CacheCapacity, cfg.Metrics),
 		slots:    make(chan struct{}, cfg.Workers),
 		catalog:  map[string][]byte{},
@@ -228,6 +234,10 @@ func (s *Service) Build(ctx context.Context, req Request) (*Response, error) {
 		return nil, err
 	}
 	s.metrics.Add("serve.requests", 1)
+	sp := s.tracer.StartRoot("serve.build")
+	sp.Set("tool", string(req.Tool))
+	sp.SetInt("cohort_size", int64(len(req.Cohort)))
+	defer sp.End()
 
 	// Request coalescing: join an identical in-flight execution if any.
 	fp := req.fingerprint()
@@ -235,12 +245,15 @@ func (s *Service) Build(ctx context.Context, req Request) (*Response, error) {
 	if f := s.inflight[fp]; f != nil {
 		s.mu.Unlock()
 		s.metrics.Add("serve.coalesced", 1)
+		sp.Set("coalesced", "true")
 		select {
 		case <-f.done:
 		case <-ctx.Done():
+			sp.Error(ctx.Err())
 			return nil, ctx.Err()
 		}
 		if f.err != nil {
+			sp.Error(f.err)
 			return nil, f.err
 		}
 		joined := *f.resp
@@ -257,13 +270,14 @@ func (s *Service) Build(ctx context.Context, req Request) (*Response, error) {
 		close(f.done)
 	}()
 
-	f.resp, f.err = s.execute(ctx, req, seqs)
+	f.resp, f.err = s.execute(ctx, req, seqs, sp)
+	sp.Error(f.err)
 	return f.resp, f.err
 }
 
 // execute runs one non-coalesced request: waits for a build slot, applies
 // the request deadline, and dispatches to the tool pipeline.
-func (s *Service) execute(ctx context.Context, req Request, seqs [][]byte) (*Response, error) {
+func (s *Service) execute(ctx context.Context, req Request, seqs [][]byte, sp *obs.Span) (*Response, error) {
 	t0 := time.Now()
 	select {
 	case s.slots <- struct{}{}:
@@ -273,6 +287,7 @@ func (s *Service) execute(ctx context.Context, req Request, seqs [][]byte) (*Res
 	defer func() { <-s.slots }()
 	resp := &Response{QueueWait: time.Since(t0)}
 	s.metrics.Observe("serve.queue_wait", resp.QueueWait)
+	sp.Stage("admission", t0, resp.QueueWait)
 
 	timeout := req.Timeout
 	if timeout <= 0 {
@@ -284,9 +299,10 @@ func (s *Service) execute(ctx context.Context, req Request, seqs [][]byte) (*Res
 		defer cancel()
 	}
 
-	s.metrics.Add("serve.inflight", 1)
-	defer s.metrics.Add("serve.inflight", -1)
+	s.metrics.GaugeAdd("serve.inflight", 1)
+	defer s.metrics.GaugeAdd("serve.inflight", -1)
 
+	bs := sp.Child("build")
 	t1 := time.Now()
 	var res *build.Result
 	var err error
@@ -300,9 +316,27 @@ func (s *Service) execute(ctx context.Context, req Request, seqs [][]byte) (*Res
 	s.metrics.Observe("serve.exec", resp.Exec)
 	if err != nil {
 		s.metrics.Add("serve.errors", 1)
+		bs.Error(err)
+		bs.End()
 		return nil, err
 	}
+	// Construction-stage children from the pipeline's breakdown: the stages
+	// ran back to back inside the build span, so their starts chain from t1.
 	bd := res.Breakdown
+	stageStart := t1
+	for _, st := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"alignment", bd.Alignment},
+		{"induction", bd.Induction},
+		{"polishing", bd.Polishing},
+		{"layout", bd.Layout},
+	} {
+		bs.Stage(st.name, stageStart, st.d)
+		stageStart = stageStart.Add(st.d)
+	}
+	bs.End()
 	s.metrics.Observe("serve.stage.alignment", bd.Alignment)
 	s.metrics.Observe("serve.stage.induction", bd.Induction)
 	s.metrics.Observe("serve.stage.polishing", bd.Polishing)

@@ -191,8 +191,12 @@ func TestConcurrentOverlappingRequests(t *testing.T) {
 	if hits, _, _ := s.CacheCounters(); hits == 0 {
 		t.Error("overlapping concurrent requests shared no pair results")
 	}
-	if got := s.Metrics().Counters["serve.inflight"]; got != 0 {
-		t.Errorf("inflight gauge did not return to zero: %d", got)
+	g := s.Metrics().Gauges["serve.inflight"]
+	if g.Value != 0 {
+		t.Errorf("inflight gauge did not return to zero: %d", g.Value)
+	}
+	if g.Watermark < 1 {
+		t.Errorf("inflight watermark = %d, want ≥1", g.Watermark)
 	}
 }
 

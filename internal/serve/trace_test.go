@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pangenomicsbench/internal/obs"
+	"pangenomicsbench/internal/perf"
+)
+
+// findChild returns the first direct child span named name.
+func findChild(d obs.SpanData, name string) (obs.SpanData, bool) {
+	for _, c := range d.Children {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return obs.SpanData{}, false
+}
+
+// attrValue returns the value of the span's first attribute with key.
+func attrValue(d obs.SpanData, key string) string {
+	for _, a := range d.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// TestBuildTrace verifies the build tier's trace shape: one root span per
+// request carrying the tool and cohort, an admission stage, and a build
+// child whose children are the pipeline's construction-stage breakdown.
+func TestBuildTrace(t *testing.T) {
+	names, seqs := testCatalog(t, 5000, 4)
+	tr := obs.NewTracer(obs.TracerConfig{})
+	s := testService(t, Config{Metrics: perf.NewMetrics(), Tracer: tr}, names, seqs)
+
+	if _, err := s.Build(context.Background(), pggbRequest(names)); err != nil {
+		t.Fatal(err)
+	}
+
+	traces := tr.Recorder().Last(1)
+	if len(traces) != 1 {
+		t.Fatalf("recorder retained %d traces, want 1", len(traces))
+	}
+	root := traces[0]
+	if root.Name != "serve.build" {
+		t.Fatalf("root span %q, want serve.build", root.Name)
+	}
+	if root.Failed() {
+		t.Fatalf("successful build marked failed: %s", root.Tree())
+	}
+	if got := attrValue(root, "tool"); got != "pggb" {
+		t.Errorf("tool attr %q, want pggb", got)
+	}
+	if got := attrValue(root, "cohort_size"); got != "4" {
+		t.Errorf("cohort_size attr %q, want 4", got)
+	}
+	if _, ok := findChild(root, "admission"); !ok {
+		t.Errorf("trace missing admission stage:\n%s", root.Tree())
+	}
+	bs, ok := findChild(root, "build")
+	if !ok {
+		t.Fatalf("trace missing build child:\n%s", root.Tree())
+	}
+	var stageSum time.Duration
+	for _, stage := range []string{"alignment", "induction", "polishing", "layout"} {
+		c, ok := findChild(bs, stage)
+		if !ok {
+			t.Errorf("build span missing stage %q:\n%s", stage, root.Tree())
+			continue
+		}
+		stageSum += c.Duration
+	}
+	if stageSum <= 0 {
+		t.Errorf("construction stages sum to %v, want > 0:\n%s", stageSum, root.Tree())
+	}
+	if stageSum > bs.Duration+bs.Duration/10 {
+		t.Errorf("stage sum %v exceeds build span %v by >10%%:\n%s", stageSum, bs.Duration, root.Tree())
+	}
+}
