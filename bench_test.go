@@ -178,6 +178,22 @@ func BenchmarkFig3_MinigraphCactus(b *testing.B) {
 	}
 }
 
+// Serial-pool MC run: compare against the default (Workers = GOMAXPROCS)
+// bench above to see the parallel chunk-mapping win; output is identical.
+func BenchmarkFig3_MinigraphCactusSerial(b *testing.B) {
+	s := getSuite(b)
+	names, seqs := s.Pop.AssemblyView()
+	cfg := build.DefaultMCConfig()
+	cfg.LayoutIterations = 2
+	cfg.Workers = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := build.MinigraphCactus(context.Background(), names, seqs, cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Fig. 5: thread-scaling makespan simulation.
 func BenchmarkFig5_ScalingSim(b *testing.B) {
 	s := getSuite(b)

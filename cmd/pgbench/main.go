@@ -5,8 +5,8 @@
 // Usage:
 //
 //	pgbench list
-//	pgbench run [-scale small|bench|large] <experiment>...
-//	pgbench all [-scale small|bench|large]
+//	pgbench run [-scale small|bench|large] [-threads N] <experiment>...
+//	pgbench all [-scale small|bench|large] [-threads N]
 //	pgbench serve-sim [flags]
 //	pgbench map-serve [flags]
 package main
@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -50,8 +51,14 @@ func run(args []string) error {
 	case "run", "all":
 		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 		scaleName := fs.String("scale", "bench", "dataset scale: small, bench, or large")
+		threads := fs.Int("threads", 0, "worker threads for parallel stages (0 = all cores); results are identical for any value")
 		if err := fs.Parse(rest); err != nil {
 			return err
+		}
+		if *threads > 0 {
+			// The parallel stages (all-vs-all matching, MC chunk mapping)
+			// size their pools from GOMAXPROCS, so this bounds all of them.
+			runtime.GOMAXPROCS(*threads)
 		}
 		scale, err := parseScale(*scaleName)
 		if err != nil {
@@ -245,8 +252,11 @@ func serveSim(args []string) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pgbench list                                 list experiment IDs
-  pgbench run [-scale S] <experiment>...       run named experiments
-  pgbench all [-scale S]                       run every experiment
+  pgbench run [-scale S] [-threads N] <experiment>...  run named experiments
+  pgbench all [-scale S] [-threads N]          run every experiment
+                                               (-threads bounds the parallel
+                                               stages; output is identical
+                                               for any value)
   pgbench gen [-scale S] [-out DIR]            export datasets (FASTA/FASTQ/GFA)
   pgbench serve-sim [flags]                    replay a multi-tenant build trace
                                                against the serve-mode service

@@ -35,5 +35,5 @@ type GraphResult struct {
 type EditResult struct {
 	Distance int
 	EndNode  graph.NodeID // graph kernels only
-	EndRef   int          // linear kernels: exclusive end on the reference
+	EndRef   int          // linear kernels: exclusive end on the reference; GWFAAt: exclusive end offset within EndNode
 }

@@ -20,12 +20,27 @@ type gwfaKey struct {
 // expands into each child node, scattering the wavefront across per-node
 // matrices — the irregular access pattern §5.2 attributes to GWFA.
 func GWFA(g *graph.Graph, start graph.NodeID, query []byte, probe *perf.Probe) (EditResult, error) {
+	return GWFAAt(g, start, 0, query, probe)
+}
+
+// GWFAAt is GWFA starting at offset startOff (clamped into the node) of
+// node start, so a long gap can be bridged in pieces with each piece
+// resuming exactly where the previous one ended. The result's EndRef is
+// the exclusive end offset of the alignment within EndNode — the
+// (EndNode, EndRef) pair is the resume point for the next piece.
+func GWFAAt(g *graph.Graph, start graph.NodeID, startOff int, query []byte, probe *perf.Probe) (EditResult, error) {
 	if !g.Valid(start) {
 		return EditResult{}, errInvalidStart(start)
 	}
+	if startOff < 0 {
+		startOff = 0
+	}
+	if l := len(g.Seq(start)); startOff > l {
+		startOff = l
+	}
 	m := int32(len(query))
 	if m == 0 {
-		return EditResult{Distance: 0, EndNode: start}, nil
+		return EditResult{Distance: 0, EndNode: start, EndRef: startOff}, nil
 	}
 	qc := bio.Encode2Bit(query)
 	as := perf.NewAddrSpace()
@@ -71,6 +86,9 @@ func GWFA(g *graph.Graph, start graph.NodeID, query []byte, probe *perf.Probe) (
 
 	// extend pushes a point as far as exact matches allow, expanding into
 	// children at node ends; returns true if the query end was reached.
+	// endKey records the diagonal where the query end was hit, so the
+	// caller can report the exact (node, offset) end position.
+	var endKey gwfaKey
 	var extend func(wf map[gwfaKey]int32, key gwfaKey, q int32) bool
 	extend = func(wf map[gwfaKey]int32, key gwfaKey, q int32) bool {
 		seq := g.Seq(key.node)
@@ -91,6 +109,7 @@ func GWFA(g *graph.Graph, start graph.NodeID, query []byte, probe *perf.Probe) (
 			furthest[key] = maxI32(furthest[key], q)
 		}
 		if q == m {
+			endKey = key
 			return true
 		}
 		if int(off) == len(seq) {
@@ -108,8 +127,9 @@ func GWFA(g *graph.Graph, start graph.NodeID, query []byte, probe *perf.Probe) (
 		return false
 	}
 
-	if improve(cur, gwfaKey{start, 0}, 0); extend(cur, gwfaKey{start, 0}, 0) {
-		return EditResult{Distance: 0, EndNode: start}, nil
+	k0 := gwfaKey{start, -int32(startOff)} // diagonal 0 shifted to startOff
+	if improve(cur, k0, 0); extend(cur, k0, 0) {
+		return EditResult{Distance: 0, EndNode: endKey.node, EndRef: int(m - endKey.k)}, nil
 	}
 
 	for s := 1; ; s++ {
@@ -121,7 +141,7 @@ func GWFA(g *graph.Graph, start graph.NodeID, query []byte, probe *perf.Probe) (
 		if len(pts) == 0 {
 			// Wavefront died (fully dominated): distance is bounded by
 			// inserting the whole remaining query; fall back to worst case.
-			return EditResult{Distance: int(m), EndNode: start}, nil
+			return EditResult{Distance: int(m), EndNode: start, EndRef: startOff}, nil
 		}
 		for _, pt := range pts {
 			seq := g.Seq(pt.key.node)
@@ -153,7 +173,7 @@ func GWFA(g *graph.Graph, start graph.NodeID, query []byte, probe *perf.Probe) (
 		}
 		for _, key := range keys {
 			if extend(next, key, next[key]) {
-				return EditResult{Distance: s, EndNode: key.node}, nil
+				return EditResult{Distance: s, EndNode: endKey.node, EndRef: int(m - endKey.k)}, nil
 			}
 		}
 		cur = next

@@ -56,10 +56,24 @@ type Stats struct {
 	NovelSegments int // MC: query segments inducing new nodes
 	ReusedNodes   int // MC: novel segments resolved to an existing node
 	Collapsed     int // MC: sibling nodes merged by the GFAffix-style polish
+	FallbackPaths int // MC: assemblies induced whole after an empty walk plan
 
 	Nodes, Edges int // final graph size
 	PolishBlocks int // POA-polished partitions
 	ConsensusLen int // total polished consensus length
+}
+
+// GrowthStep is the measured cost profile of one Minigraph-Cactus growth
+// step: one assembly mapped against the growing graph and induced into it.
+// Chunk mapping parallelizes inside a step; induction and the incremental
+// index extension are sequential; steps chain sequentially (step i+1 maps
+// against the graph step i grew). These are the task costs behind the
+// Fig. 5 MC-growth scaling curve.
+type GrowthStep struct {
+	Assembly   string
+	ChunkTimes []time.Duration // per-chunk mapping wall time (parallel)
+	Induction  time.Duration   // plan materialization + POA (sequential)
+	IndexTime  time.Duration   // incremental index extension (sequential)
 }
 
 // Result is the output of one pipeline run.
@@ -68,6 +82,7 @@ type Result struct {
 	Layout    *layout.Layout // nil when LayoutIterations <= 0
 	Breakdown StageBreakdown
 	Stats     Stats
+	Growth    []GrowthStep // MC only: per-assembly growth cost profile
 }
 
 // timeStage runs fn and adds its wall time to *d.

@@ -116,9 +116,8 @@ func TestCollapseSiblingsRandomized(t *testing.T) {
 
 // TestCollapseSiblingsOnMCGraph: the differential property on real pipeline
 // output — re-running the GFAffix-style polish on a finished MC graph must
-// preserve every embedded haplotype spelling. (The pass is single-sweep, not
-// a fixpoint, so a second run may merge more nodes; only the spellings are
-// invariant.)
+// preserve every embedded haplotype spelling. The pass now iterates to a
+// fixpoint inside MC, so a second run must find nothing left to merge.
 func TestCollapseSiblingsOnMCGraph(t *testing.T) {
 	names, seqs := testAssemblies(t, 6000, 4)
 	cfg := DefaultMCConfig()
@@ -127,5 +126,54 @@ func TestCollapseSiblingsOnMCGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkCollapsePreservesPaths(t, res.Graph)
+	if collapsed := checkCollapsePreservesPaths(t, res.Graph); collapsed != 0 {
+		t.Fatalf("MC output was not a collapse fixpoint: %d more nodes merged", collapsed)
+	}
+}
+
+// TestCollapseSiblingsFixpointChain: merging b1/b2 is what makes c1/c2
+// identical siblings (their in-sets become equal only after the first
+// merge), so the second merge needs a second fixpoint iteration — a
+// single-sweep pass collapses just one node here.
+func TestCollapseSiblingsFixpointChain(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode([]byte("ACGTACGT"))
+	b1 := g.AddNode([]byte("TTTT"))
+	b2 := g.AddNode([]byte("TTTT"))
+	c1 := g.AddNode([]byte("GGCC"))
+	c2 := g.AddNode([]byte("GGCC"))
+	// Distinct tails keep c1/c2 apart under the out-neighbor key, so only
+	// the post-merge in-neighbor key can unify them.
+	d1 := g.AddNode([]byte("AAAA"))
+	d2 := g.AddNode([]byte("CCCC"))
+	if err := g.AddPath("hapA", []graph.NodeID{a, b1, c1, d1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddPath("hapB", []graph.NodeID{a, b2, c2, d2}); err != nil {
+		t.Fatal(err)
+	}
+	if collapsed := checkCollapsePreservesPaths(t, g); collapsed != 2 {
+		t.Fatalf("collapsed %d nodes, want 2 (b-pair, then the c-pair it exposes)", collapsed)
+	}
+}
+
+// TestCollapseSiblingsByOutNeighbors: x1/x2 share sequence and out-neighbor
+// set but have different in-neighbors — only the out-keyed sweep (the
+// reverse orientation GFAffix also collapses) can merge them.
+func TestCollapseSiblingsByOutNeighbors(t *testing.T) {
+	g := graph.New()
+	p := g.AddNode([]byte("ACAC"))
+	q := g.AddNode([]byte("GTGT"))
+	x1 := g.AddNode([]byte("TTTT"))
+	x2 := g.AddNode([]byte("TTTT"))
+	c := g.AddNode([]byte("GGGG"))
+	if err := g.AddPath("hapP", []graph.NodeID{p, x1, c}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddPath("hapQ", []graph.NodeID{q, x2, c}); err != nil {
+		t.Fatal(err)
+	}
+	if collapsed := checkCollapsePreservesPaths(t, g); collapsed != 1 {
+		t.Fatalf("collapsed %d nodes, want the out-keyed sibling pair", collapsed)
+	}
 }

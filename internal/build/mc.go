@@ -1,9 +1,13 @@
 package build
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"pangenomicsbench/internal/align"
@@ -38,6 +42,15 @@ type MCConfig struct {
 	LayoutIterations int
 	// LayoutSeed seeds the layout's deterministic RNG.
 	LayoutSeed uint64
+	// Workers bounds the per-assembly chunk-mapping worker pool; ≤0 uses
+	// GOMAXPROCS. The result is byte-identical for any worker count.
+	Workers int
+
+	// indexCheck, when non-nil, is invoked after every incremental index
+	// update (backbone and each mapped assembly) with the growing graph and
+	// the extended index — the test hook of the incremental-vs-rebuild
+	// differential.
+	indexCheck func(*graph.Graph, *minimizer.GraphIndex)
 }
 
 // DefaultMCConfig mirrors Minigraph-Cactus defaults scaled to the
@@ -88,10 +101,17 @@ type planItem struct {
 // alternatives (the Cactus/abPOA induction), a GFAffix-style polish pass
 // collapses redundant sibling nodes, and PG-SGD lays the graph out.
 //
+// One minimizer index is extended incrementally across the run
+// (GraphIndex.AddPath indexes only each newly embedded haplotype), so
+// growth costs O(new path) per assembly instead of O(assemblies × graph)
+// re-indexing. Each assembly's mapping chunks run concurrently on a
+// bounded pool of cfg.Workers goroutines with a deterministic in-order
+// plan merge.
+//
 // Stage timing: GWFA accumulates inside Alignment, POATime inside
 // Induction. ctx cancels the run between assemblies and mapping chunks;
 // a nil ctx behaves like context.Background(). The run is deterministic
-// for fixed inputs and config.
+// for fixed inputs and config, independent of Workers and GOMAXPROCS.
 func MinigraphCactus(ctx context.Context, names []string, seqs [][]byte, cfg MCConfig, probe *perf.Probe) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -111,18 +131,23 @@ func MinigraphCactus(ctx context.Context, names []string, seqs [][]byte, cfg MCC
 	g := graph.New()
 	var err error
 	timeStage(&bd.Induction, func() {
-		var walk []graph.NodeID
-		for off := 0; off < len(seqs[0]); off += cfg.SegmentLen {
-			end := off + cfg.SegmentLen
-			if end > len(seqs[0]) {
-				end = len(seqs[0])
-			}
-			walk = append(walk, g.AddNode(seqs[0][off:end]))
-		}
-		err = g.AddPath(names[0], walk)
+		err = g.AddPath(names[0], segmentWalk(g, seqs[0], cfg.SegmentLen))
 	})
 	if err != nil {
 		return nil, err
+	}
+
+	// The one growing minimizer index: built over the backbone here,
+	// extended with each induced haplotype path below.
+	var idx *minimizer.GraphIndex
+	timeStage(&bd.Alignment, func() {
+		idx, err = minimizer.NewGraphIndex(g, cfg.K, cfg.W)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.indexCheck != nil {
+		cfg.indexCheck(g, idx)
 	}
 
 	// novel buckets the induced nodes between a pair of flanking anchor
@@ -136,25 +161,12 @@ func MinigraphCactus(ctx context.Context, names []string, seqs [][]byte, cfg MCC
 		}
 		asm := seqs[ai]
 		var plan []planItem
+		step := GrowthStep{Assembly: names[ai]}
 
-		// Alignment: map the assembly against the current graph.
+		// Alignment: map the assembly's chunks against the current graph,
+		// concurrently, merging the per-chunk plans in chunk order.
 		timeStage(&bd.Alignment, func() {
-			var idx *minimizer.GraphIndex
-			idx, err = minimizer.NewGraphIndex(g, cfg.K, cfg.W)
-			if err != nil {
-				return
-			}
-			for chunkLo := 0; chunkLo < len(asm); chunkLo += cfg.MapChunk {
-				if err = ctx.Err(); err != nil {
-					return
-				}
-				chunkHi := chunkLo + cfg.MapChunk
-				if chunkHi > len(asm) {
-					chunkHi = len(asm)
-				}
-				sub := asm[chunkLo:chunkHi]
-				plan = append(plan, mapChunk(g, idx, sub, chunkLo, cfg, bd, probe)...)
-			}
+			plan, err = mapAssembly(ctx, g, idx, asm, cfg, &step, bd, probe)
 		})
 		if err != nil {
 			return nil, err
@@ -162,8 +174,13 @@ func MinigraphCactus(ctx context.Context, names []string, seqs [][]byte, cfg MCC
 
 		// Induction: materialize the plan into graph growth and a path.
 		timeStage(&bd.Induction, func() {
+			t0 := time.Now()
 			var walk []graph.NodeID
 			last := graph.NodeID(0)
+			// nextMatched[pi+1] is the first matched node at or after plan
+			// index pi+1 — the right flank of novel item pi, precomputed in
+			// one reverse pass instead of rescanning plan[pi+1:] per item.
+			next := nextMatched(plan)
 			for pi, item := range plan {
 				if item.node != 0 {
 					if item.node != last {
@@ -173,27 +190,44 @@ func MinigraphCactus(ctx context.Context, names []string, seqs [][]byte, cfg MCC
 					continue
 				}
 				seg := asm[item.qLo:item.qHi]
-				// Flanks: the previous matched node and the next one.
-				next := graph.NodeID(0)
-				for _, later := range plan[pi+1:] {
-					if later.node != 0 {
-						next = later.node
-						break
-					}
-				}
-				nd := induceNovel(g, novel, [2]graph.NodeID{last, next}, seg, cfg, bd, &res.Stats, probe)
+				nd := induceNovel(g, novel, [2]graph.NodeID{last, next[pi+1]}, seg, cfg, bd, &res.Stats, probe)
 				if nd != last {
 					walk = append(walk, nd)
 					last = nd
 				}
 			}
+			if len(walk) == 0 && len(asm) > 0 {
+				// Nothing in the assembly mapped or induced (e.g. it shares
+				// no minimizers with the graph and is below MinNovel).
+				// Induce its backbone segmentation rather than silently
+				// dropping the haplotype from the graph and every later
+				// index extension.
+				walk = segmentWalk(g, asm, cfg.SegmentLen)
+				res.Stats.FallbackPaths++
+			}
 			if len(walk) > 0 {
 				err = g.AddPath(names[ai], walk)
 			}
+			step.Induction = time.Since(t0)
 		})
 		if err != nil {
 			return nil, err
 		}
+
+		// Extend the index with just the haplotype added above.
+		timeStage(&bd.Alignment, func() {
+			t0 := time.Now()
+			paths := g.Paths()
+			err = idx.AddPath(g, paths[len(paths)-1])
+			step.IndexTime = time.Since(t0)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.indexCheck != nil {
+			cfg.indexCheck(g, idx)
+		}
+		res.Growth = append(res.Growth, step)
 	}
 
 	// Polishing: GFAffix-style collapse of identical sibling nodes.
@@ -220,13 +254,120 @@ func MinigraphCactus(ctx context.Context, names []string, seqs [][]byte, cfg MCC
 	return res, nil
 }
 
+// segmentWalk appends asm to g as consecutive backbone segments of at most
+// segLen bases and returns the walk — the backbone segmentation used for
+// the first assembly and for the empty-walk fallback.
+func segmentWalk(g *graph.Graph, asm []byte, segLen int) []graph.NodeID {
+	var walk []graph.NodeID
+	for off := 0; off < len(asm); off += segLen {
+		end := off + segLen
+		if end > len(asm) {
+			end = len(asm)
+		}
+		walk = append(walk, g.AddNode(asm[off:end]))
+	}
+	return walk
+}
+
+// nextMatched returns, for every plan index pi, the first matched node at
+// or after pi (0 when none follows), in out[pi]; out has len(plan)+1
+// entries so out[pi+1] is item pi's right flank. One reverse pass replaces
+// the per-novel-item forward rescan of plan[pi+1:], which was quadratic on
+// plans with long novel runs.
+func nextMatched(plan []planItem) []graph.NodeID {
+	out := make([]graph.NodeID, len(plan)+1)
+	for pi := len(plan) - 1; pi >= 0; pi-- {
+		if plan[pi].node != 0 {
+			out[pi] = plan[pi].node
+		} else {
+			out[pi] = out[pi+1]
+		}
+	}
+	return out
+}
+
+// mapAssembly maps one assembly against the graph chunk by chunk on a
+// bounded worker pool (cfg.Workers; ≤0 uses GOMAXPROCS) and merges the
+// per-chunk plans in chunk order, so the merged plan is identical for any
+// worker count. Per-chunk GWFA wall time is accumulated race-free into
+// bd.GWFA after the pool drains; per-chunk mapping wall times land in
+// step.ChunkTimes (the Fig. 5 MC-growth task costs). An instrumented run
+// (probe != nil) maps serially — the probe is not safe for concurrent use.
+func mapAssembly(ctx context.Context, g *graph.Graph, idx *minimizer.GraphIndex, asm []byte, cfg MCConfig, step *GrowthStep, bd *StageBreakdown, probe *perf.Probe) ([]planItem, error) {
+	var chunks []int
+	for chunkLo := 0; chunkLo < len(asm); chunkLo += cfg.MapChunk {
+		chunks = append(chunks, chunkLo)
+	}
+	type chunkResult struct {
+		plan []planItem
+		gwfa time.Duration
+		wall time.Duration
+	}
+	results := make([]chunkResult, len(chunks))
+	runChunk := func(ci int, pr *perf.Probe) {
+		chunkLo := chunks[ci]
+		chunkHi := chunkLo + cfg.MapChunk
+		if chunkHi > len(asm) {
+			chunkHi = len(asm)
+		}
+		t0 := time.Now()
+		plan, gwfa := mapChunk(g, idx, asm[chunkLo:chunkHi], chunkLo, cfg, pr)
+		results[ci] = chunkResult{plan: plan, gwfa: gwfa, wall: time.Since(t0)}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	if probe != nil || workers <= 1 {
+		for ci := range chunks {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			runChunk(ci, probe)
+		}
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					ci := int(atomic.AddInt64(&next, 1)) - 1
+					if ci >= len(chunks) || ctx.Err() != nil {
+						return
+					}
+					runChunk(ci, nil)
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	var plan []planItem
+	for ci := range results {
+		plan = append(plan, results[ci].plan...)
+		bd.GWFA += results[ci].gwfa
+		step.ChunkTimes = append(step.ChunkTimes, results[ci].wall)
+	}
+	return plan, nil
+}
+
 // mapChunk maps one assembly chunk against the graph: anchors → graph
 // chaining → GWFA bridging at MinSpan stride, returning the chunk's walk
-// plan in assembly coordinates (chunkLo is the chunk's offset).
-func mapChunk(g *graph.Graph, idx *minimizer.GraphIndex, sub []byte, chunkLo int, cfg MCConfig, bd *StageBreakdown, probe *perf.Probe) []planItem {
+// plan in assembly coordinates (chunkLo is the chunk's offset) and the
+// GWFA wall time spent bridging it.
+func mapChunk(g *graph.Graph, idx *minimizer.GraphIndex, sub []byte, chunkLo int, cfg MCConfig, probe *perf.Probe) ([]planItem, time.Duration) {
 	ms, err := minimizer.Compute(sub, cfg.K, cfg.W, probe)
 	if err != nil {
-		return nil
+		return nil, 0
 	}
 	var anchors []chain.Anchor
 	for _, m := range ms {
@@ -256,14 +397,15 @@ func mapChunk(g *graph.Graph, idx *minimizer.GraphIndex, sub []byte, chunkLo int
 		return []planItem{{qLo: chunkLo, qHi: chunkLo + len(sub), dist: -1}}
 	}
 	if len(anchors) == 0 {
-		return wholeNovel()
+		return wholeNovel(), 0
 	}
 	chains := chain.GraphChains(g, anchors, 2*len(sub), probe)
 	if len(chains) == 0 {
-		return wholeNovel()
+		return wholeNovel(), 0
 	}
 	best := chains[0]
 
+	var gwfaTime time.Duration
 	var plan []planItem
 	first := best.Anchors[0]
 	if first.QPos >= cfg.MinNovel {
@@ -278,16 +420,11 @@ func mapChunk(g *graph.Graph, idx *minimizer.GraphIndex, sub []byte, chunkLo int
 		gapLo, gapHi := prev.QPos+prev.Len, cur.QPos
 		if gapHi > gapLo {
 			gseq := sub[gapLo:gapHi]
-			if len(gseq) > mcGWFACap {
-				gseq = gseq[:mcGWFACap]
-			}
-			dist := len(gseq)
+			budget := int(cfg.Divergence * float64(len(gseq)))
 			t0 := time.Now()
-			if r, gerr := align.GWFA(g, prev.Node, gseq, probe); gerr == nil {
-				dist = r.Distance
-			}
-			bd.GWFA += time.Since(t0)
-			if float64(dist) > cfg.Divergence*float64(len(gseq)) && gapHi-gapLo >= cfg.MinNovel {
+			dist := gapDist(g, prev.Node, gseq, budget, probe)
+			gwfaTime += time.Since(t0)
+			if dist > budget && gapHi-gapLo >= cfg.MinNovel {
 				plan = append(plan, planItem{qLo: chunkLo + gapLo, qHi: chunkLo + gapHi, dist: dist})
 			}
 		}
@@ -297,7 +434,37 @@ func mapChunk(g *graph.Graph, idx *minimizer.GraphIndex, sub []byte, chunkLo int
 	if tail := prev.QPos + prev.Len; len(sub)-tail >= cfg.MinNovel {
 		plan = append(plan, planItem{qLo: chunkLo + tail, qHi: chunkLo + len(sub), dist: -1})
 	}
-	return plan
+	return plan, gwfaTime
+}
+
+// gapDist measures the GWFA distance of the whole inter-anchor gap gseq
+// starting at node start, walking the gap in mcGWFACap-sized pieces and
+// resuming each piece at the exact (node, offset) where the previous one
+// ended (align.GWFAAt). The divergence decision therefore covers the span
+// it declares novel, instead of judging the entire gap by its first
+// 2000 bp. Measurement stops early once the accumulated distance exceeds
+// budget — the caller's novelty threshold — so a divergent gap costs at
+// most one extra piece, keeping the old cap's cost bound; the returned
+// value is then a lower bound that already decides the comparison.
+func gapDist(g *graph.Graph, start graph.NodeID, gseq []byte, budget int, probe *perf.Probe) int {
+	dist, off := 0, 0
+	for lo := 0; lo < len(gseq); lo += mcGWFACap {
+		hi := lo + mcGWFACap
+		if hi > len(gseq) {
+			hi = len(gseq)
+		}
+		piece := gseq[lo:hi]
+		if r, gerr := align.GWFAAt(g, start, off, piece, probe); gerr == nil {
+			dist += r.Distance
+			start, off = r.EndNode, r.EndRef
+		} else {
+			dist += len(piece)
+		}
+		if dist > budget {
+			break
+		}
+	}
+	return dist
 }
 
 // induceNovel resolves one novel query segment between the flanking anchor
@@ -342,24 +509,85 @@ func induceNovel(g *graph.Graph, novel map[[2]graph.NodeID][]graph.NodeID, key [
 }
 
 // collapseSiblings is the GFAffix-style polish pass: nodes with identical
-// sequence and identical in-neighbor sets are merged (one pass, not a
-// fixpoint), and the graph is rebuilt with edges and paths remapped.
-// Returns the polished graph and the number of nodes collapsed.
+// sequence and identical in-neighbor sets are merged, then nodes with
+// identical sequence and identical out-neighbor sets (the reverse
+// orientation), and the two passes iterate until no merge happens — the
+// GFAffix fixpoint, since each merge can create new identical siblings one
+// level downstream. Returns the polished graph and the total number of
+// nodes collapsed.
+//
+// Merging never puts two copies of a sequence adjacent in a path: an edge
+// x→y between merge candidates would require a self-loop (x ∈ in(x) or
+// y ∈ out(y)), and paths only ever create edges between distinct nodes.
 func collapseSiblings(g *graph.Graph) (*graph.Graph, int, error) {
+	total := 0
+	for {
+		merged := 0
+		for _, byOut := range []bool{false, true} {
+			ng, m, err := collapseOnce(g, byOut)
+			if err != nil {
+				return nil, 0, err
+			}
+			g, merged, total = ng, merged+m, total+m
+		}
+		if merged == 0 {
+			return g, total, nil
+		}
+	}
+}
+
+// collapseKey hashes one node's merge identity (sequence plus sorted
+// neighbor set) with FNV-1a — a non-allocating composite key; candidates
+// sharing a hash are verified byte-for-byte before merging.
+func collapseKey(seq []byte, nbrs []graph.NodeID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range seq {
+		h = (h ^ uint64(c)) * prime64
+	}
+	h = (h ^ 0xff) * prime64 // seq / neighbor-list separator
+	for _, id := range nbrs {
+		h = (h ^ uint64(uint32(id))) * prime64
+	}
+	return h
+}
+
+// collapseOnce runs one merge sweep keyed on (sequence, sorted in-neighbor
+// set) — or the out-neighbor set when byOut — and rebuilds the graph with
+// edges and paths remapped. Returns the (possibly unchanged) graph and the
+// number of nodes collapsed.
+func collapseOnce(g *graph.Graph, byOut bool) (*graph.Graph, int, error) {
 	n := g.NumNodes()
+	nbrsOf := func(id graph.NodeID) []graph.NodeID {
+		var nb []graph.NodeID
+		if byOut {
+			nb = append(nb, g.Out(id)...)
+		} else {
+			nb = append(nb, g.In(id)...)
+		}
+		sort.Slice(nb, func(a, b int) bool { return nb[a] < nb[b] })
+		return nb
+	}
+	sortedNbrs := make([][]graph.NodeID, n+1)
 	remap := make([]graph.NodeID, n+1)
-	canon := map[string]graph.NodeID{}
+	canon := map[uint64][]graph.NodeID{}
 	collapsed := 0
 	for id := graph.NodeID(1); int(id) <= n; id++ {
-		in := append([]graph.NodeID(nil), g.In(id)...)
-		sort.Slice(in, func(a, b int) bool { return in[a] < in[b] })
-		key := fmt.Sprintf("%s|%v", g.Seq(id), in)
-		if c, ok := canon[key]; ok {
-			remap[id] = c
-			collapsed++
-		} else {
-			canon[key] = id
-			remap[id] = id
+		sortedNbrs[id] = nbrsOf(id)
+		key := collapseKey(g.Seq(id), sortedNbrs[id])
+		remap[id] = id
+		for _, c := range canon[key] {
+			if bytes.Equal(g.Seq(c), g.Seq(id)) && nodeIDsEqual(sortedNbrs[c], sortedNbrs[id]) {
+				remap[id] = c
+				collapsed++
+				break
+			}
+		}
+		if remap[id] == id {
+			canon[key] = append(canon[key], id)
 		}
 	}
 	if collapsed == 0 {
@@ -396,4 +624,16 @@ func collapseSiblings(g *graph.Graph) (*graph.Graph, int, error) {
 		}
 	}
 	return ng, collapsed, nil
+}
+
+func nodeIDsEqual(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

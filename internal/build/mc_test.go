@@ -1,0 +1,315 @@
+package build
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"pangenomicsbench/internal/gfa"
+	"pangenomicsbench/internal/graph"
+	"pangenomicsbench/internal/minimizer"
+)
+
+// indexesEqual verifies the two indexes store exactly the same hashes with
+// the same ordered location lists — the byte-identical contract between
+// incremental AddPath extension and a from-scratch rebuild.
+func indexesEqual(t *testing.T, got, want *minimizer.GraphIndex) {
+	t.Helper()
+	gh, wh := got.Hashes(), want.Hashes()
+	if !reflect.DeepEqual(gh, wh) {
+		t.Fatalf("hash sets differ: %d incremental vs %d rebuilt", len(gh), len(wh))
+	}
+	for _, h := range wh {
+		if !reflect.DeepEqual(got.Lookup(h), want.Lookup(h)) {
+			t.Fatalf("hash %#x: locations differ:\nincremental %v\nrebuilt     %v",
+				h, got.Lookup(h), want.Lookup(h))
+		}
+	}
+}
+
+// TestMCIncrementalIndexDifferential proves the tentpole contract: across a
+// ≥6-assembly MC run, the incrementally extended index is identical (same
+// hashes, same ordered locations) to a minimizer.NewGraphIndex rebuilt from
+// scratch after every assembly.
+func TestMCIncrementalIndexDifferential(t *testing.T) {
+	names, seqs := testAssemblies(t, 9000, 6)
+	if len(seqs) < 6 {
+		t.Fatalf("need ≥6 assemblies, got %d", len(seqs))
+	}
+	cfg := DefaultMCConfig()
+	cfg.LayoutIterations = 0
+	checks := 0
+	cfg.indexCheck = func(g *graph.Graph, idx *minimizer.GraphIndex) {
+		rebuilt, err := minimizer.NewGraphIndex(g, cfg.K, cfg.W)
+		if err != nil {
+			t.Fatal(err)
+		}
+		indexesEqual(t, idx, rebuilt)
+		checks++
+	}
+	if _, err := MinigraphCactus(context.Background(), names, seqs, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Backbone plus one check per mapped assembly.
+	if want := len(seqs); checks != want {
+		t.Fatalf("differential ran %d times, want %d", checks, want)
+	}
+}
+
+// gfaBytes serializes g canonically for byte-identity comparisons.
+func gfaBytes(t *testing.T, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gfa.Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMCParallelChunkDeterminism guards the parallel mapping contract: MC
+// output is byte-identical across Workers 1/4/8 and arbitrary scheduling
+// (run under -race in CI to exercise the pool).
+func TestMCParallelChunkDeterminism(t *testing.T) {
+	names, seqs := testAssemblies(t, 9000, 4)
+	cfg := DefaultMCConfig()
+	cfg.LayoutIterations = 0
+	// Small chunks so each assembly maps as several concurrent tasks.
+	cfg.MapChunk = 1500
+	cfg.Workers = 1
+	base, err := MinigraphCactus(context.Background(), names, seqs, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gfaBytes(t, base.Graph)
+	for _, workers := range []int{4, 8, 0} {
+		cfg.Workers = workers
+		got, err := MinigraphCactus(context.Background(), names, seqs, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Stats != base.Stats {
+			t.Fatalf("workers=%d changed stats:\n%+v\n%+v", workers, got.Stats, base.Stats)
+		}
+		if !bytes.Equal(gfaBytes(t, got.Graph), want) {
+			t.Fatalf("workers=%d changed the constructed graph", workers)
+		}
+	}
+	// The growth profile must cover every mapped assembly with per-chunk
+	// task costs (the Fig. 5 MC-growth inputs).
+	if len(base.Growth) != len(seqs)-1 {
+		t.Fatalf("growth has %d steps, want %d", len(base.Growth), len(seqs)-1)
+	}
+	for i, st := range base.Growth {
+		if len(st.ChunkTimes) == 0 || st.Induction <= 0 {
+			t.Fatalf("growth step %d not measured: %+v", i, st)
+		}
+	}
+}
+
+// TestMCEmptyWalkFallback pins the silent-path-loss regression: an assembly
+// that shares no minimizers with the backbone and is too short to induce a
+// novel segment used to vanish from the graph's haplotype set entirely. It
+// must now be induced whole via its backbone segmentation.
+func TestMCEmptyWalkFallback(t *testing.T) {
+	names, seqs := testAssemblies(t, 6000, 3)
+	// Shorter than K (and MinNovel): yields no minimizers, no anchors, and
+	// no whole-chunk novel segment — an empty walk plan on the old code.
+	tiny := []byte("ACGTACGTAC")
+	names = append(names, "tinyasm")
+	seqs = append(seqs, tiny)
+	cfg := DefaultMCConfig()
+	cfg.LayoutIterations = 0
+	res, err := MinigraphCactus(context.Background(), names, seqs, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := res.Graph.Paths()
+	if len(paths) != len(seqs) {
+		t.Fatalf("graph has %d paths, want %d (assembly lost)", len(paths), len(seqs))
+	}
+	found := false
+	for _, p := range paths {
+		if p.Name == "tinyasm" {
+			found = true
+			if got := string(res.Graph.PathSeq(p)); got != string(tiny) {
+				t.Fatalf("fallback path spells %q, want %q", got, tiny)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("tinyasm path missing from the graph")
+	}
+	if res.Stats.FallbackPaths != 1 {
+		t.Fatalf("FallbackPaths = %d, want 1", res.Stats.FallbackPaths)
+	}
+}
+
+// randSeqMC returns a deterministic random ACGT sequence.
+func randSeqMC(rng *rand.Rand, n int) []byte {
+	const bases = "ACGT"
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = bases[rng.Intn(4)]
+	}
+	return out
+}
+
+// flipBase substitutes a base deterministically (A↔C, G↔T).
+func flipBase(b byte) byte {
+	switch b {
+	case 'A':
+		return 'C'
+	case 'C':
+		return 'A'
+	case 'G':
+		return 'T'
+	default:
+		return 'G'
+	}
+}
+
+// TestMCGapDivergenceScaledToSpan pins the GWFA-cap mismatch: a >2000 bp
+// inter-anchor gap that is ~99% identical to the graph overall, with its
+// edits concentrated inside the first 2000 bp, used to be declared novel in
+// its entirety because the divergence test judged the whole gap by the
+// truncated prefix's distance. The piecewise measurement must keep it
+// matched.
+func TestMCGapDivergenceScaledToSpan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	backbone := randSeqMC(rng, 12_000)
+	cfg := DefaultMCConfig()
+	cfg.LayoutIterations = 0
+	// Large MinSpan keeps bridged anchors ≥5000 bp apart, so the bridged
+	// gap exceeds the 2000 bp GWFA cap even though anchors are dense.
+	cfg.MinSpan = 5000
+
+	g := graph.New()
+	if err := g.AddPath("backbone", segmentWalk(g, backbone, cfg.SegmentLen)); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := minimizer.NewGraphIndex(g, cfg.K, cfg.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Assembly chunk: the backbone with ~160 substitutions concentrated in
+	// [600, 1900) — ~8% divergence over the capped 2000 bp prefix of the
+	// first bridged gap, but only ~3% over the ≥5000 bp gap itself.
+	asm := append([]byte(nil), backbone...)
+	edits := 0
+	for pos := 600; pos < 1900; pos += 8 {
+		asm[pos] = flipBase(asm[pos])
+		edits++
+	}
+	if edits < 150 {
+		t.Fatalf("only %d edits planted", edits)
+	}
+
+	plan, _ := mapChunk(g, idx, asm, 0, cfg, nil)
+	if len(plan) == 0 {
+		t.Fatal("chunk produced no plan")
+	}
+	for _, item := range plan {
+		if item.node != 0 {
+			continue
+		}
+		if item.qLo < 1900 && item.qHi > 600 {
+			t.Fatalf("novel segment [%d,%d) overlaps the ~1%%-divergent gap: the prefix-capped divergence test misdeclared it", item.qLo, item.qHi)
+		}
+	}
+}
+
+// TestNextMatchedDifferential checks the precomputed next-flank array
+// against the naive forward rescan it replaced, on randomized plans with
+// long novel runs.
+func TestNextMatchedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		plan := make([]planItem, rng.Intn(200))
+		for i := range plan {
+			// Long novel runs: matched nodes are sparse.
+			if rng.Intn(10) == 0 {
+				plan[i].node = graph.NodeID(1 + rng.Intn(50))
+			}
+		}
+		next := nextMatched(plan)
+		if len(next) != len(plan)+1 {
+			t.Fatalf("trial %d: next has %d entries, want %d", trial, len(next), len(plan)+1)
+		}
+		for pi := range plan {
+			want := graph.NodeID(0)
+			for _, later := range plan[pi+1:] {
+				if later.node != 0 {
+					want = later.node
+					break
+				}
+			}
+			if next[pi+1] != want {
+				t.Fatalf("trial %d: next[%d+1] = %d, naive scan = %d", trial, pi, next[pi+1], want)
+			}
+		}
+	}
+}
+
+// BenchmarkNextMatchedLongNovelRun guards the O(n) flank precompute on the
+// worst case of the old quadratic rescan: one long run of novel items.
+func BenchmarkNextMatchedLongNovelRun(b *testing.B) {
+	plan := make([]planItem, 100_000)
+	plan[len(plan)-1].node = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := nextMatched(plan); out[0] != 1 {
+			b.Fatal("wrong flank")
+		}
+	}
+}
+
+// TestMCContextCancelParallel: a canceled context aborts a parallel-chunk
+// run promptly with ctx.Err().
+func TestMCContextCancelParallel(t *testing.T) {
+	names, seqs := testAssemblies(t, 8000, 4)
+	cfg := DefaultMCConfig()
+	cfg.LayoutIterations = 0
+	cfg.MapChunk = 1000
+	cfg.Workers = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MinigraphCactus(ctx, names, seqs, cfg, nil); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A short deadline mid-run must also surface the context error.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel2()
+	time.Sleep(2 * time.Millisecond)
+	if _, err := MinigraphCactus(ctx2, names, seqs, cfg, nil); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestGapDistMeasuresWholeGap: gapDist resumes across cap-sized pieces, so
+// an identical long gap measures ~0 while the old prefix-only measurement
+// would stop at the cap.
+func TestGapDistMeasuresWholeGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	seq := randSeqMC(rng, 9000)
+	g := graph.New()
+	walk := segmentWalk(g, seq, 512)
+	if err := g.AddPath("p", walk); err != nil {
+		t.Fatal(err)
+	}
+	// The whole sequence as a gap from its first node: near-zero distance
+	// even though it spans >4 cap pieces.
+	d := gapDist(g, walk[0], seq, len(seq), nil)
+	if d > len(seq)/100 {
+		t.Fatalf("identical 9 kbp gap measured distance %d", d)
+	}
+	// A divergent gap stops early but still exceeds the budget.
+	div := randSeqMC(rng, 9000)
+	budget := 9000 * 6 / 100
+	if d := gapDist(g, walk[0], div, budget, nil); d <= budget {
+		t.Fatalf("random 9 kbp gap measured distance %d, want > %d", d, budget)
+	}
+}

@@ -280,6 +280,19 @@ func TestFig5Shape(t *testing.T) {
 	} else {
 		t.Error("missing PGGB-allpair")
 	}
+	// MC-growth: the iterative-growth chain's per-step task count and
+	// sequential induction share cap its scaling well below the mapping
+	// tools'.
+	if mg, ok := rows["MC-growth"]; ok {
+		if val(mg, 1) != 1 {
+			t.Errorf("MC-growth not normalized to 4 threads: %v", mg)
+		}
+		if g, ok2 := rows["VgGiraffe"]; ok2 && val(mg, 4) > val(g, 4) {
+			t.Errorf("MC-growth (%v) should scale no better than Giraffe (%v)", val(mg, 4), val(g, 4))
+		}
+	} else {
+		t.Error("missing MC-growth")
+	}
 }
 
 func TestFig9Shape(t *testing.T) {

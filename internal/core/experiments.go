@@ -389,7 +389,8 @@ func (s *Suite) Fig5() (Table, error) {
 			"simulated from measured single-thread task costs (see DESIGN.md substitutions);",
 			"paper shapes: mapping tools near-linear to 28 then HT drop; Minigraph-cr flat;",
 			"seqwish plateaus ~4 threads; odgi-layout sublinear (sequential path index + barriers);",
-			"PGGB-allpair (construction) caps at C(n,2) pair tasks + sequential merge",
+			"PGGB-allpair (construction) caps at C(n,2) pair tasks + sequential merge;",
+			"MC-growth chains per-assembly steps (parallel chunk maps, sequential induction)",
 		},
 	}
 	for _, w := range workloads {
@@ -521,6 +522,38 @@ func (s *Suite) scalingWorkloads() ([]sched.Workload, error) {
 				{Name: "pair-match", Tasks: tasks, MemFraction: 0.25},
 				{Name: "merge", Sequential: mergeTime},
 			}})
+		}
+	}
+
+	// MC-growth: Minigraph-Cactus iterative construction. A serial
+	// (Workers=1) run yields measured per-chunk mapping and per-step
+	// induction costs (build.Result.Growth); the workload is the sequential
+	// per-assembly chain with parallel chunk-mapping tasks inside each step.
+	{
+		names, seqs := s.Pop.AssemblyView()
+		capped := make([][]byte, len(seqs))
+		for i, seq := range seqs {
+			if len(seq) > 60_000 {
+				seq = seq[:60_000]
+			}
+			capped[i] = seq
+		}
+		cfg := build.DefaultMCConfig()
+		cfg.LayoutIterations = 0
+		cfg.Workers = 1 // single-thread task costs feed the simulator
+		if mres, err := build.MinigraphCactus(context.Background(), names, capped, cfg, nil); err == nil && len(mres.Growth) > 0 {
+			steps := make([]sched.GrowthStep, 0, len(mres.Growth))
+			for _, st := range mres.Growth {
+				tasks := make([]float64, 0, len(st.ChunkTimes))
+				for _, ct := range st.ChunkTimes {
+					tasks = append(tasks, ct.Seconds())
+				}
+				steps = append(steps, sched.GrowthStep{
+					Tasks:      tasks,
+					Sequential: (st.Induction + st.IndexTime).Seconds(),
+				})
+			}
+			out = append(out, sched.GrowthChain("MC-growth", steps, 0.25))
 		}
 	}
 

@@ -6,6 +6,7 @@ package minimizer
 
 import (
 	"fmt"
+	"sort"
 
 	"pangenomicsbench/internal/bio"
 	"pangenomicsbench/internal/graph"
@@ -123,9 +124,27 @@ type GraphLocation struct {
 // embedded haplotype paths (so k-mers crossing node boundaries are found,
 // and only haplotype-consistent k-mers are stored, as Giraffe does),
 // recording each occurrence by its starting node and offset.
+//
+// The index is append-only per path, like minimap2's per-target index:
+// AddPath extends an existing index with one newly embedded haplotype
+// without touching what is already stored, and the cross-path occurrence
+// dedupe state persists inside the index so an incrementally grown index
+// is identical to one rebuilt from scratch over the same paths in the
+// same order.
 type GraphIndex struct {
 	k, w int
 	hits map[uint64][]GraphLocation
+	// dedupe records every (node, offset, hash) occurrence already stored,
+	// so the same physical k-mer reached through several paths is indexed
+	// once. Persisting it is what makes AddPath equivalent to a rebuild.
+	dedupe map[occKey]struct{}
+}
+
+// occKey identifies one stored minimizer occurrence for deduplication.
+type occKey struct {
+	node graph.NodeID
+	off  int
+	hash uint64
 }
 
 // NewGraphIndex indexes g's haplotype paths.
@@ -133,50 +152,75 @@ func NewGraphIndex(g *graph.Graph, k, w int) (*GraphIndex, error) {
 	if len(g.Paths()) == 0 {
 		return nil, fmt.Errorf("minimizer: graph has no paths to index")
 	}
-	idx := &GraphIndex{k: k, w: w, hits: make(map[uint64][]GraphLocation)}
-	type key struct {
-		n graph.NodeID
-		o int
+	if k < 1 || k > 31 || w < 1 {
+		return nil, fmt.Errorf("minimizer: invalid parameters k=%d w=%d", k, w)
 	}
-	dedupe := map[key]map[uint64]bool{}
+	idx := &GraphIndex{
+		k: k, w: w,
+		hits:   make(map[uint64][]GraphLocation),
+		dedupe: make(map[occKey]struct{}),
+	}
 	for _, p := range g.Paths() {
-		seq := g.PathSeq(p)
-		ms, err := Compute(seq, k, w, nil)
-		if err != nil {
+		if err := idx.AddPath(g, p); err != nil {
 			return nil, err
-		}
-		// Map path offsets back to (node, offset).
-		starts := make([]int, len(p.Nodes))
-		off := 0
-		for i, id := range p.Nodes {
-			starts[i] = off
-			off += len(g.Seq(id))
-		}
-		ni := 0
-		for _, m := range ms {
-			for ni+1 < len(starts) && starts[ni+1] <= m.Pos {
-				ni++
-			}
-			loc := GraphLocation{Node: p.Nodes[ni], Offset: m.Pos - starts[ni]}
-			kk := key{loc.Node, loc.Offset}
-			if dedupe[kk] == nil {
-				dedupe[kk] = map[uint64]bool{}
-			}
-			if dedupe[kk][m.Hash] {
-				continue
-			}
-			dedupe[kk][m.Hash] = true
-			idx.hits[m.Hash] = append(idx.hits[m.Hash], loc)
 		}
 	}
 	return idx, nil
 }
 
+// AddPath extends the index with one embedded haplotype path of g,
+// indexing only that path's minimizers. Occurrences already stored by
+// earlier paths are skipped, so calling AddPath for each path in embedding
+// order yields an index identical to NewGraphIndex over the final graph.
+// The path's nodes must belong to g and must not be mutated afterwards.
+func (x *GraphIndex) AddPath(g *graph.Graph, p graph.Path) error {
+	seq := g.PathSeq(p)
+	ms, err := Compute(seq, x.k, x.w, nil)
+	if err != nil {
+		return err
+	}
+	// Map path offsets back to (node, offset).
+	starts := make([]int, len(p.Nodes))
+	off := 0
+	for i, id := range p.Nodes {
+		starts[i] = off
+		off += len(g.Seq(id))
+	}
+	ni := 0
+	for _, m := range ms {
+		for ni+1 < len(starts) && starts[ni+1] <= m.Pos {
+			ni++
+		}
+		loc := GraphLocation{Node: p.Nodes[ni], Offset: m.Pos - starts[ni]}
+		kk := occKey{loc.Node, loc.Offset, m.Hash}
+		if _, seen := x.dedupe[kk]; seen {
+			continue
+		}
+		x.dedupe[kk] = struct{}{}
+		x.hits[m.Hash] = append(x.hits[m.Hash], loc)
+	}
+	return nil
+}
+
 // K returns the k-mer size.
 func (x *GraphIndex) K() int { return x.k }
+
+// W returns the window size.
+func (x *GraphIndex) W() int { return x.w }
 
 // Lookup returns the graph occurrences of a minimizer hash.
 func (x *GraphIndex) Lookup(hash uint64) []GraphLocation { return x.hits[hash] }
 
 // Size returns the number of distinct minimizer hashes stored.
 func (x *GraphIndex) Size() int { return len(x.hits) }
+
+// Hashes returns every stored minimizer hash in ascending order (the
+// incremental-vs-rebuild differential tests iterate it).
+func (x *GraphIndex) Hashes() []uint64 {
+	out := make([]uint64, 0, len(x.hits))
+	for h := range x.hits {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

@@ -3,6 +3,7 @@ package minimizer
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -161,6 +162,99 @@ func TestGraphIndex(t *testing.T) {
 		if !ok {
 			t.Fatalf("minimizer at %d (node %d off %d) missing from graph index", m.Pos, node, off)
 		}
+	}
+}
+
+// TestGraphIndexAddPathIncremental: extending an index path by path is
+// identical — same hash set, same ordered locations — to rebuilding it
+// from scratch over the final graph, including when later paths revisit
+// nodes already indexed (the persisted-dedupe contract MC's incremental
+// growth relies on).
+func TestGraphIndexAddPathIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.New()
+	segment := func(seq []byte) []graph.NodeID {
+		var walk []graph.NodeID
+		for off := 0; off < len(seq); off += 40 {
+			end := off + 40
+			if end > len(seq) {
+				end = len(seq)
+			}
+			walk = append(walk, g.AddNode(seq[off:end]))
+		}
+		return walk
+	}
+	backbone := segment(randSeq(rng, 1200))
+	if err := g.AddPath("h0", backbone); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := NewGraphIndex(g, 15, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for hi := 1; hi <= 4; hi++ {
+		// Each new haplotype reuses a backbone stretch (duplicate
+		// occurrences the dedupe must skip) and adds novel nodes.
+		walk := append([]graph.NodeID{}, backbone[hi:hi+10]...)
+		walk = append(walk, segment(randSeq(rng, 300))...)
+		name := string(rune('a' + hi))
+		if err := g.AddPath(name, walk); err != nil {
+			t.Fatal(err)
+		}
+		paths := g.Paths()
+		if err := idx.AddPath(g, paths[len(paths)-1]); err != nil {
+			t.Fatal(err)
+		}
+
+		rebuilt, err := NewGraphIndex(g, 15, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gh, wh := idx.Hashes(), rebuilt.Hashes()
+		if !reflect.DeepEqual(gh, wh) {
+			t.Fatalf("after path %d: %d incremental hashes vs %d rebuilt", hi, len(gh), len(wh))
+		}
+		for _, h := range wh {
+			if !reflect.DeepEqual(idx.Lookup(h), rebuilt.Lookup(h)) {
+				t.Fatalf("after path %d: locations for %#x diverge:\nincremental %v\nrebuilt     %v",
+					hi, h, idx.Lookup(h), rebuilt.Lookup(h))
+			}
+		}
+	}
+}
+
+// TestGraphIndexAddPathValidation: AddPath surfaces Compute's parameter
+// errors and indexes an explicitly-passed path exactly once.
+func TestGraphIndexAddPathDedupeWithinPath(t *testing.T) {
+	g := graph.New()
+	rng := rand.New(rand.NewSource(10))
+	nd := g.AddNode(randSeq(rng, 200))
+	if err := g.AddPath("h0", []graph.NodeID{nd}); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := NewGraphIndex(g, 15, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-adding the same path must be a no-op: every occurrence dedupes.
+	before := len(idx.Hashes())
+	var total int
+	for _, h := range idx.Hashes() {
+		total += len(idx.Lookup(h))
+	}
+	if err := idx.AddPath(g, g.Paths()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Hashes()) != before {
+		t.Fatal("re-adding a path changed the hash set")
+	}
+	var after int
+	for _, h := range idx.Hashes() {
+		after += len(idx.Lookup(h))
+	}
+	if after != total {
+		t.Fatalf("re-adding a path duplicated occurrences: %d → %d", total, after)
 	}
 }
 

@@ -146,6 +146,35 @@ func effectiveCost(m Machine, cost, memFrac float64, t int, _ float64) float64 {
 	return cost*(1-memFrac) + cost*memFrac*m.memSlowdown(t)
 }
 
+// GrowthStep describes one step of an iterative-growth construction for
+// GrowthChain: Tasks are the step's parallelizable map costs (e.g. the
+// per-chunk mapping times of one Minigraph-Cactus assembly), Sequential is
+// the step's single-threaded share (induction, index extension).
+type GrowthStep struct {
+	Tasks      []float64
+	Sequential float64
+}
+
+// GrowthChain models an iterative-growth construction workload (the
+// Minigraph-Cactus shape): a sequential chain of steps, each one a phase
+// of parallel map tasks followed by sequential induction work, barriered
+// against the next step because step i+1 maps against the graph step i
+// grew. Parallelism is therefore bounded per step by that step's task
+// count, and the sequential share caps the whole chain's speedup — which
+// is why MC's curve stays far below the mapping tools' in Fig. 5.
+func GrowthChain(name string, steps []GrowthStep, memFrac float64) Workload {
+	w := Workload{Name: name}
+	for _, st := range steps {
+		w.Phases = append(w.Phases, Phase{
+			Name:        "grow",
+			Tasks:       st.Tasks,
+			MemFraction: memFrac,
+			Sequential:  st.Sequential,
+		})
+	}
+	return w
+}
+
 // Speedups returns the makespan-derived speedups at each thread count,
 // relative to the first entry (Fig. 5 normalizes to 4 threads).
 func Speedups(m Machine, w Workload, threadCounts []int) []float64 {

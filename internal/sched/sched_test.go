@@ -110,6 +110,46 @@ func TestStragglerBoundsMakespan(t *testing.T) {
 	}
 }
 
+func TestGrowthChain(t *testing.T) {
+	m := MachineA()
+	// An MC-like chain: each step has a handful of parallel chunk-map tasks
+	// plus a sequential induction share.
+	steps := make([]GrowthStep, 8)
+	for i := range steps {
+		steps[i] = GrowthStep{Tasks: uniformTasks(6, 3), Sequential: 4}
+	}
+	w := GrowthChain("MC-growth", steps, 0.25)
+	if w.Name != "MC-growth" || len(w.Phases) != len(steps) {
+		t.Fatalf("chain shape wrong: %q with %d phases", w.Name, len(w.Phases))
+	}
+	s := Speedups(m, w, []int{4, 8, 28, 56})
+	// Per-step parallelism is capped by the 6 tasks of a step, and the
+	// sequential share caps the chain (Amdahl: ≤ (18+4)/(3+4) ≈ 3.14 over
+	// the 1-thread makespan, much less relative to 4 threads) — the curve
+	// must stay far below ideal 28/4 = 7 scaling.
+	if s[2] >= 3 {
+		t.Fatalf("28-thread growth-chain speedup %.2f too high for 6-task steps with a sequential share", s[2])
+	}
+	// Threads under the per-step task count still help…
+	if s[1] <= 1 {
+		t.Fatalf("4→8 threads gave no speedup: %v", s)
+	}
+	// …but past memory saturation the memory-bound critical task inflates,
+	// so hyperthreads must not beat the 28-core point (the Fig. 5 dip).
+	if s[3] > s[2] {
+		t.Fatalf("56-thread speedup %.2f beats 28-thread %.2f despite memory saturation", s[3], s[2])
+	}
+	// A chain with larger sequential shares scales strictly worse.
+	seq := make([]GrowthStep, 8)
+	for i := range seq {
+		seq[i] = GrowthStep{Tasks: uniformTasks(6, 3), Sequential: 30}
+	}
+	sSeq := Speedups(m, GrowthChain("seq-heavy", seq, 0.25), []int{4, 28})
+	if sSeq[1] >= s[2] {
+		t.Fatalf("sequential-heavy chain scales no worse: %.2f vs %.2f", sSeq[1], s[2])
+	}
+}
+
 func TestCapacityModel(t *testing.T) {
 	m := MachineA()
 	if m.capacity(1) != 1 || m.capacity(28) != 28 {
