@@ -1,0 +1,229 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"pangenomicsbench/internal/build"
+	"pangenomicsbench/internal/core"
+	"pangenomicsbench/internal/gensim"
+	"pangenomicsbench/internal/mapserve"
+	"pangenomicsbench/internal/pipeline"
+	"pangenomicsbench/internal/store"
+)
+
+// benchResult is one benchmark line of the JSON report.
+type benchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+}
+
+// benchReport is the machine-readable pgbench bench output (BENCH_6.json).
+type benchReport struct {
+	Suite      string        `json:"suite"`
+	Scale      string        `json:"scale"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Results    []benchResult `json:"benchmarks"`
+}
+
+// toResult converts a testing.BenchmarkResult; SetBytes-driven throughput is
+// reported when the benchmark declared a byte volume.
+func toResult(name string, r testing.BenchmarkResult) benchResult {
+	out := benchResult{
+		Name:        name,
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if r.Bytes > 0 && r.T > 0 {
+		out.MBPerS = float64(r.Bytes) * float64(r.N) / r.T.Seconds() / 1e6
+	}
+	return out
+}
+
+// benchMap times one pass of tool over reads (per-op = the whole read set,
+// throughput = mapped bases/s).
+func benchMap(tool pipeline.Tool, reads []gensim.Read) testing.BenchmarkResult {
+	bases := 0
+	for _, r := range reads {
+		bases += len(r.Seq)
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(bases))
+		for i := 0; i < b.N; i++ {
+			for _, r := range reads {
+				tool.Map(r.Seq, nil)
+			}
+		}
+	})
+}
+
+// benchCmd runs the serving-relevant hot paths under testing.Benchmark and
+// writes a JSON report: per-tool mapping cost, construction cost, and
+// snapshot save/load throughput of the persistence layer.
+func benchCmd(args []string) error {
+	fs := newFlagSet("bench")
+	scaleName := fs.String("scale", "small", "dataset scale: small, bench, or large")
+	jsonPath := fs.String("json", "BENCH_6.json", "JSON report path ('-' = stdout)")
+	nReads := fs.Int("reads", 96, "reads per mapping-benchmark op")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "bench: building %s-scale suite...\n", *scaleName)
+	suite, err := core.NewSuite(scale)
+	if err != nil {
+		return err
+	}
+	short, long := suite.ShortReads, suite.LongReads
+	if len(short) > *nReads {
+		short = short[:*nReads]
+	}
+	if len(long) > *nReads {
+		long = long[:*nReads]
+	}
+	g, k, w := suite.Pop.Graph, suite.Cfg.K, suite.Cfg.W
+
+	var results []benchResult
+	record := func(name string, r testing.BenchmarkResult) {
+		res := toResult(name, r)
+		results = append(results, res)
+		line := fmt.Sprintf("  %-22s %14.0f ns/op %10d allocs/op", res.Name, res.NsPerOp, res.AllocsPerOp)
+		if res.MBPerS > 0 {
+			line += fmt.Sprintf(" %10.1f MB/s", res.MBPerS)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+
+	// Mapping hot paths: the four query-tier tools, one corpus pass per op.
+	giraffe, err := pipeline.NewVgGiraffe(g, k, w)
+	if err != nil {
+		return err
+	}
+	record("map/giraffe", benchMap(giraffe, short))
+	vgmap, err := pipeline.NewVgMap(g, k, w)
+	if err != nil {
+		return err
+	}
+	record("map/vgmap", benchMap(vgmap, short))
+	ga, err := pipeline.NewGraphAligner(g, k, w)
+	if err != nil {
+		return err
+	}
+	record("map/graphaligner", benchMap(ga, long))
+	mg, err := pipeline.NewMinigraph(g, k, w, false)
+	if err != nil {
+		return err
+	}
+	record("map/minigraph-lr", benchMap(mg, long))
+
+	// Construction hot paths (what a cold start pays and a warm start skips).
+	names, seqs := suite.Pop.AssemblyView()
+	pcfg := build.DefaultPGGBConfig()
+	pcfg.LayoutIterations = 2
+	record("construct/pggb", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := build.PGGB(context.Background(), names, seqs, pcfg, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	mcfg := build.DefaultMCConfig()
+	mcfg.LayoutIterations = 2
+	record("construct/mc", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := build.MinigraphCactus(context.Background(), names, seqs, mcfg, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Persistence hot paths: snapshot encode, durable publish (fsync
+	// included), and full load+rehydrate — the warm-restart boot cost.
+	data := &store.SnapshotData{
+		ID: "bench", Tool: string(mapserve.ToolGiraffe), K: k, W: w,
+		Graph: g, Index: giraffe.GraphIndex(), Haplotypes: giraffe.Haplotypes(),
+	}
+	image, err := data.Encode()
+	if err != nil {
+		return err
+	}
+	record("store/encode", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(image)))
+		for i := 0; i < b.N; i++ {
+			if _, err := data.Encode(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	tmp, err := os.MkdirTemp("", "pgbench-store-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	dir, err := store.Open(tmp, store.Options{Retain: 2})
+	if err != nil {
+		return err
+	}
+	record("store/save", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(image)))
+		for i := 0; i < b.N; i++ {
+			if _, err := dir.Publish(image); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	record("store/load", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(image)))
+		for i := 0; i < b.N; i++ {
+			_, secs, err := dir.LoadCurrent()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := mapserve.SnapshotFromStore(secs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	rep := benchReport{
+		Suite:      "PangenomicsBench-Go",
+		Scale:      *scaleName,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Results:    results,
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if *jsonPath == "-" {
+		_, err = os.Stdout.Write(raw)
+		return err
+	}
+	if err := os.WriteFile(*jsonPath, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks, %s scale)\n", *jsonPath, len(results), *scaleName)
+	return nil
+}

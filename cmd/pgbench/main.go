@@ -9,6 +9,7 @@
 //	pgbench all [-scale small|bench|large] [-threads N]
 //	pgbench serve-sim [flags]
 //	pgbench map-serve [flags]
+//	pgbench bench [-scale small|bench|large] [-json FILE]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -117,6 +119,8 @@ func run(args []string) error {
 		return serveSim(rest)
 	case "map-serve":
 		return mapServe(rest)
+	case "bench":
+		return benchCmd(rest)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -151,6 +155,7 @@ func serveSim(args []string) error {
 	cacheMB := fs.Int("cache-mb", 64, "pair-match cache capacity (MiB)")
 	timeout := fs.Duration("timeout", 0, "per-request timeout (0 = none)")
 	toolName := fs.String("tool", "pggb", "construction tool: pggb or mc")
+	storePath := fs.String("store", "", "journal directory: accepted builds are WAL-logged and crash-interrupted ones replayed on restart")
 	of := addObsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -179,15 +184,34 @@ func serveSim(args []string) error {
 
 	metrics := perf.NewMetrics()
 	tracer := obs.NewTracer(obs.TracerConfig{Metrics: metrics})
+	var journal *serve.Journal
+	if *storePath != "" {
+		if err := os.MkdirAll(*storePath, 0o755); err != nil {
+			return err
+		}
+		journal, err = serve.OpenJournal(filepath.Join(*storePath, "serve.wal"), metrics)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+	}
 	svc := serve.New(serve.Config{
 		Workers:        *workers,
 		CacheCapacity:  *cacheMB << 20,
 		DefaultTimeout: *timeout,
 		Metrics:        metrics,
 		Tracer:         tracer,
+		Journal:        journal,
 	})
 	if err := svc.RegisterAssemblies(names, seqs); err != nil {
 		return err
+	}
+	if journal != nil {
+		if n, err := svc.Recover(context.Background()); err != nil {
+			return err
+		} else if n > 0 {
+			fmt.Printf("journal replay: re-ran %d crash-interrupted build request(s)\n", n)
+		}
 	}
 	stopObs, err := of.start(obs.ServerConfig{
 		Metrics:  metrics.Snapshot,
@@ -263,5 +287,10 @@ func usage() {
   pgbench map-serve [flags]                    replay a read-query trace against
                                                the batched mapping service with a
                                                mid-trace snapshot hot-swap
+                                               (-store DIR persists snapshots and
+                                               enables -restart-at warm restarts)
+  pgbench bench [-scale S] [-json FILE]        micro-benchmark the mapping,
+                                               construction and snapshot
+                                               save/load hot paths to JSON
 scales: small (quick check), bench (default), large`)
 }

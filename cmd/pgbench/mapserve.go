@@ -2,8 +2,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -15,6 +17,7 @@ import (
 	"pangenomicsbench/internal/obs"
 	"pangenomicsbench/internal/perf"
 	"pangenomicsbench/internal/serve"
+	"pangenomicsbench/internal/store"
 )
 
 // mapServe replays a deterministic read-query trace against the batched
@@ -38,6 +41,8 @@ func mapServe(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none)")
 	toolName := fs.String("tool", "giraffe", "mapping tool: giraffe, vgmap, graphaligner or minigraph-lr")
 	swapAt := fs.Int("swap-at", -2, "query index triggering the mid-trace rebuild+hot-swap (-2 = midpoint, -1 = never)")
+	storePath := fs.String("store", "", "snapshot store directory: persist generations, WAL-journal builds, warm-start from the last published generation")
+	restartAt := fs.Int("restart-at", -1, "query index at which the query tier is killed and warm-restarted from -store (-1 = never)")
 	of := addObsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +55,9 @@ func mapServe(args []string) error {
 	}
 	if *swapAt == -2 {
 		*swapAt = *queries / 2
+	}
+	if *restartAt >= 0 && *storePath == "" {
+		return fmt.Errorf("-restart-at needs -store: a warm restart reloads the last persisted generation")
 	}
 
 	pop, err := pf.simulate()
@@ -71,10 +79,31 @@ func mapServe(args []string) error {
 
 	// Build-then-serve handoff: the serve-mode construction service builds
 	// the full-catalog cohort; its OnResult hook publishes each finished
-	// graph into the query registry as a fresh snapshot generation.
+	// graph into the query registry as a fresh snapshot generation — and,
+	// with -store, persists it as a store generation too. reg and svc sit
+	// behind stMu so a -restart-at warm restart can swap both mid-trace.
 	metrics := perf.NewMetrics()
 	tracer := obs.NewTracer(obs.TracerConfig{Metrics: metrics})
+	var stMu sync.RWMutex
 	reg := &mapserve.Registry{}
+	var svc *mapserve.Service
+	curReg := func() *mapserve.Registry { stMu.RLock(); defer stMu.RUnlock(); return reg }
+
+	var sdir *store.Dir
+	var journal *serve.Journal
+	var persister *mapserve.Persister
+	if *storePath != "" {
+		var err error
+		if sdir, err = store.Open(*storePath, store.Options{}); err != nil {
+			return err
+		}
+		persister = mapserve.NewPersister(sdir, metrics)
+		if journal, err = serve.OpenJournal(filepath.Join(*storePath, "serve.wal"), metrics); err != nil {
+			return err
+		}
+		defer journal.Close()
+	}
+
 	names, seqs := pop.AssemblyView()
 	var snapSeq uint64
 	var publishErr error
@@ -83,11 +112,15 @@ func mapServe(args []string) error {
 		CacheCapacity: 64 << 20,
 		Metrics:       metrics,
 		Tracer:        tracer,
+		Journal:       journal,
 		OnResult: func(req serve.Request, res *build.Result) {
 			n := atomic.AddUint64(&snapSeq, 1)
 			snap, err := mapserve.SnapshotFromBuild(fmt.Sprintf("cohort-%d", n), res, toolCfg)
 			if err == nil {
-				_, err = reg.Publish(snap)
+				_, err = curReg().Publish(snap)
+			}
+			if err == nil && persister != nil {
+				_, _, err = persister.Save(snap)
 			}
 			if err != nil {
 				publishMu.Lock()
@@ -103,36 +136,87 @@ func mapServe(args []string) error {
 
 	fmt.Printf("map-serve: %d assemblies (%d bp ref), tool=%s, %d queries, %d clients, batch≤%d/%v, queue=%d\n",
 		len(names), *pf.refLen, toolCfg.Kind, len(trace), *clients, *maxBatch, *batchWait, *queueDepth)
+
+	// Boot: warm-start from the store's last published generation when one
+	// exists (construction skipped entirely), cold-build otherwise. Either
+	// way, crash-interrupted journal requests are then replayed.
 	t0 := time.Now()
-	if _, err := builder.Build(context.Background(), cohort); err != nil {
-		return fmt.Errorf("initial cohort build: %w", err)
+	warm := false
+	if sdir != nil {
+		snap, storeGen, err := reg.LoadLatest(sdir, metrics)
+		switch {
+		case err == nil:
+			warm = true
+			fmt.Printf("warm start: loaded snapshot %q from store generation %d in %v — construction skipped\n",
+				snap.ID, storeGen, time.Since(t0).Round(time.Millisecond))
+		case errors.Is(err, store.ErrEmpty):
+			// First boot against this store: fall through to the cold build.
+		default:
+			return fmt.Errorf("warm start from %s: %w", *storePath, err)
+		}
+	}
+	if !warm {
+		if _, err := builder.Build(context.Background(), cohort); err != nil {
+			return fmt.Errorf("initial cohort build: %w", err)
+		}
+		fmt.Printf("cohort built and published as generation %d in %v\n", reg.Generation(), time.Since(t0).Round(time.Millisecond))
+	}
+	if journal != nil {
+		if n, err := builder.Recover(context.Background()); err != nil {
+			return err
+		} else if n > 0 {
+			fmt.Printf("journal replay: re-ran %d crash-interrupted build request(s)\n", n)
+		}
 	}
 	publishMu.Lock()
 	perr := publishErr
 	publishMu.Unlock()
 	if perr != nil {
-		return fmt.Errorf("initial snapshot publish: %w", perr)
+		return fmt.Errorf("snapshot publish: %w", perr)
 	}
-	fmt.Printf("cohort built and published as generation %d in %v\n\n", reg.Generation(), time.Since(t0).Round(time.Millisecond))
+	fmt.Println()
 
-	svc := mapserve.New(reg, mapserve.Config{
+	mapCfg := mapserve.Config{
 		Workers:    *workers,
 		MaxBatch:   *maxBatch,
 		BatchWait:  *batchWait,
 		QueueDepth: *queueDepth,
 		Metrics:    metrics,
 		Tracer:     tracer,
-	})
-	defer svc.Close()
+	}
+	svc = mapserve.New(reg, mapCfg)
+	defer func() { stMu.RLock(); s := svc; stMu.RUnlock(); s.Close() }()
 	stopObs, err := of.start(obs.ServerConfig{
 		Metrics:   metrics.Snapshot,
 		Recorder:  tracer.Recorder(),
-		Snapshots: reg.Stats,
+		Snapshots: func() []obs.SnapshotInfo { return curReg().Stats() },
 	})
 	if err != nil {
 		return err
 	}
 	defer stopObs()
+
+	// Warm restart: kill the query tier mid-trace and boot a replacement
+	// registry+service from the store — no construction runs. Clients hold
+	// stMu.RLock across each Map, so the swap waits out in-flight queries
+	// and no query ever fails from the restart itself.
+	restart := func(at int64) {
+		stMu.Lock()
+		defer stMu.Unlock()
+		rt0 := time.Now()
+		svc.Close()
+		fresh := &mapserve.Registry{}
+		_, storeGen, err := fresh.LoadLatest(sdir, metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warm restart at query %d failed (%v); keeping the old registry\n", at, err)
+			svc = mapserve.New(reg, mapCfg)
+			return
+		}
+		reg = fresh
+		svc = mapserve.New(reg, mapCfg)
+		fmt.Printf("warm restart at query %d: killed the query tier, reloaded store generation %d in %v (no rebuild)\n",
+			at, storeGen, time.Since(rt0).Round(time.Millisecond))
+	}
 
 	// Replay: each trace client drains its own query stream in issue order;
 	// crossing the swap index triggers an equivalent cohort rebuild whose
@@ -157,7 +241,8 @@ func mapServe(args []string) error {
 				if q.Client != c {
 					continue
 				}
-				if *swapAt >= 0 && atomic.AddInt64(&issued, 1) == int64(*swapAt) {
+				n := atomic.AddInt64(&issued, 1)
+				if *swapAt >= 0 && n == int64(*swapAt) {
 					swapWG.Add(1)
 					go func() {
 						defer swapWG.Done()
@@ -166,13 +251,18 @@ func mapServe(args []string) error {
 						}
 					}()
 				}
+				if *restartAt >= 0 && n == int64(*restartAt) {
+					restart(n)
+				}
 				ctx := context.Background()
 				cancel := context.CancelFunc(func() {})
 				if *timeout > 0 {
 					ctx, cancel = context.WithTimeout(ctx, *timeout)
 				}
 				t0 := time.Now()
+				stMu.RLock()
 				resp, err := svc.Map(ctx, q.Read.Seq)
+				stMu.RUnlock()
 				lat := time.Since(t0)
 				cancel()
 				results[i] = outcome{resp: resp, err: err}

@@ -1,0 +1,143 @@
+// Package binio provides the little-endian append/read primitives shared by
+// the flat binary encodings of the persistence layer (internal/store and the
+// AppendBinary/Decode methods of graph, minimizer and gbwt). Writers append
+// into a caller-owned buffer; the Reader consumes a byte slice with a sticky
+// error, so decoders can chain reads and check failure once at the end.
+package binio
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendU8 appends one byte.
+func AppendU8(b []byte, v uint8) []byte { return append(b, v) }
+
+// AppendU16 appends v little-endian.
+func AppendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+
+// AppendU32 appends v little-endian.
+func AppendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+
+// AppendU64 appends v little-endian.
+func AppendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// AppendBytes appends a u64 length prefix followed by p.
+func AppendBytes(b, p []byte) []byte {
+	b = AppendU64(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// AppendString appends s as a length-prefixed byte blob.
+func AppendString(b []byte, s string) []byte { return AppendBytes(b, []byte(s)) }
+
+// Reader consumes a flat little-endian buffer. The first short read latches
+// an error; every later read returns zero values, so decoders check Err()
+// once after the last field.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewReader reads from data (not copied; the caller keeps ownership).
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Err returns the latched decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the unread byte count.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+// fail latches the first error.
+func (r *Reader) fail(n int) {
+	if r.err == nil {
+		r.err = fmt.Errorf("binio: truncated input: need %d bytes at offset %d of %d", n, r.off, len(r.data))
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.data) {
+		r.fail(n)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads one little-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads one little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads one little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Bytes reads a u64 length prefix and returns that many bytes as a subslice
+// of the underlying buffer (callers copy if they retain it).
+func (r *Reader) Bytes() []byte {
+	n := r.U64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.Remaining()) {
+		r.fail(int(n))
+		return nil
+	}
+	return r.take(int(n))
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.Bytes()) }
+
+// Count reads a u64 element count and validates it against the remaining
+// bytes assuming each element occupies at least minElemSize bytes — the
+// guard that keeps a corrupt length field from driving a huge allocation.
+func (r *Reader) Count(minElemSize int) int {
+	n := r.U64()
+	if r.err != nil {
+		return 0
+	}
+	if minElemSize < 1 {
+		minElemSize = 1
+	}
+	if n > uint64(r.Remaining()/minElemSize) {
+		if r.err == nil {
+			r.err = fmt.Errorf("binio: implausible element count %d at offset %d (%d bytes remain)", n, r.off, r.Remaining())
+		}
+		return 0
+	}
+	return int(n)
+}

@@ -1,0 +1,130 @@
+package gbwt
+
+import (
+	"fmt"
+	"sort"
+
+	"pangenomicsbench/internal/binio"
+	"pangenomicsbench/internal/graph"
+)
+
+// AppendBinary appends the GBWT's flat little-endian encoding to buf.
+// Records are written in ascending node order — the same order Build
+// creates them in (BWT first-symbol order) — and only the primary data is
+// stored: successor alphabet, LF offsets, body and the origin document
+// array. The rank samples and the synthetic cache-model base addresses are
+// pure functions of that data and are recomputed on decode, so the loaded
+// index is field-identical to the built one (including the probe addresses
+// the microarchitectural simulation sees). Layout:
+//
+//	u64 pathCount, u64 recordCount
+//	per record (node ascending):
+//	  u32 node
+//	  u64 succCount, per successor: u32 node ID, u32 LF offset
+//	  u64 bodyLen, per visit: u16 edge index
+//	  per visit: u32 path index, u32 step (two's complement; -1 = path end)
+func (x *Index) AppendBinary(buf []byte) []byte {
+	buf = binio.AppendU64(buf, uint64(x.paths))
+	buf = binio.AppendU64(buf, uint64(len(x.records)))
+	nodes := make([]graph.NodeID, 0, len(x.records))
+	for id := range x.records {
+		nodes = append(nodes, id)
+	}
+	sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+	for _, id := range nodes {
+		rec := x.records[id]
+		buf = binio.AppendU32(buf, uint32(id))
+		buf = binio.AppendU64(buf, uint64(len(rec.succs)))
+		for e := range rec.succs {
+			buf = binio.AppendU32(buf, uint32(rec.succs[e]))
+			buf = binio.AppendU32(buf, uint32(rec.offsets[e]))
+		}
+		buf = binio.AppendU64(buf, uint64(len(rec.body)))
+		for _, e := range rec.body {
+			buf = binio.AppendU16(buf, e)
+		}
+		for _, o := range rec.origins {
+			buf = binio.AppendU32(buf, uint32(o.Path))
+			buf = binio.AppendU32(buf, uint32(o.Step))
+		}
+	}
+	return buf
+}
+
+// DecodeIndex decodes an AppendBinary payload, recomputing the rank samples
+// and record base addresses exactly as Build does.
+func DecodeIndex(data []byte) (*Index, error) {
+	r := binio.NewReader(data)
+	paths := int(r.U64())
+	nrec := r.Count(4)
+	if r.Err() == nil && paths < 1 {
+		return nil, fmt.Errorf("gbwt: decode: invalid path count %d", paths)
+	}
+	x := &Index{records: make(map[graph.NodeID]*record, nrec), paths: paths}
+	nextBase := uint64(1 << 20)
+	prev := graph.NodeID(0)
+	for i := 0; i < nrec; i++ {
+		id := graph.NodeID(r.U32())
+		if r.Err() == nil && id <= prev {
+			return nil, fmt.Errorf("gbwt: decode: record %d node %d not ascending (previous %d)", i, id, prev)
+		}
+		prev = id
+		rec := &record{}
+		ns := r.Count(8)
+		rec.succs = make([]graph.NodeID, ns)
+		rec.offsets = make([]int32, ns)
+		for e := 0; e < ns; e++ {
+			rec.succs[e] = graph.NodeID(r.U32())
+			rec.offsets[e] = int32(r.U32())
+			if r.Err() == nil && e > 0 && rec.succs[e] <= rec.succs[e-1] {
+				return nil, fmt.Errorf("gbwt: decode: node %d successor alphabet not ascending", id)
+			}
+		}
+		nb := r.Count(2)
+		rec.body = make([]uint16, nb)
+		for k := 0; k < nb; k++ {
+			rec.body[k] = r.U16()
+			if r.Err() == nil && int(rec.body[k]) >= ns {
+				return nil, fmt.Errorf("gbwt: decode: node %d visit %d takes edge %d of %d", id, k, rec.body[k], ns)
+			}
+		}
+		rec.origins = make([]PathPosition, nb)
+		for k := 0; k < nb; k++ {
+			rec.origins[k] = PathPosition{Path: int32(r.U32()), Step: int32(r.U32())}
+		}
+		if r.Err() != nil {
+			return nil, fmt.Errorf("gbwt: decode record %d: %w", i, r.Err())
+		}
+		// Derived state, recomputed with Build's exact formulas: sampled
+		// edge ranks over the body, and the record's synthetic address.
+		nSamples := nb/rankRate + 2
+		rec.ranks = make([][]int32, ns)
+		for e := range rec.ranks {
+			rec.ranks[e] = make([]int32, nSamples)
+		}
+		counts := make([]int32, ns)
+		for k := 0; k < nb; k++ {
+			if k%rankRate == 0 {
+				for e := range counts {
+					rec.ranks[e][k/rankRate] = counts[e]
+				}
+			}
+			counts[rec.body[k]]++
+		}
+		if nb > 0 {
+			for e := range counts {
+				rec.ranks[e][(nb-1)/rankRate+1] = counts[e]
+			}
+		}
+		rec.base = nextBase
+		nextBase += uint64(nb*2 + ns*16 + nSamples*4*ns)
+		x.records[id] = rec
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("gbwt: decode: %w", r.Err())
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("gbwt: decode: %d trailing bytes", r.Remaining())
+	}
+	return x, nil
+}

@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"fmt"
+
+	"pangenomicsbench/internal/binio"
+)
+
+// AppendBinary appends g's flat little-endian encoding to buf and returns
+// the extended buffer. The encoding captures the graph verbatim — node
+// sequences, out- and in-adjacency in stored order, and embedded paths — so
+// DecodeGraph reproduces not just an isomorphic graph but the exact field
+// state, including the adjacency-list orders the mapping kernels use for
+// deterministic tie-breaking. Layout:
+//
+//	u64 nodeCount, then per node: length-prefixed sequence
+//	per node: u64 outDegree, u32 successor IDs (stored order)
+//	per node: u64 inDegree, u32 predecessor IDs (stored order)
+//	u64 pathCount, then per path: name, u64 stepCount, u32 node IDs
+func (g *Graph) AppendBinary(buf []byte) []byte {
+	buf = binio.AppendU64(buf, uint64(len(g.nodes)))
+	for _, nd := range g.nodes {
+		buf = binio.AppendBytes(buf, nd.Seq)
+	}
+	for _, adj := range [2][][]NodeID{g.out, g.in} {
+		for _, edges := range adj {
+			buf = binio.AppendU64(buf, uint64(len(edges)))
+			for _, id := range edges {
+				buf = binio.AppendU32(buf, uint32(id))
+			}
+		}
+	}
+	buf = binio.AppendU64(buf, uint64(len(g.paths)))
+	for _, p := range g.paths {
+		buf = binio.AppendString(buf, p.Name)
+		buf = binio.AppendU64(buf, uint64(len(p.Nodes)))
+		for _, id := range p.Nodes {
+			buf = binio.AppendU32(buf, uint32(id))
+		}
+	}
+	return buf
+}
+
+// DecodeGraph decodes an AppendBinary payload. It restores the exact graph
+// state and validates structural invariants (edge symmetry, path walks), so
+// a payload that decodes successfully behaves identically to the graph that
+// was encoded.
+func DecodeGraph(data []byte) (*Graph, error) {
+	r := binio.NewReader(data)
+	n := r.Count(8)
+	g := &Graph{
+		nodes: make([]Node, n),
+		out:   make([][]NodeID, n),
+		in:    make([][]NodeID, n),
+	}
+	for i := 0; i < n; i++ {
+		seq := r.Bytes()
+		if r.Err() != nil {
+			return nil, fmt.Errorf("graph: decode node %d: %w", i+1, r.Err())
+		}
+		g.nodes[i] = Node{ID: NodeID(i + 1), Seq: append([]byte(nil), seq...)}
+	}
+	readAdj := func(kind string) ([][]NodeID, error) {
+		adj := make([][]NodeID, n)
+		for i := 0; i < n; i++ {
+			deg := r.Count(4)
+			if deg == 0 {
+				continue
+			}
+			edges := make([]NodeID, deg)
+			for e := 0; e < deg; e++ {
+				id := NodeID(r.U32())
+				if r.Err() == nil && (id < 1 || int(id) > n) {
+					return nil, fmt.Errorf("graph: decode %s-edge of node %d: ID %d out of range [1,%d]", kind, i+1, id, n)
+				}
+				edges[e] = id
+			}
+			adj[i] = edges
+		}
+		if r.Err() != nil {
+			return nil, fmt.Errorf("graph: decode %s-adjacency: %w", kind, r.Err())
+		}
+		return adj, nil
+	}
+	var err error
+	if g.out, err = readAdj("out"); err != nil {
+		return nil, err
+	}
+	if g.in, err = readAdj("in"); err != nil {
+		return nil, err
+	}
+	np := r.Count(8)
+	g.paths = make([]Path, 0, np)
+	for i := 0; i < np; i++ {
+		name := r.String()
+		steps := r.Count(4)
+		nodes := make([]NodeID, steps)
+		for s := 0; s < steps; s++ {
+			id := NodeID(r.U32())
+			if r.Err() == nil && (id < 1 || int(id) > n) {
+				return nil, fmt.Errorf("graph: decode path %q step %d: ID %d out of range [1,%d]", name, s, id, n)
+			}
+			nodes[s] = id
+		}
+		g.paths = append(g.paths, Path{Name: name, Nodes: nodes})
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("graph: decode: %w", r.Err())
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("graph: decode: %d trailing bytes after payload", r.Remaining())
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: decoded payload fails validation: %w", err)
+	}
+	return g, nil
+}

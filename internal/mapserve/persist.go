@@ -1,0 +1,151 @@
+package mapserve
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pangenomicsbench/internal/perf"
+	"pangenomicsbench/internal/pipeline"
+	"pangenomicsbench/internal/store"
+)
+
+// Persistence bridge between the query tier and internal/store: Persister
+// writes each published snapshot into a generation directory, and
+// Registry.LoadLatest boots a fresh process from the last published
+// generation — serving in milliseconds instead of re-running construction.
+
+// Persister saves snapshots into a store directory. Metrics (optional)
+// gains the durability gauges: store.snapshot_bytes (last written image
+// size) and the store.save latency distribution.
+type Persister struct {
+	dir     *store.Dir
+	metrics *perf.Metrics
+}
+
+// NewPersister wraps a store directory.
+func NewPersister(dir *store.Dir, metrics *perf.Metrics) *Persister {
+	return &Persister{dir: dir, metrics: metrics}
+}
+
+// Dir returns the underlying store directory.
+func (p *Persister) Dir() *store.Dir { return p.dir }
+
+// Save encodes and publishes one snapshot as the store's next generation,
+// returning the store generation and the image size in bytes. The snapshot
+// must have been built with a ToolConfig (NewSnapshot / SnapshotFromBuild)
+// so the tool can be rehydrated on load.
+func (p *Persister) Save(s *Snapshot) (uint64, int, error) {
+	data, err := snapshotData(s)
+	if err != nil {
+		return 0, 0, err
+	}
+	t0 := time.Now()
+	image, err := data.Encode()
+	if err != nil {
+		return 0, 0, err
+	}
+	gen, err := p.dir.Publish(image)
+	if err != nil {
+		return 0, 0, err
+	}
+	p.metrics.Observe("store.save", time.Since(t0))
+	p.metrics.GaugeSet("store.snapshot_bytes", int64(len(image)))
+	p.metrics.GaugeSet("store.generation", int64(gen))
+	return gen, len(image), nil
+}
+
+// snapshotData extracts the persistable state of a snapshot.
+func snapshotData(s *Snapshot) (*store.SnapshotData, error) {
+	if s == nil {
+		return nil, fmt.Errorf("mapserve: persist nil snapshot")
+	}
+	if s.cfg.Kind == "" {
+		return nil, fmt.Errorf("mapserve: snapshot %q has no tool config (built with NewSnapshotWithTool?); cannot persist", s.ID)
+	}
+	ix, ok := s.tool.(pipeline.Indexed)
+	if !ok {
+		return nil, fmt.Errorf("mapserve: snapshot %q tool %s does not expose its indexes", s.ID, s.tool.Name())
+	}
+	data := &store.SnapshotData{
+		ID:    s.ID,
+		Tool:  string(s.cfg.Kind),
+		K:     s.cfg.K,
+		W:     s.cfg.W,
+		Graph: s.g,
+		Index: ix.GraphIndex(),
+	}
+	if h, ok := s.tool.(pipeline.HaplotypeIndexed); ok {
+		data.Haplotypes = h.Haplotypes()
+	}
+	return data, nil
+}
+
+// rehydrate reconstructs the mapping tool of a loaded snapshot from its
+// persisted indexes — no index construction runs.
+func rehydrate(data *store.SnapshotData) (pipeline.ContextTool, error) {
+	switch ToolKind(data.Tool) {
+	case ToolGiraffe:
+		return pipeline.NewVgGiraffeFromIndexes(data.Graph, data.Index, data.Haplotypes)
+	case ToolVgMap:
+		return pipeline.NewVgMapFromIndex(data.Graph, data.Index)
+	case ToolGraphAligner:
+		return pipeline.NewGraphAlignerFromIndex(data.Graph, data.Index)
+	case ToolMinigraphLR:
+		return pipeline.NewMinigraphFromIndex(data.Graph, data.Index, false)
+	}
+	return nil, fmt.Errorf("mapserve: snapshot names unknown tool %q", data.Tool)
+}
+
+// SnapshotFromStore reconstructs a publishable snapshot from decoded store
+// sections (Dir.Load output).
+func SnapshotFromStore(secs map[string][]byte) (*Snapshot, error) {
+	data, err := store.DecodeSnapshot(secs)
+	if err != nil {
+		return nil, err
+	}
+	if ToolKind(data.Tool) == ToolGiraffe && data.Haplotypes == nil {
+		return nil, fmt.Errorf("mapserve: giraffe snapshot %q persisted without its GBWT", data.ID)
+	}
+	tool, err := rehydrate(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		ID:   data.ID,
+		g:    data.Graph,
+		tool: tool,
+		cfg:  ToolConfig{Kind: ToolKind(data.Tool), K: data.K, W: data.W},
+	}, nil
+}
+
+// LoadLatest loads the store's current generation, rehydrates it, and
+// publishes it into the registry — the warm-restart boot path. It returns
+// the loaded snapshot and the *store* generation it came from (the registry
+// stamps its own, in-process generation on publish). Metrics (optional)
+// gains store.load latency and store.load_ms / store.snapshot_bytes gauges.
+// A store with no published generation returns store.ErrEmpty.
+func (r *Registry) LoadLatest(dir *store.Dir, metrics *perf.Metrics) (*Snapshot, uint64, error) {
+	t0 := time.Now()
+	storeGen, secs, err := dir.LoadCurrent()
+	if err != nil {
+		return nil, 0, err
+	}
+	bytes := 0
+	if fi, err := os.Stat(dir.SnapshotPath(storeGen)); err == nil {
+		bytes = int(fi.Size())
+	}
+	snap, err := SnapshotFromStore(secs)
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := r.Publish(snap); err != nil {
+		return nil, 0, err
+	}
+	dur := time.Since(t0)
+	metrics.Observe("store.load", dur)
+	metrics.GaugeSet("store.load_ms", dur.Milliseconds())
+	metrics.GaugeSet("store.snapshot_bytes", int64(bytes))
+	metrics.GaugeSet("store.generation", int64(storeGen))
+	return snap, storeGen, nil
+}

@@ -1,0 +1,150 @@
+package mapserve
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pangenomicsbench/internal/perf"
+	"pangenomicsbench/internal/store"
+)
+
+// TestPersistLoadLatestAllTools: Save → LoadLatest round-trips a snapshot of
+// every tool kind, the loaded snapshot maps identically, and the metrics
+// gauges record the traffic.
+func TestPersistLoadLatestAllTools(t *testing.T) {
+	pop := testPop(t, 3000, 3)
+	_, seqs := pop.AssemblyView()
+	read := seqs[0][40:140]
+	longRead := seqs[1][100:500]
+
+	for _, kind := range []ToolKind{ToolGiraffe, ToolVgMap, ToolGraphAligner, ToolMinigraphLR} {
+		t.Run(string(kind), func(t *testing.T) {
+			dir, err := store.Open(t.TempDir(), store.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			metrics := perf.NewMetrics()
+			p := NewPersister(dir, metrics)
+			snap, err := NewSnapshot("snap-"+string(kind), pop.Graph, DefaultToolConfig(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen, size, err := p.Save(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gen != 1 || size <= 0 {
+				t.Fatalf("save = (gen %d, %d bytes)", gen, size)
+			}
+
+			reg := &Registry{}
+			loaded, storeGen, err := reg.LoadLatest(dir, metrics)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if storeGen != 1 || loaded.ID != snap.ID {
+				t.Fatalf("loaded (gen %d, id %q), want (1, %q)", storeGen, loaded.ID, snap.ID)
+			}
+			if loaded.Config() != snap.Config() {
+				t.Fatalf("tool config changed: %+v != %+v", loaded.Config(), snap.Config())
+			}
+			if reg.Generation() != 1 {
+				t.Fatal("LoadLatest did not publish into the registry")
+			}
+
+			q := read
+			if kind == ToolGraphAligner || kind == ToolMinigraphLR {
+				q = longRead
+			}
+			wantRes, _, err := snap.Map(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRes, _, err := loaded.Map(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantRes != gotRes {
+				t.Fatalf("loaded snapshot maps differently: %+v != %+v", gotRes, wantRes)
+			}
+
+			if v, _ := metrics.Gauge("store.snapshot_bytes"); v != int64(size) {
+				t.Errorf("store.snapshot_bytes gauge = %d, want %d", v, size)
+			}
+			if v, _ := metrics.Gauge("store.generation"); v != 1 {
+				t.Errorf("store.generation gauge = %d, want 1", v)
+			}
+		})
+	}
+}
+
+func TestPersistErrors(t *testing.T) {
+	pop := testPop(t, 2000, 2)
+	dir, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPersister(dir, nil)
+
+	// A snapshot wrapped around an opaque tool has no persistable config.
+	stub, err := NewSnapshotWithTool("stub", pop.Graph, &blockingTool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Save(stub); err == nil {
+		t.Fatal("config-less snapshot persisted")
+	}
+	if _, _, err := p.Save(nil); err == nil {
+		t.Fatal("nil snapshot persisted")
+	}
+
+	// Empty store: LoadLatest reports ErrEmpty, registry untouched.
+	reg := &Registry{}
+	if _, _, err := reg.LoadLatest(dir, nil); !errors.Is(err, store.ErrEmpty) {
+		t.Fatalf("LoadLatest on empty store = %v, want ErrEmpty", err)
+	}
+	if reg.Generation() != 0 {
+		t.Fatal("failed load published something")
+	}
+}
+
+// TestSnapshotFromStoreGuards: persisted images naming an unknown tool, or a
+// giraffe image missing its GBWT, are rejected at load.
+func TestSnapshotFromStoreGuards(t *testing.T) {
+	pop := testPop(t, 2000, 2)
+	snap, err := NewSnapshot("g", pop.Graph, DefaultToolConfig(ToolVgMap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := snapshotData(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func(mutate func(*store.SnapshotData)) map[string][]byte {
+		d := *data
+		mutate(&d)
+		image, err := d.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		secs, err := store.DecodeSections(image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return secs
+	}
+
+	if _, err := SnapshotFromStore(mk(func(d *store.SnapshotData) { d.Tool = "bwa-mem2" })); err == nil {
+		t.Error("unknown tool kind rehydrated")
+	}
+	// Tool says giraffe but no GBWT section was persisted.
+	if _, err := SnapshotFromStore(mk(func(d *store.SnapshotData) { d.Tool = string(ToolGiraffe) })); err == nil {
+		t.Error("giraffe snapshot without a GBWT rehydrated")
+	}
+	// The unmutated image still loads.
+	if _, err := SnapshotFromStore(mk(func(*store.SnapshotData) {})); err != nil {
+		t.Errorf("valid image rejected: %v", err)
+	}
+}

@@ -89,7 +89,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, `pangenomicsbench admin endpoint
   /metrics    Prometheus text exposition of the service metric set
-  /traces     flight-recorder traces (?format=jsonl|tree, ?n=20, ?which=slow|recent|exemplars)
+  /traces     flight-recorder traces (?format=jsonl|tree, ?n=20, ?which=slow|recent|exemplars, ?min_dur=5ms)
   /snapshots  mapserve registry generations, refcounts, in-flight queries
   /healthz    liveness
 `)
@@ -111,6 +111,15 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 			n = v
 		}
 	}
+	var minDur time.Duration
+	if raw := r.URL.Query().Get("min_dur"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d < 0 {
+			http.Error(w, fmt.Sprintf("bad min_dur=%q (want a non-negative Go duration, e.g. 5ms)", raw), http.StatusBadRequest)
+			return
+		}
+		minDur = d
+	}
 	var traces []SpanData
 	switch which := r.URL.Query().Get("which"); which {
 	case "", "slow":
@@ -122,6 +131,15 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(w, fmt.Sprintf("unknown which=%q (want slow, recent or exemplars)", which), http.StatusBadRequest)
 		return
+	}
+	if minDur > 0 {
+		kept := traces[:0:len(traces)]
+		for _, d := range traces {
+			if d.Duration >= minDur {
+				kept = append(kept, d)
+			}
+		}
+		traces = kept
 	}
 	switch format := r.URL.Query().Get("format"); format {
 	case "jsonl":

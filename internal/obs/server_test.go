@@ -141,6 +141,81 @@ func TestServerScrape(t *testing.T) {
 	}
 }
 
+// TestTracesMinDurFilter exercises the /traces?min_dur= duration filter:
+// only traces whose root duration meets the threshold are served, zero
+// matches is an empty (not error) result, and an unparseable or negative
+// value is a 400.
+func TestTracesMinDurFilter(t *testing.T) {
+	tr := NewTracer(TracerConfig{})
+	rec := tr.Recorder()
+	base0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	for i, dur := range []time.Duration{
+		2 * time.Millisecond, 40 * time.Millisecond, 900 * time.Microsecond, 75 * time.Millisecond,
+	} {
+		rec.add(SpanData{Name: "svc.request", Start: base0.Add(time.Duration(i) * time.Second), Duration: dur})
+	}
+
+	srv := NewServer(ServerConfig{Recorder: rec})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr
+
+	countLines := func(body string) int {
+		body = strings.TrimSpace(body)
+		if body == "" {
+			return 0
+		}
+		return len(strings.Split(body, "\n"))
+	}
+
+	// No filter: all four traces.
+	code, body := get(t, base+"/traces?format=jsonl&which=recent&n=10")
+	if code != http.StatusOK || countLines(body) != 4 {
+		t.Fatalf("unfiltered /traces = %d, %d lines:\n%s", code, countLines(body), body)
+	}
+
+	// min_dur=5ms keeps only the 40ms and 75ms traces.
+	code, body = get(t, base+"/traces?format=jsonl&which=recent&n=10&min_dur=5ms")
+	if code != http.StatusOK || countLines(body) != 2 {
+		t.Fatalf("min_dur=5ms /traces = %d, %d lines:\n%s", code, countLines(body), body)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		var d SpanData
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("jsonl line does not parse: %v\n%s", err, line)
+		}
+		if d.Duration < 5*time.Millisecond {
+			t.Errorf("trace below threshold leaked through: %v", d.Duration)
+		}
+	}
+
+	// The filter composes with which=slow and the tree format, and the
+	// boundary is inclusive (>=).
+	code, body = get(t, base+"/traces?which=slow&min_dur=40ms")
+	if code != http.StatusOK {
+		t.Fatalf("tree min_dur /traces = %d", code)
+	}
+	if got := strings.Count(body, "svc.request"); got != 2 {
+		t.Errorf("which=slow&min_dur=40ms rendered %d traces, want 2 (inclusive boundary):\n%s", got, body)
+	}
+
+	// Above every trace: empty, still a 200.
+	code, body = get(t, base+"/traces?format=jsonl&which=recent&min_dur=1h")
+	if code != http.StatusOK || countLines(body) != 0 {
+		t.Fatalf("min_dur=1h /traces = %d, %d lines", code, countLines(body))
+	}
+
+	// Bad values are rejected.
+	for _, bad := range []string{"bogus", "5", "-3ms"} {
+		if code, _ := get(t, base+"/traces?min_dur="+bad); code != http.StatusBadRequest {
+			t.Errorf("min_dur=%s = %d, want 400", bad, code)
+		}
+	}
+}
+
 func TestServerEmptySources(t *testing.T) {
 	srv := NewServer(ServerConfig{})
 	addr, err := srv.Start("127.0.0.1:0")

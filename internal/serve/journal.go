@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pangenomicsbench/internal/build"
+	"pangenomicsbench/internal/perf"
+	"pangenomicsbench/internal/store"
+)
+
+// Journal is the typed write-ahead log of accepted build requests: every
+// leader execution appends a begin record before building and a done record
+// after it completes (success or failure), each fsynced by the underlying
+// store.WAL. A coordinator that crashed mid-build therefore leaves a begin
+// without a done; OpenJournal finds those on restart and Service.Recover
+// re-enqueues them, so accepted work survives the process.
+type Journal struct {
+	wal     *store.WAL
+	metrics *perf.Metrics
+
+	mu         sync.Mutex
+	seq        uint64
+	unfinished map[uint64]Request // crash-interrupted requests found at open
+	pending    int                // begins without dones appended this process
+}
+
+// journalRecord is one WAL payload (JSON: configs are flat exported
+// primitives, and the format stays debuggable with standard tools).
+type journalRecord struct {
+	Op      string           `json:"op"` // "begin" | "done"
+	Seq     uint64           `json:"seq"`
+	Tool    Tool             `json:"tool,omitempty"`
+	Cohort  []string         `json:"cohort,omitempty"`
+	PGGB    build.PGGBConfig `json:"pggb,omitempty"`
+	MC      build.MCConfig   `json:"mc,omitempty"`
+	Timeout time.Duration    `json:"timeout_ns,omitempty"`
+}
+
+// OpenJournal opens (creating if needed) the journal at path and replays it:
+// intact records restore the sequence counter and the unfinished-request
+// set. A torn tail (crash mid-append) is tolerated; records before it are
+// honored. Metrics (optional) gains the store.wal_depth gauge.
+func OpenJournal(path string, metrics *perf.Metrics) (*Journal, error) {
+	records, _, err := store.ReplayWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{metrics: metrics, unfinished: map[uint64]Request{}}
+	for _, raw := range records {
+		var rec journalRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("serve: journal %s holds an undecodable record: %w", path, err)
+		}
+		if rec.Seq > j.seq {
+			j.seq = rec.Seq
+		}
+		switch rec.Op {
+		case "begin":
+			j.unfinished[rec.Seq] = Request{
+				Tool: rec.Tool, Cohort: rec.Cohort,
+				PGGB: rec.PGGB, MC: rec.MC, Timeout: rec.Timeout,
+			}
+		case "done":
+			delete(j.unfinished, rec.Seq)
+		default:
+			return nil, fmt.Errorf("serve: journal %s holds unknown op %q", path, rec.Op)
+		}
+	}
+	wal, err := store.OpenWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	j.wal = wal
+	j.gauge()
+	return j, nil
+}
+
+// gauge publishes the journal depth (unreplayed + in-flight begins).
+func (j *Journal) gauge() {
+	j.metrics.GaugeSet("store.wal_depth", int64(len(j.unfinished)+j.pending))
+}
+
+// unfinishedReq pairs a crash-interrupted request with its original journal
+// sequence, so recovery can retire the original begin record.
+type unfinishedReq struct {
+	seq uint64
+	req Request
+}
+
+// unfinishedOrdered returns the crash-interrupted requests in accepted
+// order.
+func (j *Journal) unfinishedOrdered() []unfinishedReq {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]unfinishedReq, 0, len(j.unfinished))
+	for s, r := range j.unfinished {
+		out = append(out, unfinishedReq{seq: s, req: r})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].seq < out[b].seq })
+	return out
+}
+
+// Unfinished returns the crash-interrupted requests found when the journal
+// was opened, in accepted order.
+func (j *Journal) Unfinished() []Request {
+	us := j.unfinishedOrdered()
+	out := make([]Request, 0, len(us))
+	for _, u := range us {
+		out = append(out, u.req)
+	}
+	return out
+}
+
+// begin durably records one accepted request and returns its sequence
+// number.
+func (j *Journal) begin(req Request) (uint64, error) {
+	j.mu.Lock()
+	j.seq++
+	seq := j.seq
+	j.pending++
+	j.gauge()
+	j.mu.Unlock()
+	raw, err := json.Marshal(journalRecord{
+		Op: "begin", Seq: seq,
+		Tool: req.Tool, Cohort: req.Cohort,
+		PGGB: req.PGGB, MC: req.MC, Timeout: req.Timeout,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("serve: journal encode: %w", err)
+	}
+	if err := j.wal.Append(raw); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// done durably records the completion of seq — one appended in this process
+// or a recovered begin from a previous one.
+func (j *Journal) done(seq uint64) {
+	raw, _ := json.Marshal(journalRecord{Op: "done", Seq: seq})
+	_ = j.wal.Append(raw) // best effort: a lost done only means a redundant replay
+	j.mu.Lock()
+	if _, recovered := j.unfinished[seq]; recovered {
+		delete(j.unfinished, seq)
+	} else {
+		j.pending--
+	}
+	j.gauge()
+	j.mu.Unlock()
+}
+
+// Close closes the underlying log.
+func (j *Journal) Close() error { return j.wal.Close() }
+
+// Recover re-enqueues every crash-interrupted request found in the
+// service's journal, executing them sequentially in accepted order. Each
+// replay journals itself normally (so a crash during recovery is itself
+// recoverable), and the original begin record is retired only after the
+// replay completes. It returns how many requests were replayed; the first
+// build error aborts recovery.
+func (s *Service) Recover(ctx context.Context) (int, error) {
+	if s.cfg.Journal == nil {
+		return 0, nil
+	}
+	us := s.cfg.Journal.unfinishedOrdered()
+	for i, u := range us {
+		if _, err := s.Build(ctx, u.req); err != nil {
+			return i, fmt.Errorf("serve: recover request %d/%d (%s %v): %w", i+1, len(us), u.req.Tool, u.req.Cohort, err)
+		}
+		s.cfg.Journal.done(u.seq)
+	}
+	return len(us), nil
+}

@@ -67,6 +67,11 @@ type Config struct {
 	// building goroutine, while the build slot is still held, so it must not
 	// call back into Build.
 	OnResult func(Request, *build.Result)
+	// Journal, when set, write-ahead-logs every accepted leader request
+	// (begin before the build slot is taken, done when the build completes),
+	// so a restarted coordinator can Recover crash-interrupted cohorts.
+	// Coalesced joiners are not journaled — they share the leader's record.
+	Journal *Journal
 }
 
 // Request is one graph-construction job: a tool, a cohort of registered
@@ -270,6 +275,17 @@ func (s *Service) Build(ctx context.Context, req Request) (*Response, error) {
 		close(f.done)
 	}()
 
+	// Write-ahead log the accepted leader request: begin survives a crash
+	// mid-build, done retires it once the outcome (either way) is known.
+	if s.cfg.Journal != nil {
+		seq, err := s.cfg.Journal.begin(req)
+		if err != nil {
+			sp.Error(err)
+			return nil, err
+		}
+		defer s.cfg.Journal.done(seq)
+	}
+
 	f.resp, f.err = s.execute(ctx, req, seqs, sp)
 	sp.Error(f.err)
 	return f.resp, f.err
@@ -310,7 +326,17 @@ func (s *Service) execute(ctx context.Context, req Request, seqs [][]byte, sp *o
 	case ToolPGGB:
 		res, err = s.buildPGGB(ctx, req, seqs, resp)
 	case ToolMC:
-		res, err = build.MinigraphCactus(ctx, req.Cohort, seqs, req.MC, nil)
+		mc := req.MC
+		if mc.Workers <= 0 {
+			// Fair-share default: an unset per-request pool takes this
+			// request's slice of the cores, not the whole machine — with
+			// cfg.Workers build slots running concurrently, each MC build's
+			// chunk-mapping pool gets GOMAXPROCS/cfg.Workers goroutines
+			// instead of every tenant oversubscribing to GOMAXPROCS.
+			// Results are worker-count-invariant, so this only shifts time.
+			mc.Workers = fairShareWorkers(runtime.GOMAXPROCS(0), s.cfg.Workers)
+		}
+		res, err = build.MinigraphCactus(ctx, req.Cohort, seqs, mc, nil)
 	}
 	resp.Exec = time.Since(t1)
 	s.metrics.Observe("serve.exec", resp.Exec)
@@ -346,6 +372,19 @@ func (s *Service) execute(ctx context.Context, req Request, seqs [][]byte, sp *o
 		s.cfg.OnResult(req, res)
 	}
 	return resp, nil
+}
+
+// fairShareWorkers splits procs cores across slots concurrent builds,
+// rounding up so small machines still parallelize (never below 1).
+func fairShareWorkers(procs, slots int) int {
+	if slots < 1 {
+		slots = 1
+	}
+	n := (procs + slots - 1) / slots
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // buildPGGB runs the PGGB pipeline with the alignment stage routed through

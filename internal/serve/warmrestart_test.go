@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pangenomicsbench/internal/build"
+	"pangenomicsbench/internal/mapserve"
+	"pangenomicsbench/internal/pipeline"
+	"pangenomicsbench/internal/store"
+)
+
+// TestWarmRestartServesPersistedGeneration is the PR's acceptance test: a
+// coordinator process that built, published, and persisted a cohort — then
+// died mid-trace with a build request accepted but unfinished — is replaced
+// by a fresh process that (1) serves the last published store generation
+// WITHOUT running construction, (2) maps the same reads byte-identically,
+// and (3) finds the unfinished request in the WAL and re-enqueues it via
+// Recover.
+func TestWarmRestartServesPersistedGeneration(t *testing.T) {
+	storeDir := t.TempDir()
+	walPath := filepath.Join(storeDir, "serve.wal")
+	sdir, err := store.Open(storeDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, seqs := testCatalog(t, 4000, 4)
+	toolCfg := mapserve.DefaultToolConfig(mapserve.ToolGiraffe)
+
+	// Deterministic query reads sliced out of the assemblies.
+	var reads [][]byte
+	for i := 0; i < 16; i++ {
+		seq := seqs[i%len(seqs)]
+		off := (i * 271) % (len(seq) - 120)
+		reads = append(reads, seq[off:off+120])
+	}
+
+	// ---- process 1: cold build, persist, serve, die mid-trace ----
+	j1, err := OpenJournal(walPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg1 := &mapserve.Registry{}
+	persister := mapserve.NewPersister(sdir, nil)
+	var builds1 int
+	var hookErr error
+	b1 := testService(t, Config{
+		Workers: 2,
+		Journal: j1,
+		OnResult: func(req Request, res *build.Result) {
+			builds1++
+			snap, err := mapserve.SnapshotFromBuild(fmt.Sprintf("cohort-%d", builds1), res, toolCfg)
+			if err == nil {
+				_, err = reg1.Publish(snap)
+			}
+			if err == nil {
+				_, _, err = persister.Save(snap)
+			}
+			if err != nil {
+				hookErr = err
+			}
+		},
+	}, names, seqs)
+	fullCohort := pggbRequest(names)
+	if _, err := b1.Build(context.Background(), fullCohort); err != nil {
+		t.Fatal(err)
+	}
+	if hookErr != nil {
+		t.Fatal(hookErr)
+	}
+	if builds1 != 1 {
+		t.Fatalf("process 1 built %d cohorts, want 1", builds1)
+	}
+
+	svc1 := mapserve.New(reg1, mapserve.Config{Workers: 2})
+	want := make([]pipeline.Result, len(reads))
+	for i, rd := range reads {
+		resp, err := svc1.Map(context.Background(), rd)
+		if err != nil {
+			t.Fatalf("process 1 read %d: %v", i, err)
+		}
+		want[i] = resp.Result
+	}
+
+	// The process accepts one more build (a sub-cohort) and crashes before
+	// finishing it: a begin record with no done.
+	unfinishedReq := pggbRequest(names[:3])
+	if _, err := j1.begin(unfinishedReq); err != nil {
+		t.Fatal(err)
+	}
+	svc1.Close()
+	j1.Close() // crash: journal closed abruptly, no done record
+
+	// ---- process 2: warm restart from the store ----
+	j2, err := OpenJournal(walPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (3a) the WAL replay surfaces the crash-interrupted request.
+	pending := j2.Unfinished()
+	if len(pending) != 1 || !reflect.DeepEqual(pending[0].Cohort, unfinishedReq.Cohort) {
+		t.Fatalf("unfinished after crash = %+v, want the %v build", pending, unfinishedReq.Cohort)
+	}
+
+	// (1) boot the query tier straight from the store: zero construction.
+	var builds2 int
+	reg2 := &mapserve.Registry{}
+	snap, storeGen, err := reg2.LoadLatest(sdir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if storeGen != 1 {
+		t.Fatalf("warm restart loaded store generation %d, want 1", storeGen)
+	}
+	if snap.ID != "cohort-1" {
+		t.Fatalf("warm restart loaded snapshot %q, want cohort-1", snap.ID)
+	}
+	if builds2 != 0 {
+		t.Fatal("warm restart ran construction")
+	}
+
+	// (2) the restarted tier maps the same trace byte-identically.
+	svc2 := mapserve.New(reg2, mapserve.Config{Workers: 2})
+	defer svc2.Close()
+	for i, rd := range reads {
+		resp, err := svc2.Map(context.Background(), rd)
+		if err != nil {
+			t.Fatalf("process 2 read %d: %v", i, err)
+		}
+		if resp.Result != want[i] {
+			t.Fatalf("read %d maps differently after warm restart:\n  before: %+v\n  after:  %+v", i, want[i], resp.Result)
+		}
+	}
+
+	// (3b) Recover re-enqueues and completes the unfinished build, which
+	// publishes + persists a new generation.
+	b2 := testService(t, Config{
+		Workers: 2,
+		Journal: j2,
+		OnResult: func(req Request, res *build.Result) {
+			builds2++
+			snap, err := mapserve.SnapshotFromBuild(fmt.Sprintf("recovered-%d", builds2), res, toolCfg)
+			if err == nil {
+				_, err = reg2.Publish(snap)
+			}
+			if err == nil {
+				_, _, err = persister.Save(snap)
+			}
+			if err != nil {
+				hookErr = err
+			}
+		},
+	}, names, seqs)
+	n, err := b2.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hookErr != nil {
+		t.Fatal(hookErr)
+	}
+	if n != 1 || builds2 != 1 {
+		t.Fatalf("recover replayed %d requests (%d builds), want 1", n, builds2)
+	}
+	if gen, err := sdir.Current(); err != nil || gen != 2 {
+		t.Fatalf("store current generation after recovery = (%d, %v), want 2", gen, err)
+	}
+	j2.Close()
+
+	// A third boot finds a clean journal: recovery retired the original begin.
+	j3, err := OpenJournal(walPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if n := len(j3.Unfinished()); n != 0 {
+		t.Fatalf("unfinished after recovery = %d, want 0", n)
+	}
+}

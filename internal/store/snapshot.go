@@ -1,0 +1,107 @@
+package store
+
+import (
+	"fmt"
+
+	"pangenomicsbench/internal/binio"
+	"pangenomicsbench/internal/gbwt"
+	"pangenomicsbench/internal/graph"
+	"pangenomicsbench/internal/minimizer"
+)
+
+// SnapshotData is the persisted form of one serving snapshot: the graph,
+// the mapping tool's precomputed minimizer index, the GBWT haplotype index
+// when the tool uses one (Giraffe), and the identifying metadata needed to
+// rehydrate the exact tool on load.
+type SnapshotData struct {
+	// ID is the snapshot label (e.g. a cohort fingerprint).
+	ID string
+	// Tool names the mapping tool kind (a mapserve.ToolKind string).
+	Tool string
+	// K, W are the minimizer scheme of the tool's index.
+	K, W int
+
+	Graph      *graph.Graph
+	Index      *minimizer.GraphIndex
+	Haplotypes *gbwt.Index // nil for tools without a GBWT
+}
+
+// Encode serializes the snapshot into a verified section-file image ready
+// for Dir.Publish.
+func (s *SnapshotData) Encode() ([]byte, error) {
+	if s.Graph == nil || s.Index == nil {
+		return nil, fmt.Errorf("store: snapshot %q needs a graph and a minimizer index", s.ID)
+	}
+	var meta []byte
+	meta = binio.AppendString(meta, s.ID)
+	meta = binio.AppendString(meta, s.Tool)
+	meta = binio.AppendU32(meta, uint32(s.K))
+	meta = binio.AppendU32(meta, uint32(s.W))
+	if s.Haplotypes != nil {
+		meta = binio.AppendU8(meta, 1)
+	} else {
+		meta = binio.AppendU8(meta, 0)
+	}
+	sections := []Section{
+		{Name: SectionMeta, Data: meta},
+		{Name: SectionGraph, Data: s.Graph.AppendBinary(nil)},
+		{Name: SectionGraphIndex, Data: s.Index.AppendBinary(nil)},
+	}
+	if s.Haplotypes != nil {
+		sections = append(sections, Section{Name: SectionGBWT, Data: s.Haplotypes.AppendBinary(nil)})
+	}
+	return EncodeSections(sections)
+}
+
+// DecodeSnapshot rebuilds a SnapshotData from a verified section map (the
+// DecodeSections / Dir.Load output).
+func DecodeSnapshot(secs map[string][]byte) (*SnapshotData, error) {
+	metaRaw, ok := secs[SectionMeta]
+	if !ok {
+		return nil, fmt.Errorf("%w: missing %s section", ErrCorrupt, SectionMeta)
+	}
+	r := binio.NewReader(metaRaw)
+	s := &SnapshotData{ID: r.String(), Tool: r.String(), K: int(r.U32()), W: int(r.U32())}
+	hasGBWT := r.U8() == 1
+	if r.Err() != nil {
+		return nil, fmt.Errorf("%w: META section: %v", ErrCorrupt, r.Err())
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: META section has %d trailing bytes", ErrCorrupt, r.Remaining())
+	}
+
+	graphRaw, ok := secs[SectionGraph]
+	if !ok {
+		return nil, fmt.Errorf("%w: missing %s section", ErrCorrupt, SectionGraph)
+	}
+	g, err := graph.DecodeGraph(graphRaw)
+	if err != nil {
+		return nil, err
+	}
+	s.Graph = g
+
+	idxRaw, ok := secs[SectionGraphIndex]
+	if !ok {
+		return nil, fmt.Errorf("%w: missing %s section", ErrCorrupt, SectionGraphIndex)
+	}
+	idx, err := minimizer.DecodeGraphIndex(idxRaw)
+	if err != nil {
+		return nil, err
+	}
+	if idx.K() != s.K || idx.W() != s.W {
+		return nil, fmt.Errorf("%w: META says k=%d w=%d but index encodes k=%d w=%d",
+			ErrCorrupt, s.K, s.W, idx.K(), idx.W())
+	}
+	s.Index = idx
+
+	if hapRaw, present := secs[SectionGBWT]; present != hasGBWT {
+		return nil, fmt.Errorf("%w: META GBWT flag %v but section present=%v", ErrCorrupt, hasGBWT, present)
+	} else if present {
+		hap, err := gbwt.DecodeIndex(hapRaw)
+		if err != nil {
+			return nil, err
+		}
+		s.Haplotypes = hap
+	}
+	return s, nil
+}

@@ -1,0 +1,103 @@
+package store
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+
+	"pangenomicsbench/internal/binio"
+)
+
+// WAL is an append-only write-ahead log of opaque payloads. Each record is
+// framed [u32 payload length][u32 CRC32][payload] and fsynced before Append
+// returns, so an accepted record survives a crash. Replay tolerates a torn
+// final record (the crash-mid-append case) by stopping at the first frame
+// that doesn't verify; everything before it is returned intact.
+//
+// The typed layer above (serve's build-request journal) decides what goes
+// in a payload; the WAL itself only guarantees ordering and durability.
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenWAL opens (creating if needed) the log at path for appending.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal %s: %w", path, err)
+	}
+	return &WAL{f: f, path: path}, nil
+}
+
+// Path returns the log file path.
+func (w *WAL) Path() string { return w.path }
+
+// Append durably appends one payload: the record is written and fsynced
+// before Append returns.
+func (w *WAL) Append(payload []byte) error {
+	frame := make([]byte, 0, 8+len(payload))
+	frame = binio.AppendU32(frame, uint32(len(payload)))
+	frame = binio.AppendU32(frame, crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("store: wal %s is closed", w.path)
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: wal sync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the log file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// ReplayWAL reads every intact record of the log at path, in append order.
+// torn reports that the file ended in an incomplete or corrupt frame (a
+// crash mid-append); the records before it are still returned. A missing
+// file replays as empty — a fresh process with no history.
+func ReplayWAL(path string) (records [][]byte, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: replay wal %s: %w", path, err)
+	}
+	off := 0
+	for off < len(data) {
+		if len(data)-off < 8 {
+			return records, true, nil
+		}
+		r := binio.NewReader(data[off : off+8])
+		length := int(r.U32())
+		sum := r.U32()
+		if length < 0 || off+8+length > len(data) {
+			return records, true, nil
+		}
+		payload := data[off+8 : off+8+length]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return records, true, nil
+		}
+		records = append(records, payload)
+		off += 8 + length
+	}
+	return records, false, nil
+}
