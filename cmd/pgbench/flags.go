@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"strings"
 
 	"pangenomicsbench/internal/gensim"
 	"pangenomicsbench/internal/obs"
@@ -34,10 +35,23 @@ func addPopFlags(fs *flag.FlagSet, defRef, defHaps int) *popFlags {
 
 // simulate builds the deterministic population behind the trace.
 func (p *popFlags) simulate() (*gensim.Population, error) {
+	return p.simulateWith(gensim.Scenario{})
+}
+
+// simulateWith builds the population with a scenario's reshaper applied on
+// top of the flag-selected geometry (the zero Scenario changes nothing).
+func (p *popFlags) simulateWith(sc gensim.Scenario) (*gensim.Population, error) {
 	cfg := gensim.DefaultConfig()
 	cfg.RefLen = *p.refLen
 	cfg.Haplotypes = *p.haps
-	return gensim.Simulate(cfg)
+	return gensim.Simulate(sc.PopConfig(cfg))
+}
+
+// addScenarioFlag registers -scenario on fs with the catalog names inlined
+// in the help text; resolve the value with gensim.LookupScenario.
+func addScenarioFlag(fs *flag.FlagSet, def string) *string {
+	return fs.String("scenario", def,
+		"workload scenario: "+strings.Join(gensim.ScenarioNames(), ", "))
 }
 
 // obsFlags is the admin-endpoint flag block shared by the serve commands.

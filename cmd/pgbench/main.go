@@ -5,10 +5,11 @@
 // Usage:
 //
 //	pgbench list
-//	pgbench run [-scale small|bench|large] [-threads N] <experiment>...
-//	pgbench all [-scale small|bench|large] [-threads N]
+//	pgbench run [-scale small|bench|large] [-threads N] [-scenario S] <experiment>...
+//	pgbench all [-scale small|bench|large] [-threads N] [-scenario S]
 //	pgbench serve-sim [flags]
 //	pgbench map-serve [flags]
+//	pgbench soak [-scenario S] [-dur D] [-chaos LIST] [flags]
 //	pgbench bench [-scale small|bench|large] [-json FILE]
 package main
 
@@ -49,11 +50,16 @@ func run(args []string) error {
 		for _, id := range core.Experiments() {
 			fmt.Println("  " + id)
 		}
+		fmt.Println("\nscenarios (run/all/map-serve/soak -scenario):")
+		for _, sc := range gensim.Scenarios() {
+			fmt.Println("  " + sc.Describe())
+		}
 		return nil
 	case "run", "all":
 		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 		scaleName := fs.String("scale", "bench", "dataset scale: small, bench, or large")
 		threads := fs.Int("threads", 0, "worker threads for parallel stages (0 = all cores); results are identical for any value")
+		scenarioName := addScenarioFlag(fs, "baseline")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
@@ -73,9 +79,13 @@ func run(args []string) error {
 		if len(ids) == 0 {
 			return fmt.Errorf("no experiments named (try: pgbench list)")
 		}
-		fmt.Printf("building %s-scale suite...\n", *scaleName)
+		sc, err := gensim.LookupScenario(*scenarioName)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("building %s-scale suite (scenario %s)...\n", *scaleName, sc.Name)
 		t0 := time.Now()
-		suite, err := core.NewSuite(scale)
+		suite, err := core.NewScenarioSuite(scale, sc)
 		if err != nil {
 			return err
 		}
@@ -119,6 +129,8 @@ func run(args []string) error {
 		return serveSim(rest)
 	case "map-serve":
 		return mapServe(rest)
+	case "soak":
+		return soakCmd(rest)
 	case "bench":
 		return benchCmd(rest)
 	case "help", "-h", "--help":
@@ -156,6 +168,7 @@ func serveSim(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-request timeout (0 = none)")
 	toolName := fs.String("tool", "pggb", "construction tool: pggb or mc")
 	storePath := fs.String("store", "", "journal directory: accepted builds are WAL-logged and crash-interrupted ones replayed on restart")
+	scenarioName := addScenarioFlag(fs, "baseline")
 	of := addObsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -164,20 +177,24 @@ func serveSim(args []string) error {
 	if tool != serve.ToolPGGB && tool != serve.ToolMC {
 		return fmt.Errorf("unknown tool %q (want pggb or mc)", *toolName)
 	}
+	sc, err := gensim.LookupScenario(*scenarioName)
+	if err != nil {
+		return err
+	}
 
-	pop, err := pf.simulate()
+	pop, err := pf.simulateWith(sc)
 	if err != nil {
 		return err
 	}
 	names, seqs := pop.AssemblyView()
-	trace, err := pop.Trace(gensim.TraceConfig{
+	trace, err := pop.Trace(sc.TraceConfig(gensim.TraceConfig{
 		Tenants:   *tenants,
 		Requests:  *requests,
 		CohortMin: *cohortMin,
 		CohortMax: *cohortMax,
 		Drift:     0.25,
 		Seed:      *pf.seed,
-	})
+	}))
 	if err != nil {
 		return err
 	}
@@ -275,12 +292,13 @@ func serveSim(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  pgbench list                                 list experiment IDs
+  pgbench list                                 list experiment IDs and scenarios
   pgbench run [-scale S] [-threads N] <experiment>...  run named experiments
   pgbench all [-scale S] [-threads N]          run every experiment
                                                (-threads bounds the parallel
                                                stages; output is identical
-                                               for any value)
+                                               for any value; -scenario reshapes
+                                               the workload adversarially)
   pgbench gen [-scale S] [-out DIR]            export datasets (FASTA/FASTQ/GFA)
   pgbench serve-sim [flags]                    replay a multi-tenant build trace
                                                against the serve-mode service
@@ -289,6 +307,12 @@ func usage() {
                                                mid-trace snapshot hot-swap
                                                (-store DIR persists snapshots and
                                                enables -restart-at warm restarts)
+  pgbench soak [flags]                         replay a scenario against the full
+                                               build-then-serve stack for -dur,
+                                               injecting -chaos events (swap, shed,
+                                               restart, build-reject); exits
+                                               non-zero if any end-of-run
+                                               assertion fails
   pgbench bench [-scale S] [-json FILE]        micro-benchmark the mapping,
                                                construction and snapshot
                                                save/load hot paths to JSON

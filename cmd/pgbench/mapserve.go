@@ -43,8 +43,13 @@ func mapServe(args []string) error {
 	swapAt := fs.Int("swap-at", -2, "query index triggering the mid-trace rebuild+hot-swap (-2 = midpoint, -1 = never)")
 	storePath := fs.String("store", "", "snapshot store directory: persist generations, WAL-journal builds, warm-start from the last published generation")
 	restartAt := fs.Int("restart-at", -1, "query index at which the query tier is killed and warm-restarted from -store (-1 = never)")
+	scenarioName := addScenarioFlag(fs, "baseline")
 	of := addObsFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, err := gensim.LookupScenario(*scenarioName)
+	if err != nil {
 		return err
 	}
 	toolCfg := mapserve.DefaultToolConfig(mapserve.ToolKind(*toolName))
@@ -60,11 +65,11 @@ func mapServe(args []string) error {
 		return fmt.Errorf("-restart-at needs -store: a warm restart reloads the last persisted generation")
 	}
 
-	pop, err := pf.simulate()
+	pop, err := pf.simulateWith(sc)
 	if err != nil {
 		return err
 	}
-	trace, err := pop.ReadQueryTrace(gensim.ReadTraceConfig{
+	trace, err := pop.ReadQueryTrace(sc.ReadTraceConfig(gensim.ReadTraceConfig{
 		Queries:    *queries,
 		Clients:    *clients,
 		ReadLen:    *readLen,
@@ -72,9 +77,17 @@ func mapServe(args []string) error {
 		IndelRate:  0.0001,
 		RepeatRate: *repeat,
 		Seed:       *pf.seed,
-	})
+	}))
 	if err != nil {
 		return err
+	}
+	// The scenario reshaper may raise the client count (skewed-tenant floors
+	// it at 8); every client ID in the trace needs a replaying goroutine.
+	nclients := *clients
+	for _, q := range trace {
+		if q.Client+1 > nclients {
+			nclients = q.Client + 1
+		}
 	}
 
 	// Build-then-serve handoff: the serve-mode construction service builds
@@ -134,8 +147,8 @@ func mapServe(args []string) error {
 	}
 	cohort := serve.Request{Tool: serve.ToolPGGB, Cohort: names, PGGB: build.DefaultPGGBConfig(), MC: build.DefaultMCConfig()}
 
-	fmt.Printf("map-serve: %d assemblies (%d bp ref), tool=%s, %d queries, %d clients, batch≤%d/%v, queue=%d\n",
-		len(names), *pf.refLen, toolCfg.Kind, len(trace), *clients, *maxBatch, *batchWait, *queueDepth)
+	fmt.Printf("map-serve: %d assemblies (%d bp ref), scenario=%s, tool=%s, %d queries, %d clients, batch≤%d/%v, queue=%d\n",
+		len(names), *pf.refLen, sc.Name, toolCfg.Kind, len(trace), nclients, *maxBatch, *batchWait, *queueDepth)
 
 	// Boot: warm-start from the store's last published generation when one
 	// exists (construction skipped entirely), cold-build otherwise. Either
@@ -233,7 +246,7 @@ func mapServe(args []string) error {
 	var swapWG sync.WaitGroup
 	var wg sync.WaitGroup
 	replayStart := time.Now()
-	for c := 0; c < *clients; c++ {
+	for c := 0; c < nclients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"fmt"
+
+	"pangenomicsbench/internal/gensim"
+)
+
+// NewScenarioSuite instantiates the benchmark environment for one catalog
+// scenario at the given scale: the scenario's reshapers are applied on top
+// of the scale's population and read configs, so the same kernels and
+// experiment drivers run unchanged against the adversarial workload. The
+// baseline scenario (all reshapers nil) reproduces NewSuite exactly.
+func NewScenarioSuite(scale Scale, sc gensim.Scenario) (*Suite, error) {
+	cfg := ConfigFor(scale)
+	gcfg := gensim.DefaultConfig()
+	gcfg.RefLen = cfg.RefLen
+	gcfg.Haplotypes = cfg.Haplotypes
+	gcfg.Seed = cfg.Seed
+	pop, err := gensim.Simulate(sc.PopConfig(gcfg))
+	if err != nil {
+		return nil, fmt.Errorf("core: scenario %q: %w", sc.Name, err)
+	}
+	s := &Suite{Cfg: cfg, Pop: pop}
+	rc := sc.ReadsConfig(gensim.ShortReadConfig(cfg.ShortReads))
+	if s.ShortReads, err = pop.SimulateReads(rc); err != nil {
+		return nil, fmt.Errorf("core: scenario %q: %w", sc.Name, err)
+	}
+	lc := gensim.LongReadConfig(cfg.LongReads)
+	lc.Length = cfg.LongLen
+	if s.LongReads, err = pop.SimulateReads(sc.ReadsConfig(lc)); err != nil {
+		return nil, fmt.Errorf("core: scenario %q: %w", sc.Name, err)
+	}
+	return s, nil
+}

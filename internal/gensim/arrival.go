@@ -1,0 +1,87 @@
+package gensim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// ArrivalConfig controls a synthetic arrival curve: when each query of a
+// trace reaches the service, as an offset from replay start. The base
+// process is Poisson at BaseRate; Bursts flash-crowd windows spike the rate
+// to BurstRate for BurstLen each, evenly spaced across the trace. The
+// curve is what turns an open-loop replay ("issue as fast as clients can")
+// into a shaped one ("issue when the workload says so"), which is the only
+// way to reproduce admission-control behaviour like shed storms.
+type ArrivalConfig struct {
+	// Queries is the number of arrival offsets to generate (≥1).
+	Queries int
+	// BaseRate is the steady-state arrival rate in queries/second (>0).
+	BaseRate float64
+	// Bursts is the number of flash-crowd windows (0 = plain Poisson).
+	Bursts int
+	// BurstRate is the arrival rate inside a burst window (≥ BaseRate).
+	BurstRate float64
+	// BurstLen is each burst window's duration.
+	BurstLen time.Duration
+	// Seed makes the curve deterministic.
+	Seed int64
+}
+
+// DefaultArrivalConfig is a laptop-scale steady curve with no bursts.
+func DefaultArrivalConfig(queries int) ArrivalConfig {
+	return ArrivalConfig{Queries: queries, BaseRate: 500, Seed: 42}
+}
+
+// Arrivals generates a deterministic, non-decreasing slice of arrival
+// offsets. Burst windows are placed at even fractions of the generated span
+// as it unfolds: once the running clock enters a burst window, inter-arrival
+// gaps are drawn at BurstRate instead of BaseRate.
+func Arrivals(cfg ArrivalConfig) ([]time.Duration, error) {
+	if cfg.Queries < 1 {
+		return nil, fmt.Errorf("gensim: arrivals need ≥1 query (got %d)", cfg.Queries)
+	}
+	if cfg.BaseRate <= 0 {
+		return nil, fmt.Errorf("gensim: arrivals need BaseRate > 0 (got %v)", cfg.BaseRate)
+	}
+	if cfg.Bursts > 0 && cfg.BurstRate < cfg.BaseRate {
+		return nil, fmt.Errorf("gensim: BurstRate %v below BaseRate %v", cfg.BurstRate, cfg.BaseRate)
+	}
+	if cfg.Bursts > 0 && cfg.BurstLen <= 0 {
+		return nil, fmt.Errorf("gensim: bursts need BurstLen > 0")
+	}
+
+	// Expected span if every query arrived at BaseRate; burst windows are
+	// pinned at even fractions of it so the curve is self-describing.
+	span := time.Duration(float64(cfg.Queries) / cfg.BaseRate * float64(time.Second))
+	type window struct{ start, end time.Duration }
+	wins := make([]window, 0, cfg.Bursts)
+	for b := 0; b < cfg.Bursts; b++ {
+		at := time.Duration(float64(span) * (float64(b) + 0.5) / float64(cfg.Bursts))
+		wins = append(wins, window{start: at, end: at + cfg.BurstLen})
+	}
+	inBurst := func(t time.Duration) bool {
+		for _, w := range wins {
+			if t >= w.start && t < w.end {
+				return true
+			}
+		}
+		return false
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]time.Duration, cfg.Queries)
+	clock := time.Duration(0)
+	for i := range out {
+		rate := cfg.BaseRate
+		if inBurst(clock) {
+			rate = cfg.BurstRate
+		}
+		// Exponential inter-arrival at the current rate.
+		gap := -math.Log(1-rng.Float64()) / rate
+		clock += time.Duration(gap * float64(time.Second))
+		out[i] = clock
+	}
+	return out, nil
+}

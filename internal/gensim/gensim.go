@@ -32,6 +32,10 @@ type Variant struct {
 	Ref  []byte // reference allele (empty for insertions)
 	Alt  []byte // alternate allele (empty for deletions)
 	Freq float64
+	// Group links the alleles of one multi-allelic site (0 = independent
+	// biallelic site). Alleles of a group sit at the same Pos, are stored
+	// consecutively, and a haplotype carries at most one of them.
+	Group int
 }
 
 // Config controls the simulation. The zero value is invalid; use
@@ -49,6 +53,19 @@ type Config struct {
 	// base pairs, matching real Minigraph-Cactus graphs whose nodes average
 	// ~27 bp (paper §6.2). 0 disables splitting.
 	MaxNodeLen int
+	// SVAlleles turns each SV insertion site into a multi-allelic group of
+	// this many alternate alleles — mutated copies of one base insertion —
+	// so haplotypes thread different near-identical branches and the
+	// constructed graphs nest bubbles inside bubbles (the sv-dense
+	// scenario). ≤1 keeps sites biallelic; default configs are unaffected.
+	SVAlleles int
+	// RepeatFrac makes roughly this fraction of the reference noisy tandem
+	// repeat arrays of period RepeatPeriod instead of uniform random
+	// sequence, stressing minimizer multi-hits and chaining ambiguity (the
+	// high-cycle scenario). 0 keeps the reference uniform random — and the
+	// rng stream byte-identical to earlier releases.
+	RepeatFrac   float64
+	RepeatPeriod int
 }
 
 // DefaultConfig mirrors human-like variation density at laptop scale.
@@ -93,10 +110,16 @@ func Simulate(cfg Config) (*Population, error) {
 		return nil, fmt.Errorf("gensim: need at least one haplotype")
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	p := &Population{Ref: RandomGenome(rng, cfg.RefLen)}
+	p := &Population{}
+	if cfg.RepeatFrac > 0 && cfg.RepeatPeriod > 0 {
+		p.Ref = repeatGenome(rng, cfg.RefLen, cfg.RepeatFrac, cfg.RepeatPeriod)
+	} else {
+		p.Ref = RandomGenome(rng, cfg.RefLen)
+	}
 
 	// Sample variant sites, keeping them non-overlapping with a safety gap.
 	lastEnd := -2
+	nextGroup := 1
 	for pos := 1; pos < cfg.RefLen-1; pos++ {
 		if pos <= lastEnd+1 {
 			continue
@@ -126,6 +149,24 @@ func Simulate(cfg Config) (*Population, error) {
 			if rng.Intn(2) == 0 && pos+n < cfg.RefLen-1 {
 				v = Variant{Kind: Deletion, Pos: pos, Ref: append([]byte(nil), p.Ref[pos:pos+n]...)}
 				lastEnd = pos + n - 1
+			} else if cfg.SVAlleles > 1 {
+				// Multi-allelic SV site: alleles are near-identical copies of
+				// one base insertion, so graphs built from the haplotype
+				// sequences nest bubbles inside the insertion bubble.
+				base := RandomGenome(rng, n)
+				freq := (0.05 + rng.Float64()*0.9) / float64(cfg.SVAlleles)
+				for a := 0; a < cfg.SVAlleles; a++ {
+					alt := base
+					if a > 0 {
+						alt = mutateGenome(rng, base, 0.03)
+					}
+					p.Variants = append(p.Variants, Variant{
+						Kind: Insertion, Pos: pos, Alt: alt, Freq: freq, Group: nextGroup,
+					})
+				}
+				nextGroup++
+				lastEnd = pos
+				continue
 			} else {
 				v = Variant{Kind: Insertion, Pos: pos, Alt: RandomGenome(rng, n)}
 				lastEnd = pos
@@ -137,11 +178,30 @@ func Simulate(cfg Config) (*Population, error) {
 		p.Variants = append(p.Variants, v)
 	}
 
-	// Haplotypes: each carries each variant with its frequency.
+	// Haplotypes: each carries each independent variant with its frequency;
+	// multi-allelic groups get one draw that picks at most one allele.
 	for h := 0; h < cfg.Haplotypes; h++ {
 		hap := Haplotype{Name: fmt.Sprintf("hap%02d", h), Carries: make([]bool, len(p.Variants))}
-		for i, v := range p.Variants {
-			hap.Carries[i] = rng.Float64() < v.Freq
+		for i := 0; i < len(p.Variants); i++ {
+			v := p.Variants[i]
+			if v.Group == 0 {
+				hap.Carries[i] = rng.Float64() < v.Freq
+				continue
+			}
+			end := i
+			for end < len(p.Variants) && p.Variants[end].Group == v.Group {
+				end++
+			}
+			u := rng.Float64()
+			acc := 0.0
+			for a := i; a < end; a++ {
+				acc += p.Variants[a].Freq
+				if u < acc {
+					hap.Carries[a] = true
+					break
+				}
+			}
+			i = end - 1
 		}
 		hap.Seq = p.applyVariants(hap.Carries)
 		p.Haplotypes = append(p.Haplotypes, hap)
@@ -165,6 +225,55 @@ func RandomGenome(rng *rand.Rand, n int) []byte {
 		s[i] = "ACGT"[rng.Intn(4)]
 	}
 	return s
+}
+
+// repeatGenome returns a genome where roughly frac of the bases sit in noisy
+// tandem repeat arrays (fresh random unit of the given period, 4–11 copies,
+// ~2% divergence between copies), the rest uniform random. Repeat arrays are
+// what defeats minimizer uniqueness: every copy seeds the same k-mers.
+func repeatGenome(rng *rand.Rand, n int, frac float64, period int) []byte {
+	s := make([]byte, 0, n)
+	for len(s) < n {
+		if rng.Float64() < frac {
+			unit := RandomGenome(rng, period)
+			copies := 4 + rng.Intn(8)
+			for c := 0; c < copies && len(s) < n; c++ {
+				for _, b := range unit {
+					if len(s) == n {
+						break
+					}
+					if rng.Float64() < 0.02 {
+						b = "ACGT"[rng.Intn(4)]
+					}
+					s = append(s, b)
+				}
+			}
+		} else {
+			m := period * 6
+			if len(s)+m > n {
+				m = n - len(s)
+			}
+			s = append(s, RandomGenome(rng, m)...)
+		}
+	}
+	return s
+}
+
+// mutateGenome returns a copy of seq with substitutions at the given
+// per-base rate (length-preserving, so multi-allelic alleles stay
+// comparable in size).
+func mutateGenome(rng *rand.Rand, seq []byte, rate float64) []byte {
+	out := append([]byte(nil), seq...)
+	for i, b := range out {
+		if rng.Float64() < rate {
+			alt := b
+			for alt == b {
+				alt = "ACGT"[rng.Intn(4)]
+			}
+			out[i] = alt
+		}
+	}
+	return out
 }
 
 // applyVariants threads the reference through the chosen alleles.

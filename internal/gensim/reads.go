@@ -24,7 +24,13 @@ type ReadConfig struct {
 	// IndelRate is the per-base insertion/deletion error probability
 	// (HiFi-like long reads have a meaningful indel component).
 	IndelRate float64
-	Seed      int64
+	// Contamination is the probability that a read is replaced by a uniform
+	// random sequence with no origin in the population (adapter chimeras,
+	// other-species carryover). Contaminant reads carry Hap = -1, Pos = -1.
+	// 0 draws nothing extra from the rng, keeping legacy read sets
+	// byte-identical.
+	Contamination float64
+	Seed          int64
 }
 
 // ShortReadConfig mirrors the paper's Illumina HiSeq 150 bp short reads.
@@ -44,9 +50,21 @@ func (p *Population) SimulateReads(cfg ReadConfig) ([]Read, error) {
 	if cfg.Count < 1 || cfg.Length < 1 {
 		return nil, fmt.Errorf("gensim: invalid read config %+v", cfg)
 	}
+	if cfg.Contamination < 0 || cfg.Contamination > 1 {
+		return nil, fmt.Errorf("gensim: Contamination %v outside [0,1]", cfg.Contamination)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	reads := make([]Read, 0, cfg.Count)
 	for i := 0; i < cfg.Count; i++ {
+		if cfg.Contamination > 0 && rng.Float64() < cfg.Contamination {
+			reads = append(reads, Read{
+				Name: fmt.Sprintf("read%06d", i),
+				Seq:  RandomGenome(rng, cfg.Length),
+				Hap:  -1,
+				Pos:  -1,
+			})
+			continue
+		}
 		h := rng.Intn(len(p.Haplotypes))
 		hap := p.Haplotypes[h].Seq
 		length := cfg.Length

@@ -25,6 +25,15 @@ type ReadTraceConfig struct {
 	// RepeatRate is the probability that a query re-issues a uniformly
 	// chosen earlier read instead of a fresh one.
 	RepeatRate float64
+	// ClientSkew, when in (0,1), replaces round-robin client assignment
+	// with a truncated geometric draw (client c issues with weight
+	// ClientSkew^c): one hot client, a long cold tail. 0 keeps round-robin
+	// — and the rng stream byte-identical to earlier releases.
+	ClientSkew float64
+	// Contamination is the probability that a fresh read is a uniform
+	// random sequence with no origin in the population (Hap = -1, Pos = -1),
+	// as in ReadConfig.Contamination. 0 draws nothing extra.
+	Contamination float64
 	// Seed makes the trace deterministic.
 	Seed int64
 }
@@ -71,15 +80,31 @@ func (p *Population) ReadQueryTrace(cfg ReadTraceConfig) ([]ReadQuery, error) {
 	if cfg.RepeatRate < 0 || cfg.RepeatRate > 1 {
 		return nil, fmt.Errorf("gensim: RepeatRate %v outside [0,1]", cfg.RepeatRate)
 	}
+	if cfg.ClientSkew < 0 || cfg.ClientSkew >= 1 {
+		return nil, fmt.Errorf("gensim: ClientSkew %v outside [0,1)", cfg.ClientSkew)
+	}
+	if cfg.Contamination < 0 || cfg.Contamination > 1 {
+		return nil, fmt.Errorf("gensim: Contamination %v outside [0,1]", cfg.Contamination)
+	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	out := make([]ReadQuery, 0, cfg.Queries)
 	for q := 0; q < cfg.Queries; q++ {
 		rq := ReadQuery{Client: q % cfg.Clients, Repeat: -1}
+		if cfg.ClientSkew > 0 {
+			rq.Client = skewedIndex(rng, cfg.Clients, cfg.ClientSkew)
+		}
 		if len(out) > 0 && rng.Float64() < cfg.RepeatRate {
 			rq.Repeat = rng.Intn(len(out))
 			rq.Read = out[rq.Repeat].Read
 			rq.Read.Name = fmt.Sprintf("query%06d@%d", q, rq.Repeat)
+		} else if cfg.Contamination > 0 && rng.Float64() < cfg.Contamination {
+			rq.Read = Read{
+				Name: fmt.Sprintf("query%06d", q),
+				Seq:  RandomGenome(rng, cfg.ReadLen),
+				Hap:  -1,
+				Pos:  -1,
+			}
 		} else {
 			h := rng.Intn(len(p.Haplotypes))
 			hap := p.Haplotypes[h].Seq

@@ -2,6 +2,7 @@ package gensim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -22,6 +23,12 @@ type TraceConfig struct {
 	// Drift is the per-request probability that a tenant's home window
 	// shifts by one assembly, aging old pairs out of the working set.
 	Drift float64
+	// TenantSkew, when in (0,1), replaces the round-robin tenant rotation
+	// with a truncated geometric draw: tenant t issues with weight
+	// TenantSkew^t, so tenant 0 is one hot tenant and the rest a long cold
+	// tail (the skewed-tenant scenario). 0 keeps round-robin — and the rng
+	// stream byte-identical to earlier releases.
+	TenantSkew float64
 	// Seed makes the trace deterministic.
 	Seed int64
 }
@@ -80,9 +87,16 @@ func (p *Population) Trace(cfg TraceConfig) ([]TraceRequest, error) {
 		home[t] = rng.Intn(n)
 	}
 
+	if cfg.TenantSkew < 0 || cfg.TenantSkew >= 1 {
+		return nil, fmt.Errorf("gensim: TenantSkew %v outside [0,1)", cfg.TenantSkew)
+	}
+
 	out := make([]TraceRequest, 0, cfg.Requests)
 	for r := 0; r < cfg.Requests; r++ {
 		t := r % cfg.Tenants
+		if cfg.TenantSkew > 0 {
+			t = skewedIndex(rng, cfg.Tenants, cfg.TenantSkew)
+		}
 		if rng.Float64() < cfg.Drift {
 			home[t] = (home[t] + 1) % n
 		}
@@ -101,4 +115,26 @@ func (p *Population) Trace(cfg TraceConfig) ([]TraceRequest, error) {
 		out = append(out, TraceRequest{Tenant: t, Cohort: cohort})
 	}
 	return out, nil
+}
+
+// skewedIndex draws an index in [0,n) from a truncated geometric
+// distribution: index i carries weight skew^i, so index 0 dominates and the
+// tail decays geometrically — the one-hot/long-tail shape of skewed
+// multi-tenant traffic. Requires 0 < skew < 1.
+func skewedIndex(rng *rand.Rand, n int, skew float64) int {
+	if n <= 1 {
+		return 0
+	}
+	u := rng.Float64()
+	// Normalize the geometric weights over exactly n indices.
+	total := 1 - math.Pow(skew, float64(n))
+	acc, w := 0.0, (1-skew)/total
+	for i := 0; i < n; i++ {
+		acc += w
+		if u < acc {
+			return i
+		}
+		w *= skew
+	}
+	return n - 1
 }

@@ -1,0 +1,42 @@
+package mapserve
+
+import "fmt"
+
+// Chaos hooks: deliberate fault injection for soak testing. The hooks reuse
+// the production paths end to end — a chaos shed takes the same admission
+// exit as a real overload, a forced swap the same Publish/retire lifecycle
+// as a real cohort rebuild — so a soak run exercises exactly the code a
+// production incident would.
+
+// SetChaosShed toggles admission-level fault injection: while on, every new
+// query is shed with ErrOverloaded before reaching the queue. Chaos sheds
+// are counted under mapserve.shed_chaos (distinct from the organic
+// mapserve.shed_queue) and their traces carry shed=chaos, so soak
+// assertions can hold organic shedding to a ceiling while storms rage.
+// In-flight queries are unaffected.
+func (s *Service) SetChaosShed(on bool) {
+	s.chaosShed.Store(on)
+}
+
+// ChaosShedding reports whether admission fault injection is on.
+func (s *Service) ChaosShedding() bool { return s.chaosShed.Load() }
+
+// ForceSwap republishes a clone of the current snapshot — same graph, same
+// prebuilt tool indexes, fresh identity and generation — driving the full
+// hot-swap machinery (generation bump, previous snapshot's release and
+// refcounted retirement) without a rebuild. It is the soak harness's way of
+// hammering swap correctness mid-traffic. Fails if nothing is published.
+func (r *Registry) ForceSwap() (uint64, error) {
+	cur := r.Acquire()
+	if cur == nil {
+		return 0, fmt.Errorf("mapserve: force swap with no published snapshot")
+	}
+	defer cur.Release()
+	clone := &Snapshot{
+		ID:   fmt.Sprintf("%s@swap%d", cur.ID, cur.Generation),
+		g:    cur.g,
+		tool: cur.tool,
+		cfg:  cur.cfg,
+	}
+	return r.Publish(clone)
+}

@@ -1,0 +1,139 @@
+package mapserve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"pangenomicsbench/internal/perf"
+)
+
+// TestChaosShed pins the injection hook: while on, every new query sheds
+// with ErrOverloaded under the dedicated mapserve.shed_chaos counter (the
+// organic shed_queue counter stays untouched); off again, traffic flows.
+func TestChaosShed(t *testing.T) {
+	m := perf.NewMetrics()
+	s, _ := stubService(t, &blockingTool{}, Config{Workers: 1, Metrics: m})
+	defer s.Close()
+
+	if _, err := s.Map(context.Background(), []byte("ACGTACGT")); err != nil {
+		t.Fatalf("pre-chaos map: %v", err)
+	}
+
+	s.SetChaosShed(true)
+	if !s.ChaosShedding() {
+		t.Fatal("ChaosShedding not reporting on")
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Map(context.Background(), []byte("ACGTACGT")); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("chaos map %d: %v, want ErrOverloaded", i, err)
+		}
+	}
+	s.SetChaosShed(false)
+	if _, err := s.Map(context.Background(), []byte("ACGTACGT")); err != nil {
+		t.Fatalf("post-chaos map: %v", err)
+	}
+
+	snap := m.Snapshot()
+	if got := snap.Counters["mapserve.shed_chaos"]; got != 5 {
+		t.Fatalf("shed_chaos = %d, want 5", got)
+	}
+	if got := snap.Counters["mapserve.shed_queue"]; got != 0 {
+		t.Fatalf("shed_queue = %d, want 0 — chaos sheds must not pollute the organic counter", got)
+	}
+	if got := snap.Counters["mapserve.mapped"]; got != 2 {
+		t.Fatalf("mapped = %d, want 2", got)
+	}
+}
+
+// TestForceSwap pins the forced hot-swap: a clone of the current snapshot is
+// republished under a fresh generation, the old generation retires once
+// released, and queries before/after the swap map identically.
+func TestForceSwap(t *testing.T) {
+	s, reg := stubService(t, &blockingTool{}, Config{Workers: 1})
+	defer s.Close()
+
+	before, err := s.Map(context.Background(), []byte("ACGTACGT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	retired := make(chan string, 4)
+	reg.OnRetire = func(sn *Snapshot) { retired <- sn.ID }
+
+	gen, err := reg.ForceSwap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 {
+		t.Fatalf("forced swap generation = %d, want 2", gen)
+	}
+	if got := <-retired; got != "stub" {
+		t.Fatalf("retired %q, want the original snapshot", got)
+	}
+
+	after, err := s.Map(context.Background(), []byte("ACGTACGT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Generation != 2 || after.SnapshotID == before.SnapshotID {
+		t.Fatalf("post-swap response %+v, want generation 2 under a new ID", after)
+	}
+	if after.Result != before.Result {
+		t.Fatalf("forced swap changed mapping: %+v vs %+v", after.Result, before.Result)
+	}
+
+	// Swaps chain: each clone's ID derives from the current one.
+	if _, err := reg.ForceSwap(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Generation(); got != 3 {
+		t.Fatalf("generation = %d, want 3", got)
+	}
+}
+
+// TestForceSwapEmptyRegistry rejects swaps before the first publication.
+func TestForceSwapEmptyRegistry(t *testing.T) {
+	reg := &Registry{}
+	if _, err := reg.ForceSwap(); err == nil {
+		t.Fatal("force swap on empty registry must fail")
+	}
+}
+
+// TestForceSwapDuringTraffic hammers forced swaps under concurrent queries
+// (run with -race): every query must land on a coherent snapshot.
+func TestForceSwapDuringTraffic(t *testing.T) {
+	s, reg := stubService(t, &blockingTool{}, Config{Workers: 2, QueueDepth: 4096})
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.Map(context.Background(), []byte("ACGTACGT")); err != nil && !errors.Is(err, ErrOverloaded) {
+					t.Errorf("map during swap storm: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := reg.ForceSwap(); err != nil {
+			t.Errorf("swap %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := reg.Generation(); got != 21 {
+		t.Fatalf("generation = %d, want 21", got)
+	}
+}

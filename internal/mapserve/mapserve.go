@@ -5,6 +5,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pangenomicsbench/internal/obs"
@@ -93,6 +94,10 @@ type Service struct {
 	closeMu sync.RWMutex
 	closed  bool
 
+	// chaosShed, when set (SetChaosShed), sheds every new query at admission
+	// — the fault-injection hook soak runs use to synthesize shed storms.
+	chaosShed atomic.Bool
+
 	dispatcherDone chan struct{}
 	workers        sync.WaitGroup
 }
@@ -157,6 +162,14 @@ func (s *Service) Map(ctx context.Context, read []byte) (*Response, error) {
 		return nil, ErrClosed
 	}
 	s.metrics.Add("mapserve.queries", 1)
+	if s.chaosShed.Load() {
+		s.closeMu.RUnlock()
+		s.metrics.Add("mapserve.shed_chaos", 1)
+		sp.Shed("chaos")
+		sp.Error(ErrOverloaded)
+		sp.End()
+		return nil, ErrOverloaded
+	}
 	select {
 	case s.queue <- p:
 		s.metrics.GaugeAdd("mapserve.queue_depth", 1)

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// JSONLSink is a concurrency-safe structured log writer: one JSON object per
+// line, each stamped with a kind and a timestamp. Soak runs use it to leave
+// a machine-readable flight log (periodic samples, chaos events, the final
+// report) that outlives the process — the offline counterpart of the live
+// /traces endpoint.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	now func() time.Time
+}
+
+// NewJSONLSink writes JSONL records to w. A nil sink is valid and drops
+// everything, matching the package's nil-tracer rule.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w), now: time.Now}
+}
+
+// Emit writes one record of the given kind. Fields are shallow-copied into
+// the record alongside "kind" and "ts" (RFC 3339, nanoseconds). Encoding
+// errors are swallowed: a full disk must not fail the run being logged.
+func (s *JSONLSink) Emit(kind string, fields map[string]any) {
+	if s == nil {
+		return
+	}
+	rec := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["kind"] = kind
+	rec["ts"] = s.now().Format(time.RFC3339Nano)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(rec)
+}

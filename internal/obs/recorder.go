@@ -22,33 +22,55 @@ type SpanData struct {
 // Failed reports whether the trace (root) recorded an error or a shed.
 func (d SpanData) Failed() bool { return d.Error != "" || d.Shed }
 
+// exemplar is one retained slowest-per-name trace stamped with when the
+// recorder saw it, so stale records can age out.
+type exemplar struct {
+	d  SpanData
+	at time.Time
+}
+
 // Recorder is the bounded flight recorder: a ring of the last N completed
 // traces plus an always-kept exemplar set — the slowest trace per root name
 // (endpoint) and the most recent shed/error traces. The ring answers "what
 // just happened"; the exemplars answer "what was the worst, even if it
 // scrolled out of the ring an hour ago".
+//
+// Two knobs keep it honest under soak load: sampleEvery ring-retains only
+// 1-in-N successful traces (failed/shed traces always land), and maxAge
+// expires a slowest exemplar once it has sat unchallenged past the horizon —
+// the next trace of that name replaces it even if faster, so a pathological
+// outlier from an hour-old chaos window stops shadowing current behaviour.
 type Recorder struct {
-	mu      sync.Mutex
-	ring    []SpanData
-	next    int
-	filled  bool
-	total   uint64
-	slowest map[string]SpanData
-	errs    []SpanData
-	errCap  int
+	mu          sync.Mutex
+	ring        []SpanData
+	next        int
+	filled      bool
+	total       uint64
+	sampledOut  uint64
+	sampleEvery int
+	maxAge      time.Duration
+	now         func() time.Time // injectable for aging tests
+	slowest     map[string]exemplar
+	errs        []SpanData
+	errCap      int
 }
 
-func newRecorder(capacity, errCapacity int) *Recorder {
+func newRecorder(cfg TracerConfig) *Recorder {
+	capacity := cfg.Capacity
 	if capacity <= 0 {
 		capacity = 256
 	}
+	errCapacity := cfg.ErrorCapacity
 	if errCapacity <= 0 {
 		errCapacity = 32
 	}
 	return &Recorder{
-		ring:    make([]SpanData, capacity),
-		slowest: map[string]SpanData{},
-		errCap:  errCapacity,
+		ring:        make([]SpanData, capacity),
+		sampleEvery: cfg.SampleEvery,
+		maxAge:      cfg.ExemplarMaxAge,
+		now:         time.Now,
+		slowest:     map[string]exemplar{},
+		errCap:      errCapacity,
 	}
 }
 
@@ -61,14 +83,22 @@ func (r *Recorder) add(d SpanData) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.total++
-	r.ring[r.next] = d
-	r.next++
-	if r.next == len(r.ring) {
-		r.next = 0
-		r.filled = true
+	// 1-in-N sampling applies to the ring only, and only to successful
+	// traces: exemplars and error retention below always see every trace.
+	if r.sampleEvery <= 1 || d.Failed() || (r.total-1)%uint64(r.sampleEvery) == 0 {
+		r.ring[r.next] = d
+		r.next++
+		if r.next == len(r.ring) {
+			r.next = 0
+			r.filled = true
+		}
+	} else {
+		r.sampledOut++
 	}
-	if cur, ok := r.slowest[d.Name]; !ok || d.Duration > cur.Duration {
-		r.slowest[d.Name] = d
+	cur, ok := r.slowest[d.Name]
+	stale := ok && r.maxAge > 0 && r.now().Sub(cur.at) > r.maxAge
+	if !ok || stale || d.Duration > cur.d.Duration {
+		r.slowest[d.Name] = exemplar{d: d, at: r.now()}
 	}
 	if d.Failed() {
 		r.errs = append(r.errs, d)
@@ -76,6 +106,17 @@ func (r *Recorder) add(d SpanData) {
 			r.errs = r.errs[len(r.errs)-r.errCap:]
 		}
 	}
+}
+
+// SampledOut returns how many successful traces the 1-in-N sampler dropped
+// from the ring (they still challenged the exemplar set).
+func (r *Recorder) SampledOut() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sampledOut
 }
 
 // Total returns the number of traces ever completed (including those that
@@ -125,7 +166,7 @@ func (r *Recorder) Exemplars() []SpanData {
 	sort.Strings(names)
 	out := make([]SpanData, 0, len(names)+len(r.errs))
 	for _, name := range names {
-		out = append(out, r.slowest[name])
+		out = append(out, r.slowest[name].d)
 	}
 	return append(out, r.errs...)
 }
@@ -153,8 +194,8 @@ func (r *Recorder) Slowest(n int) []SpanData {
 		size = len(r.ring)
 	}
 	pool = append(pool, r.ring[:size]...)
-	for _, d := range r.slowest {
-		pool = append(pool, d)
+	for _, e := range r.slowest {
+		pool = append(pool, e.d)
 	}
 	r.mu.Unlock()
 

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"pangenomicsbench/internal/perf"
+)
+
+// SoakCheck is one end-of-run assertion of a soak replay: a named predicate
+// over the run's observability state (metric gauges, runtime counters) with
+// a human-readable detail line either way.
+type SoakCheck struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail"`
+}
+
+// SoakReport collects the assertion results of one soak run. A soak run
+// "passes" when every check does; Render gives the operator-facing summary
+// the pgbench soak command prints before exiting.
+type SoakReport struct {
+	Checks []SoakCheck `json:"checks"`
+}
+
+// Add appends one check result.
+func (r *SoakReport) Add(name string, ok bool, format string, args ...any) {
+	r.Checks = append(r.Checks, SoakCheck{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Failed returns the number of failed checks.
+func (r *SoakReport) Failed() int {
+	n := 0
+	for _, c := range r.Checks {
+		if !c.OK {
+			n++
+		}
+	}
+	return n
+}
+
+// Render formats the report as one PASS/FAIL line per check plus a verdict.
+func (r *SoakReport) Render() string {
+	var b strings.Builder
+	for _, c := range r.Checks {
+		mark := "PASS"
+		if !c.OK {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "  %s  %-24s %s\n", mark, c.Name, c.Detail)
+	}
+	if f := r.Failed(); f > 0 {
+		fmt.Fprintf(&b, "soak: %d/%d checks FAILED\n", f, len(r.Checks))
+	} else {
+		fmt.Fprintf(&b, "soak: all %d checks passed\n", len(r.Checks))
+	}
+	return b.String()
+}
+
+// CheckGaugeWatermark asserts the named gauge's high watermark never
+// exceeded max — e.g. the admission queue never grew past its configured
+// depth even through flash-crowd bursts.
+func (r *SoakReport) CheckGaugeWatermark(snap perf.MetricsSnapshot, gauge string, max int64) {
+	g := snap.Gauges[gauge]
+	r.Add("watermark:"+gauge, g.Watermark <= max, "watermark %d (max %d)", g.Watermark, max)
+}
+
+// CheckGaugeReturnsToZero asserts the named gauge drained by run end — e.g.
+// queue depth back to zero means no query was stranded in flight.
+func (r *SoakReport) CheckGaugeReturnsToZero(snap perf.MetricsSnapshot, gauge string) {
+	g := snap.Gauges[gauge]
+	r.Add("drained:"+gauge, g.Value == 0, "final value %d (watermark %d)", g.Value, g.Watermark)
+}
+
+// CheckShedRate asserts shed/issued stayed at or below ceil. Chaos-induced
+// sheds are counted separately by the injection hooks (mapserve.shed_chaos)
+// and passed as chaosShed so deliberate storms don't fail the organic
+// ceiling.
+func (r *SoakReport) CheckShedRate(issued, shed, chaosShed int64, ceil float64) {
+	organic := shed - chaosShed
+	if organic < 0 {
+		organic = 0
+	}
+	rate := 0.0
+	if issued > 0 {
+		rate = float64(organic) / float64(issued)
+	}
+	r.Add("shed-rate", rate <= ceil, "%d organic + %d chaos shed of %d issued (%.3f, ceil %.3f)",
+		organic, chaosShed, issued, rate, ceil)
+}
+
+// CheckLost asserts that no query vanished: every issued query completed
+// (mapped, shed, or failed) by run end.
+func (r *SoakReport) CheckLost(lost int64) {
+	r.Add("lost-queries", lost == 0, "%d in-flight queries unaccounted for", lost)
+}
+
+// CheckGoroutines asserts the run returned to within slack goroutines of its
+// starting point — the leak check that catches workers or chaos restarts
+// leaving orphans behind.
+func (r *SoakReport) CheckGoroutines(baseline, slack int) {
+	now := runtime.NumGoroutine()
+	r.Add("goroutine-leak", now <= baseline+slack, "%d now vs %d baseline (+%d slack)", now, baseline, slack)
+}
+
+// CheckHeapGrowth asserts live heap grew by at most maxGrowth bytes over the
+// baseline, after a forced GC so transient garbage doesn't count. The bound
+// should be generous — this catches monotonic leaks (snapshots never
+// released, caches never evicting), not allocator noise.
+func (r *SoakReport) CheckHeapGrowth(baselineHeap uint64, maxGrowth uint64) {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	grew := uint64(0)
+	if ms.HeapAlloc > baselineHeap {
+		grew = ms.HeapAlloc - baselineHeap
+	}
+	r.Add("heap-growth", grew <= maxGrowth, "%.1f MiB grown over baseline (max %.1f MiB)",
+		float64(grew)/(1<<20), float64(maxGrowth)/(1<<20))
+}
+
+// HeapBaseline samples the live heap after a forced GC — the counterpart of
+// CheckHeapGrowth, taken once the system under soak is warmed up.
+func HeapBaseline() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}

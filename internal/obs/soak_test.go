@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"pangenomicsbench/internal/perf"
+)
+
+func TestSoakReportChecks(t *testing.T) {
+	m := perf.NewMetrics()
+	m.GaugeAdd("q.depth", 5)
+	m.GaugeAdd("q.depth", -5) // value 0, watermark 5
+
+	var r SoakReport
+	snap := m.Snapshot()
+	r.CheckGaugeWatermark(snap, "q.depth", 8)
+	r.CheckGaugeReturnsToZero(snap, "q.depth")
+	r.CheckShedRate(1000, 40, 30, 0.02) // 10 organic of 1000 = 0.01 ≤ 0.02
+	r.CheckLost(0)
+	if r.Failed() != 0 {
+		t.Fatalf("healthy run failed checks:\n%s", r.Render())
+	}
+
+	var bad SoakReport
+	bad.CheckGaugeWatermark(snap, "q.depth", 4)  // watermark 5 > 4
+	bad.CheckGaugeReturnsToZero(snap, "missing") // absent gauge reads 0 → passes
+	bad.CheckShedRate(1000, 40, 0, 0.02)         // 40 organic of 1000 = 0.04 > 0.02
+	bad.CheckLost(3)
+	if got := bad.Failed(); got != 3 {
+		t.Fatalf("failed = %d, want 3:\n%s", got, bad.Render())
+	}
+	out := bad.Render()
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "3/4 checks FAILED") {
+		t.Fatalf("render lacks verdict:\n%s", out)
+	}
+}
+
+func TestSoakRuntimeChecks(t *testing.T) {
+	var r SoakReport
+	r.CheckGoroutines(1, 1_000_000) // absurd slack: must pass
+	r.CheckHeapGrowth(HeapBaseline(), 1<<30)
+	if r.Failed() != 0 {
+		t.Fatalf("runtime checks failed with absurd bounds:\n%s", r.Render())
+	}
+	var tight SoakReport
+	tight.CheckGoroutines(-1_000_000, 0) // impossible baseline: must fail
+	if tight.Failed() != 1 {
+		t.Fatalf("goroutine check passed an impossible bound:\n%s", tight.Render())
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.now = func() time.Time { return time.Unix(1700000000, 0).UTC() }
+	s.Emit("sample", map[string]any{"issued": 12, "shed": 1})
+	s.Emit("chaos", map[string]any{"event": "swap"})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("sink wrote %d lines, want 2: %q", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if rec["kind"] != "sample" || rec["issued"] != float64(12) || rec["ts"] == "" {
+		t.Fatalf("record = %v", rec)
+	}
+
+	var nilSink *JSONLSink
+	nilSink.Emit("sample", nil) // must not panic
+}

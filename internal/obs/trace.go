@@ -41,6 +41,16 @@ type TracerConfig struct {
 	// ErrorCapacity bounds the recorder's shed/error exemplar list;
 	// ≤0 uses 32.
 	ErrorCapacity int
+	// SampleEvery keeps only 1-in-N successful traces in the recorder's
+	// recent ring (failed/shed traces are always kept, and every trace still
+	// challenges the slowest-per-name exemplars). ≤1 keeps all — the right
+	// setting interactively; soak runs at thousands of queries/second set
+	// this so the ring spans minutes instead of milliseconds.
+	SampleEvery int
+	// ExemplarMaxAge expires a slowest-per-name exemplar that has sat
+	// unchallenged longer than this: the next trace of that name replaces it
+	// even if faster. 0 retains exemplars forever.
+	ExemplarMaxAge time.Duration
 	// Metrics, when non-nil, receives one latency observation per completed
 	// span under "span.<name>" — the bridge from traces to the aggregate
 	// metric set the /metrics endpoint renders.
@@ -56,7 +66,7 @@ type Tracer struct {
 
 // NewTracer returns a tracer with an attached flight recorder.
 func NewTracer(cfg TracerConfig) *Tracer {
-	return &Tracer{metrics: cfg.Metrics, rec: newRecorder(cfg.Capacity, cfg.ErrorCapacity)}
+	return &Tracer{metrics: cfg.Metrics, rec: newRecorder(cfg)}
 }
 
 // Recorder returns the tracer's flight recorder (nil for a nil tracer).

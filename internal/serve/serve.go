@@ -117,6 +117,8 @@ type Service struct {
 	mu       sync.Mutex
 	catalog  map[string][]byte
 	inflight map[string]*flight
+
+	chaos chaos
 }
 
 // New returns a Service with the given config.
@@ -233,6 +235,10 @@ func (s *Service) Build(ctx context.Context, req Request) (*Response, error) {
 	}
 	if req.Tool != ToolPGGB && req.Tool != ToolMC {
 		return nil, fmt.Errorf("serve: unknown tool %q", req.Tool)
+	}
+	if s.chaos.rejectBuilds.Load() {
+		s.metrics.Add("serve.reject_chaos", 1)
+		return nil, ErrChaosReject
 	}
 	seqs, err := s.resolve(req.Cohort)
 	if err != nil {

@@ -1,0 +1,508 @@
+// Package soak is the chaos/soak harness of the serving tiers: it replays a
+// catalog scenario (internal/gensim.Scenario) against the full
+// build-then-serve stack — construction service, snapshot registry, batched
+// map-serve executor — for a configured duration, injecting deliberate
+// faults mid-run (forced hot-swaps, shed storms, kill-and-warm-restart of
+// the query tier, build-tier outages) and asserting at the end that the
+// system came back clean: no lost in-flight queries, queue gauges drained,
+// watermarks bounded, no goroutine or heap leaks.
+//
+// The paper characterizes kernels one workload at a time; a serving system
+// additionally has to survive the workloads *changing shape under it*. A
+// soak run is that experiment: scenario arrival curves decide when queries
+// land, chaos events decide when the system is wounded, and the end-of-run
+// report (obs.SoakReport) decides whether the run counts.
+package soak
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pangenomicsbench/internal/build"
+	"pangenomicsbench/internal/gensim"
+	"pangenomicsbench/internal/mapserve"
+	"pangenomicsbench/internal/obs"
+	"pangenomicsbench/internal/perf"
+	"pangenomicsbench/internal/serve"
+	"pangenomicsbench/internal/store"
+)
+
+// ChaosKind names one fault-injection event of a soak run.
+type ChaosKind string
+
+// Supported chaos kinds.
+const (
+	// ChaosSwap force-republishes a clone of the current snapshot
+	// (Registry.ForceSwap) — the hot-swap path without a rebuild.
+	ChaosSwap ChaosKind = "swap"
+	// ChaosShed turns admission fault injection on for a short storm window
+	// (Service.SetChaosShed).
+	ChaosShed ChaosKind = "shed"
+	// ChaosRestart kills the query tier and warm-restarts it from the
+	// snapshot store (Registry.LoadLatest) — requires Config.StoreDir.
+	ChaosRestart ChaosKind = "restart"
+	// ChaosBuildReject takes the build tier down for a window
+	// (serve.SetChaosRejectBuilds) while queries keep flowing.
+	ChaosBuildReject ChaosKind = "build-reject"
+)
+
+// ParseChaos parses a comma-separated chaos list ("swap,restart").
+func ParseChaos(s string) ([]ChaosKind, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []ChaosKind
+	for _, f := range strings.Split(s, ",") {
+		k := ChaosKind(strings.TrimSpace(f))
+		switch k {
+		case ChaosSwap, ChaosShed, ChaosRestart, ChaosBuildReject:
+			out = append(out, k)
+		default:
+			return nil, fmt.Errorf("soak: unknown chaos kind %q (want swap, shed, restart or build-reject)", f)
+		}
+	}
+	return out, nil
+}
+
+// Config parameterizes one soak run.
+type Config struct {
+	// Scenario shapes the population, query trace and arrival curve.
+	Scenario gensim.Scenario
+	// RefLen / Haps / Seed size the simulated population; ≤0 uses 20000/5/42.
+	RefLen, Haps int
+	Seed         int64
+	// Duration bounds the replay; ≤0 uses 10s.
+	Duration time.Duration
+	// Clients is the query worker fan-in; ≤0 uses 8.
+	Clients int
+	// Tool selects the mapping tool of published snapshots (zero value uses
+	// giraffe defaults).
+	Tool mapserve.ToolConfig
+	// Workers / MaxBatch / BatchWait / QueueDepth parameterize the map-serve
+	// executor exactly as mapserve.Config does (zero = that package's
+	// defaults, except QueueDepth which uses 256 so watermark assertions
+	// bite at soak scale).
+	Workers    int
+	MaxBatch   int
+	BatchWait  time.Duration
+	QueueDepth int
+	// Chaos lists the fault injections, fired in order at even fractions of
+	// Duration.
+	Chaos []ChaosKind
+	// StoreDir persists published snapshots and is required by ChaosRestart.
+	StoreDir string
+	// Sink, when non-nil, receives structured JSONL records: periodic
+	// samples, each chaos event, and the final report.
+	Sink *obs.JSONLSink
+	// SamplePeriod spaces the sink's periodic samples; ≤0 uses 1s.
+	SamplePeriod time.Duration
+	// MaxShedRate is the organic (non-chaos) shed-rate ceiling the final
+	// report asserts; ≤0 uses 0.05.
+	MaxShedRate float64
+	// SampleEvery is the tracer's 1-in-N ring sampling (obs.TracerConfig);
+	// ≤0 uses 8 — a soak run completes far more traces than any ring holds.
+	SampleEvery int
+	// Metrics / Tracer, when non-nil, are used instead of run-private ones —
+	// the hook that lets a caller expose the run on a live admin endpoint.
+	// A caller-provided Tracer keeps its own sampling config.
+	Metrics *perf.Metrics
+	Tracer  *obs.Tracer
+	// Out receives human-readable progress lines; nil discards them.
+	Out io.Writer
+}
+
+// Result summarizes one completed soak run.
+type Result struct {
+	Issued, Mapped, Shed, Failed, Lost int64
+	Swaps, Restarts, Storms, Rejects   int
+	Generations                        uint64
+	Wall                               time.Duration
+	Report                             obs.SoakReport
+	Metrics                            perf.MetricsSnapshot
+}
+
+// chaosEvent is one scheduled injection.
+type chaosEvent struct {
+	kind ChaosKind
+	at   time.Duration
+}
+
+// Run executes one soak run. It returns an error only for setup failures
+// (bad config, the initial build failing); assertion outcomes land in
+// Result.Report, and the caller decides what a failed check is worth.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.RefLen <= 0 {
+		cfg.RefLen = 20_000
+	}
+	if cfg.Haps <= 0 {
+		cfg.Haps = 5
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Tool.Kind == "" {
+		cfg.Tool = mapserve.DefaultToolConfig(mapserve.ToolGiraffe)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.SamplePeriod <= 0 {
+		cfg.SamplePeriod = time.Second
+	}
+	if cfg.MaxShedRate <= 0 {
+		cfg.MaxShedRate = 0.05
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 8
+	}
+	out := cfg.Out
+	if out == nil {
+		out = io.Discard
+	}
+	for _, k := range cfg.Chaos {
+		if k == ChaosRestart && cfg.StoreDir == "" {
+			return nil, fmt.Errorf("soak: chaos %q needs StoreDir — a warm restart reloads the last persisted generation", k)
+		}
+	}
+	sc := cfg.Scenario
+
+	// Workload: scenario-shaped population, cyclic query trace, arrival curve.
+	gcfg := gensim.DefaultConfig()
+	gcfg.RefLen = cfg.RefLen
+	gcfg.Haplotypes = cfg.Haps
+	gcfg.Seed = cfg.Seed
+	pop, err := gensim.Simulate(sc.PopConfig(gcfg))
+	if err != nil {
+		return nil, err
+	}
+	arrivals, err := planArrivals(sc, cfg.Duration, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rt := sc.ReadTraceConfig(gensim.DefaultReadTraceConfig())
+	rt.Queries = len(arrivals)
+	rt.Clients = cfg.Clients
+	rt.Seed = cfg.Seed
+	trace, err := pop.ReadQueryTrace(rt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stack: builder → registry (+ optional store persistence) → executor.
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = perf.NewMetrics()
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer(obs.TracerConfig{
+			Capacity:       512,
+			Metrics:        metrics,
+			SampleEvery:    cfg.SampleEvery,
+			ExemplarMaxAge: time.Minute,
+		})
+	}
+	var stMu sync.RWMutex
+	reg := &mapserve.Registry{}
+	var svc *mapserve.Service
+	curReg := func() *mapserve.Registry { stMu.RLock(); defer stMu.RUnlock(); return reg }
+	curSvc := func() *mapserve.Service { stMu.RLock(); defer stMu.RUnlock(); return svc }
+
+	var sdir *store.Dir
+	var persister *mapserve.Persister
+	if cfg.StoreDir != "" {
+		if sdir, err = store.Open(cfg.StoreDir, store.Options{}); err != nil {
+			return nil, err
+		}
+		persister = mapserve.NewPersister(sdir, metrics)
+	}
+
+	names, seqs := pop.AssemblyView()
+	var snapSeq uint64
+	var publishErr error
+	var publishMu sync.Mutex
+	builder := serve.New(serve.Config{
+		CacheCapacity: 64 << 20,
+		Metrics:       metrics,
+		Tracer:        tracer,
+		OnResult: func(req serve.Request, res *build.Result) {
+			n := atomic.AddUint64(&snapSeq, 1)
+			snap, err := mapserve.SnapshotFromBuild(fmt.Sprintf("cohort-%d", n), res, cfg.Tool)
+			if err == nil {
+				_, err = curReg().Publish(snap)
+			}
+			if err == nil && persister != nil {
+				_, _, err = persister.Save(snap)
+			}
+			if err != nil {
+				publishMu.Lock()
+				publishErr = err
+				publishMu.Unlock()
+			}
+		},
+	})
+	if err := builder.RegisterAssemblies(names, seqs); err != nil {
+		return nil, err
+	}
+	cohort := serve.Request{Tool: serve.ToolPGGB, Cohort: names, PGGB: build.DefaultPGGBConfig(), MC: build.DefaultMCConfig()}
+	t0 := time.Now()
+	if _, err := builder.Build(ctx, cohort); err != nil {
+		return nil, fmt.Errorf("soak: initial cohort build: %w", err)
+	}
+	publishMu.Lock()
+	perr := publishErr
+	publishMu.Unlock()
+	if perr != nil {
+		return nil, fmt.Errorf("soak: snapshot publish: %w", perr)
+	}
+	fmt.Fprintf(out, "soak[%s]: cohort built and published in %v; replaying %d planned queries for %v (chaos: %v)\n",
+		sc.Name, time.Since(t0).Round(time.Millisecond), len(trace), cfg.Duration, cfg.Chaos)
+
+	mapCfg := mapserve.Config{
+		Workers:    cfg.Workers,
+		MaxBatch:   cfg.MaxBatch,
+		BatchWait:  cfg.BatchWait,
+		QueueDepth: cfg.QueueDepth,
+		Metrics:    metrics,
+		Tracer:     tracer,
+	}
+	svc = mapserve.New(reg, mapCfg)
+	closed := false
+	defer func() {
+		if !closed {
+			curSvc().Close()
+		}
+	}()
+
+	// Leak baselines, taken with the full stack up but no traffic yet.
+	goroutineBase := runtime.NumGoroutine()
+	heapBase := obs.HeapBaseline()
+
+	res := &Result{}
+	var issued, mapped, shed, failed int64
+
+	// Chaos scheduler: events fire at even fractions of the duration, in
+	// the order configured.
+	events := make([]chaosEvent, 0, len(cfg.Chaos))
+	for i, k := range cfg.Chaos {
+		at := cfg.Duration * time.Duration(i+1) / time.Duration(len(cfg.Chaos)+1)
+		events = append(events, chaosEvent{kind: k, at: at})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].at < events[j].at })
+	stormLen := cfg.Duration / 20
+	if stormLen < 100*time.Millisecond {
+		stormLen = 100 * time.Millisecond
+	}
+
+	replayStart := time.Now()
+	stopSampler := make(chan struct{})
+	var bg sync.WaitGroup
+
+	// Periodic JSONL samples: the soak run's flight log.
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		tick := time.NewTicker(cfg.SamplePeriod)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopSampler:
+				return
+			case <-tick.C:
+				snap := metrics.Snapshot()
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				cfg.Sink.Emit("sample", map[string]any{
+					"elapsed_ms":  time.Since(replayStart).Milliseconds(),
+					"issued":      atomic.LoadInt64(&issued),
+					"mapped":      atomic.LoadInt64(&mapped),
+					"shed":        atomic.LoadInt64(&shed),
+					"failed":      atomic.LoadInt64(&failed),
+					"queue_depth": snap.Gauges["mapserve.queue_depth"].Value,
+					"goroutines":  runtime.NumGoroutine(),
+					"heap_bytes":  ms.HeapAlloc,
+				})
+			}
+		}
+	}()
+
+	// Chaos driver.
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for _, ev := range events {
+			select {
+			case <-time.After(time.Until(replayStart.Add(ev.at))):
+			case <-ctx.Done():
+				return
+			}
+			elapsed := time.Since(replayStart).Round(time.Millisecond)
+			switch ev.kind {
+			case ChaosSwap:
+				gen, err := curReg().ForceSwap()
+				if err != nil {
+					fmt.Fprintf(out, "soak: forced swap failed: %v\n", err)
+					continue
+				}
+				res.Swaps++
+				fmt.Fprintf(out, "soak: chaos swap at %v → generation %d\n", elapsed, gen)
+				cfg.Sink.Emit("chaos", map[string]any{"event": "swap", "elapsed_ms": elapsed.Milliseconds(), "generation": gen})
+			case ChaosShed:
+				curSvc().SetChaosShed(true)
+				fmt.Fprintf(out, "soak: chaos shed storm at %v for %v\n", elapsed, stormLen)
+				cfg.Sink.Emit("chaos", map[string]any{"event": "shed-on", "elapsed_ms": elapsed.Milliseconds()})
+				time.Sleep(stormLen)
+				curSvc().SetChaosShed(false)
+				res.Storms++
+				cfg.Sink.Emit("chaos", map[string]any{"event": "shed-off", "elapsed_ms": time.Since(replayStart).Milliseconds()})
+			case ChaosRestart:
+				rt0 := time.Now()
+				stMu.Lock()
+				svc.Close()
+				fresh := &mapserve.Registry{}
+				if _, _, err := fresh.LoadLatest(sdir, metrics); err != nil {
+					fmt.Fprintf(out, "soak: warm restart failed (%v); keeping the old registry\n", err)
+					svc = mapserve.New(reg, mapCfg)
+					stMu.Unlock()
+					continue
+				}
+				reg = fresh
+				svc = mapserve.New(reg, mapCfg)
+				stMu.Unlock()
+				res.Restarts++
+				fmt.Fprintf(out, "soak: chaos restart at %v — query tier killed and warm-restarted in %v\n",
+					elapsed, time.Since(rt0).Round(time.Millisecond))
+				cfg.Sink.Emit("chaos", map[string]any{"event": "restart", "elapsed_ms": elapsed.Milliseconds(),
+					"restart_ms": time.Since(rt0).Milliseconds()})
+			case ChaosBuildReject:
+				builder.SetChaosRejectBuilds(true)
+				fmt.Fprintf(out, "soak: chaos build outage at %v for %v\n", elapsed, stormLen)
+				cfg.Sink.Emit("chaos", map[string]any{"event": "build-reject-on", "elapsed_ms": elapsed.Milliseconds()})
+				if _, err := builder.Build(ctx, cohort); errors.Is(err, serve.ErrChaosReject) {
+					res.Rejects++
+				}
+				time.Sleep(stormLen)
+				builder.SetChaosRejectBuilds(false)
+				cfg.Sink.Emit("chaos", map[string]any{"event": "build-reject-off", "elapsed_ms": time.Since(replayStart).Milliseconds()})
+			}
+		}
+	}()
+
+	// Replay: a dispatcher paces queries by the arrival curve; a bounded
+	// worker pool executes them. Every issued query is accounted for —
+	// mapped, shed, or failed — and the watchdog below turns any gap into
+	// Result.Lost.
+	jobs := make(chan int, cfg.Clients*2)
+	var workers sync.WaitGroup
+	for w := 0; w < cfg.Clients; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for qi := range jobs {
+				q := trace[qi]
+				stMu.RLock()
+				_, err := svc.Map(ctx, q.Read.Seq)
+				stMu.RUnlock()
+				switch {
+				case err == nil:
+					atomic.AddInt64(&mapped, 1)
+				case errors.Is(err, mapserve.ErrOverloaded):
+					atomic.AddInt64(&shed, 1)
+				default:
+					atomic.AddInt64(&failed, 1)
+				}
+			}
+		}()
+	}
+dispatch:
+	for qi, at := range arrivals {
+		if at > cfg.Duration {
+			break
+		}
+		select {
+		case <-time.After(time.Until(replayStart.Add(at))):
+		case <-ctx.Done():
+			break dispatch
+		}
+		atomic.AddInt64(&issued, 1)
+		jobs <- qi
+	}
+	close(jobs)
+
+	// Watchdog: workers must drain within a generous grace period; anything
+	// still unaccounted for is a lost query — the cardinal soak failure.
+	drained := make(chan struct{})
+	go func() { workers.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(cfg.Duration + 30*time.Second):
+		fmt.Fprintf(out, "soak: watchdog fired — workers did not drain\n")
+	}
+	curSvc().Close()
+	closed = true
+	close(stopSampler)
+	bg.Wait()
+
+	res.Wall = time.Since(replayStart)
+	res.Issued = atomic.LoadInt64(&issued)
+	res.Mapped = atomic.LoadInt64(&mapped)
+	res.Shed = atomic.LoadInt64(&shed)
+	res.Failed = atomic.LoadInt64(&failed)
+	res.Lost = res.Issued - res.Mapped - res.Shed - res.Failed
+	res.Generations = curReg().Generation()
+	res.Metrics = metrics.Snapshot()
+
+	// End-of-run assertions.
+	chaosShed := res.Metrics.Counters["mapserve.shed_chaos"]
+	res.Report.CheckLost(res.Lost)
+	res.Report.CheckGaugeReturnsToZero(res.Metrics, "mapserve.queue_depth")
+	res.Report.CheckGaugeWatermark(res.Metrics, "mapserve.queue_depth", int64(cfg.QueueDepth))
+	res.Report.CheckShedRate(res.Issued, res.Shed, chaosShed, cfg.MaxShedRate)
+	res.Report.CheckGoroutines(goroutineBase, 16)
+	res.Report.CheckHeapGrowth(heapBase, 256<<20)
+	res.Report.Add("chaos-complete", res.Swaps+res.Restarts+res.Storms+res.Rejects == len(cfg.Chaos),
+		"%d of %d chaos events completed", res.Swaps+res.Restarts+res.Storms+res.Rejects, len(cfg.Chaos))
+
+	checks := make(map[string]any, len(res.Report.Checks))
+	for _, c := range res.Report.Checks {
+		checks[c.Name] = c.OK
+	}
+	cfg.Sink.Emit("report", map[string]any{
+		"issued": res.Issued, "mapped": res.Mapped, "shed": res.Shed, "failed": res.Failed,
+		"lost": res.Lost, "generations": res.Generations, "failed_checks": res.Report.Failed(),
+		"checks": checks,
+	})
+	return res, nil
+}
+
+// planArrivals sizes and generates the scenario's arrival curve for a
+// duration: enough offsets that the curve outlasts the run even through
+// burst windows, without generating unbounded tails.
+func planArrivals(sc gensim.Scenario, dur time.Duration, seed int64) ([]time.Duration, error) {
+	probe := sc.ArrivalConfig(gensim.DefaultArrivalConfig(1))
+	est := probe.BaseRate * dur.Seconds()
+	if probe.Bursts > 0 {
+		est += float64(probe.Bursts) * probe.BurstLen.Seconds() * (probe.BurstRate - probe.BaseRate)
+	}
+	n := int(est*1.3) + 256
+	cfg := sc.ArrivalConfig(gensim.DefaultArrivalConfig(n))
+	cfg.Seed = seed
+	return gensim.Arrivals(cfg)
+}

@@ -1,0 +1,140 @@
+package soak
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"pangenomicsbench/internal/gensim"
+	"pangenomicsbench/internal/obs"
+)
+
+func TestParseChaos(t *testing.T) {
+	got, err := ParseChaos(" swap, restart ")
+	if err != nil || len(got) != 2 || got[0] != ChaosSwap || got[1] != ChaosRestart {
+		t.Fatalf("ParseChaos = %v, %v", got, err)
+	}
+	if got, err := ParseChaos(""); err != nil || got != nil {
+		t.Fatalf("empty chaos = %v, %v", got, err)
+	}
+	if _, err := ParseChaos("swap,meteor"); err == nil {
+		t.Fatal("unknown chaos kind accepted")
+	}
+}
+
+func TestRestartRequiresStore(t *testing.T) {
+	sc, err := gensim.LookupScenario("baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(context.Background(), Config{Scenario: sc, Chaos: []ChaosKind{ChaosRestart}})
+	if err == nil || !strings.Contains(err.Error(), "StoreDir") {
+		t.Fatalf("restart without a store = %v, want a StoreDir error", err)
+	}
+}
+
+// TestSoakAcceptance is the short-mode soak acceptance run (ISSUE): replay
+// the skewed-tenant scenario with one forced hot-swap and one warm restart
+// of the query tier, then assert zero lost in-flight queries and that every
+// watermark/leak check passes.
+func TestSoakAcceptance(t *testing.T) {
+	sc, err := gensim.LookupScenario("skewed-tenant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur := 10 * time.Second
+	if testing.Short() {
+		dur = 4 * time.Second
+	}
+	var jsonl, progress bytes.Buffer
+	res, err := Run(context.Background(), Config{
+		Scenario: sc,
+		RefLen:   12_000,
+		Haps:     4,
+		Duration: dur,
+		Clients:  4,
+		Chaos:    []ChaosKind{ChaosSwap, ChaosRestart},
+		StoreDir: t.TempDir(),
+		Sink:     obs.NewJSONLSink(&jsonl),
+		Out:      &progress,
+	})
+	if err != nil {
+		t.Fatalf("soak run: %v\n%s", err, progress.String())
+	}
+
+	if res.Issued == 0 || res.Mapped == 0 {
+		t.Fatalf("soak issued %d / mapped %d queries — replay never got going", res.Issued, res.Mapped)
+	}
+	if res.Lost != 0 {
+		t.Fatalf("%d in-flight queries lost", res.Lost)
+	}
+	if res.Swaps != 1 || res.Restarts != 1 {
+		t.Fatalf("chaos events: %d swaps, %d restarts, want 1 each\n%s", res.Swaps, res.Restarts, progress.String())
+	}
+	// The forced swap published generation 2; the warm restart booted a
+	// fresh registry from the store (its own generation counter restarts).
+	if res.Generations == 0 {
+		t.Fatal("no published generation at run end")
+	}
+	if res.Report.Failed() != 0 {
+		t.Fatalf("soak report failed:\n%s\nprogress:\n%s", res.Report.Render(), progress.String())
+	}
+
+	// The JSONL flight log carries samples, both chaos events, and the report.
+	kinds := map[string]int{}
+	events := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(jsonl.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("JSONL line does not parse: %v\n%s", err, line)
+		}
+		kind, _ := rec["kind"].(string)
+		kinds[kind]++
+		if kind == "chaos" {
+			ev, _ := rec["event"].(string)
+			events[ev]++
+		}
+	}
+	if kinds["sample"] == 0 || kinds["report"] != 1 {
+		t.Fatalf("flight log kinds = %v, want samples and exactly one report", kinds)
+	}
+	if events["swap"] != 1 || events["restart"] != 1 {
+		t.Fatalf("flight log chaos events = %v, want one swap and one restart", events)
+	}
+}
+
+// TestSoakShedStormExcluded pins the chaos-shed accounting: a deliberate
+// storm sheds queries, yet the organic shed-rate check still passes because
+// chaos sheds are counted under their own counter.
+func TestSoakShedStormExcluded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second soak run; covered by TestSoakAcceptance in short mode")
+	}
+	sc, err := gensim.LookupScenario("baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Config{
+		Scenario: sc,
+		RefLen:   12_000,
+		Haps:     4,
+		Duration: 4 * time.Second,
+		Clients:  4,
+		Chaos:    []ChaosKind{ChaosShed},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Storms != 1 {
+		t.Fatalf("storms = %d, want 1", res.Storms)
+	}
+	if res.Metrics.Counters["mapserve.shed_chaos"] == 0 {
+		t.Fatal("shed storm injected no chaos sheds — storm window missed all traffic")
+	}
+	if res.Report.Failed() != 0 {
+		t.Fatalf("report failed despite chaos-shed exclusion:\n%s", res.Report.Render())
+	}
+}
