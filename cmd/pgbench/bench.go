@@ -68,14 +68,119 @@ func benchMap(tool pipeline.Tool, reads []gensim.Read) testing.BenchmarkResult {
 	})
 }
 
+// benchTolerance bounds how far one benchmark may drift from its recorded
+// baseline before the gate fails. Factors are multiplicative: ns/op may
+// grow to baseline × MaxNsFactor. The generous default ns factor absorbs
+// shared-CI host noise; allocs/op is near-deterministic, so its factor is
+// tight.
+type benchTolerance struct {
+	MaxNsFactor     float64 `json:"max_ns_factor"`
+	MaxAllocsFactor float64 `json:"max_allocs_factor"`
+}
+
+// benchManifest is the tolerance manifest (bench_tolerance.json): defaults
+// for every benchmark, plus per-name overrides for known-noisy entries —
+// the bent-style suite/override split.
+type benchManifest struct {
+	Defaults  benchTolerance            `json:"defaults"`
+	Overrides map[string]benchTolerance `json:"overrides"`
+}
+
+func (m *benchManifest) forName(name string) benchTolerance {
+	tol := m.Defaults
+	if o, ok := m.Overrides[name]; ok {
+		if o.MaxNsFactor > 0 {
+			tol.MaxNsFactor = o.MaxNsFactor
+		}
+		if o.MaxAllocsFactor > 0 {
+			tol.MaxAllocsFactor = o.MaxAllocsFactor
+		}
+	}
+	return tol
+}
+
+// defaultBenchManifest is the gate used when no -manifest is given.
+func defaultBenchManifest() benchManifest {
+	return benchManifest{Defaults: benchTolerance{MaxNsFactor: 5, MaxAllocsFactor: 1.15}}
+}
+
+// compareBench gates current results against a recorded baseline report:
+// each baseline benchmark must still exist and stay within its tolerance on
+// ns/op and allocs/op. New benchmarks absent from the baseline pass with a
+// note. Returns an error listing every regression.
+func compareBench(baseline benchReport, results []benchResult, man benchManifest) error {
+	current := make(map[string]benchResult, len(results))
+	for _, r := range results {
+		current[r.Name] = r
+	}
+	var regressions []string
+	for _, base := range baseline.Results {
+		cur, ok := current[base.Name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: missing from current run", base.Name))
+			continue
+		}
+		tol := man.forName(base.Name)
+		status := "ok"
+		if base.NsPerOp > 0 && cur.NsPerOp > base.NsPerOp*tol.MaxNsFactor {
+			status = "REGRESSED"
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (limit %.1f×)",
+				base.Name, cur.NsPerOp, base.NsPerOp, tol.MaxNsFactor))
+		}
+		// Tiny alloc counts get two free allocs of absolute slack so a
+		// 1.15× factor on "3 allocs" does not trip on a single extra.
+		allocLimit := float64(base.AllocsPerOp) * tol.MaxAllocsFactor
+		if slack := float64(base.AllocsPerOp + 2); slack > allocLimit {
+			allocLimit = slack
+		}
+		if float64(cur.AllocsPerOp) > allocLimit {
+			status = "REGRESSED"
+			regressions = append(regressions, fmt.Sprintf("%s: %d allocs/op vs baseline %d (limit %.1f×)",
+				base.Name, cur.AllocsPerOp, base.AllocsPerOp, tol.MaxAllocsFactor))
+		}
+		fmt.Fprintf(os.Stderr, "  gate %-22s %12.0f → %12.0f ns/op  %6d → %6d allocs/op  %s\n",
+			base.Name, base.NsPerOp, cur.NsPerOp, base.AllocsPerOp, cur.AllocsPerOp, status)
+	}
+	for _, r := range results {
+		found := false
+		for _, base := range baseline.Results {
+			if base.Name == r.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "  gate %-22s new benchmark (no baseline)\n", r.Name)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench gate: %d regression(s):\n  %s", len(regressions), joinLines(regressions))
+	}
+	return nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}
+
 // benchCmd runs the serving-relevant hot paths under testing.Benchmark and
 // writes a JSON report: per-tool mapping cost, construction cost, and
-// snapshot save/load throughput of the persistence layer.
+// snapshot save/load throughput of the persistence layer. With -compare it
+// additionally gates the fresh numbers against a recorded baseline report.
 func benchCmd(args []string) error {
 	fs := newFlagSet("bench")
 	scaleName := fs.String("scale", "small", "dataset scale: small, bench, or large")
 	jsonPath := fs.String("json", "BENCH_6.json", "JSON report path ('-' = stdout)")
 	nReads := fs.Int("reads", 96, "reads per mapping-benchmark op")
+	comparePath := fs.String("compare", "", "baseline BENCH_*.json to gate against (fails on ns/op or allocs/op regressions)")
+	manifestPath := fs.String("manifest", "", "tolerance manifest JSON (default: 5x ns/op, 1.15x allocs/op for every benchmark)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -218,12 +323,44 @@ func benchCmd(args []string) error {
 	}
 	raw = append(raw, '\n')
 	if *jsonPath == "-" {
-		_, err = os.Stdout.Write(raw)
+		if _, err = os.Stdout.Write(raw); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*jsonPath, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d benchmarks, %s scale)\n", *jsonPath, len(results), *scaleName)
+	}
+
+	if *comparePath == "" {
+		return nil
+	}
+	baseRaw, err := os.ReadFile(*comparePath)
+	if err != nil {
+		return fmt.Errorf("bench gate: %w", err)
+	}
+	var baseline benchReport
+	if err := json.Unmarshal(baseRaw, &baseline); err != nil {
+		return fmt.Errorf("bench gate: baseline %s does not parse: %w", *comparePath, err)
+	}
+	man := defaultBenchManifest()
+	if *manifestPath != "" {
+		manRaw, err := os.ReadFile(*manifestPath)
+		if err != nil {
+			return fmt.Errorf("bench gate: %w", err)
+		}
+		if err := json.Unmarshal(manRaw, &man); err != nil {
+			return fmt.Errorf("bench gate: manifest %s does not parse: %w", *manifestPath, err)
+		}
+		if man.Defaults.MaxNsFactor <= 0 || man.Defaults.MaxAllocsFactor <= 0 {
+			return fmt.Errorf("bench gate: manifest %s needs positive defaults.max_ns_factor and defaults.max_allocs_factor", *manifestPath)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "bench: gating against %s (%d baseline benchmarks)\n", *comparePath, len(baseline.Results))
+	if err := compareBench(baseline, results, man); err != nil {
 		return err
 	}
-	if err := os.WriteFile(*jsonPath, raw, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s (%d benchmarks, %s scale)\n", *jsonPath, len(results), *scaleName)
+	fmt.Println("bench gate: no regressions against", *comparePath)
 	return nil
 }

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"pangenomicsbench/internal/build"
+	"pangenomicsbench/internal/fleet"
+	"pangenomicsbench/internal/gfa"
+	"pangenomicsbench/internal/obs"
+	"pangenomicsbench/internal/perf"
+)
+
+// fleetWorkerCmd runs one fleet worker daemon: a ref-counted shard cache
+// behind the pair-match wire protocol, serving until SIGINT/SIGTERM.
+func fleetWorkerCmd(args []string) error {
+	fs := newFlagSet("fleet-worker")
+	listen := fs.String("listen", "127.0.0.1:9471", "worker RPC listen address")
+	name := fs.String("name", "", "worker name reported in heartbeats (default: the listen address)")
+	cacheMB := fs.Int("cache-mb", 32, "shard cache capacity (MiB); a coordinator config push may override it")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	wname := *name
+	if wname == "" {
+		wname = *listen
+	}
+	srv := fleet.NewWorkerServer(fleet.NewWorker(wname, *cacheMB<<20))
+	addr, err := srv.Start(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet-worker %s: serving pair-match RPCs on %s (cache %d MiB)\n", wname, addr, *cacheMB)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("fleet-worker: shutting down")
+	return srv.Close()
+}
+
+// fleetFromSpec builds a running coordinator from a node spec: "local:N"
+// spins N in-process loopback workers; anything else is a comma-separated
+// list of fleet-worker daemon addresses.
+func fleetFromSpec(spec string, cacheBytes int, metrics *perf.Metrics) (*fleet.Coordinator, error) {
+	coord := fleet.NewCoordinator(fleet.Config{Metrics: metrics, CacheBytes: cacheBytes})
+	if n, ok := strings.CutPrefix(spec, "local:"); ok {
+		count, err := strconv.Atoi(n)
+		if err != nil || count < 1 {
+			coord.Close()
+			return nil, fmt.Errorf("bad fleet spec %q (want local:N with N ≥ 1)", spec)
+		}
+		for i := 0; i < count; i++ {
+			name := fmt.Sprintf("local-%02d", i)
+			if err := coord.AddNode(name, fleet.NewLocalNode(fleet.NewWorker(name, 0), 0)); err != nil {
+				coord.Close()
+				return nil, err
+			}
+		}
+		return coord, nil
+	}
+	added := 0
+	for _, addr := range strings.Split(spec, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		if err := coord.AddNode(addr, fleet.Dial(addr)); err != nil {
+			coord.Close()
+			return nil, err
+		}
+		added++
+	}
+	if added == 0 {
+		coord.Close()
+		return nil, fmt.Errorf("empty fleet spec %q (want local:N or addr,addr,...)", spec)
+	}
+	return coord, nil
+}
+
+// fleetCmd is the fleet differential driver: it builds the same cohort once
+// single-process and once sharded across the fleet, and fails unless the
+// two GFA serializations are byte-identical.
+func fleetCmd(args []string) error {
+	fs := newFlagSet("fleet")
+	pf := addPopFlags(fs, 20_000, 6)
+	nodes := fs.String("nodes", "", "comma-separated fleet-worker daemon addresses")
+	local := fs.Int("local", 0, "spin up N in-process loopback workers instead of -nodes")
+	cacheMB := fs.Int("cache-mb", 32, "per-worker shard cache budget pushed with the catalog (MiB)")
+	of := addObsFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := *nodes
+	if *local > 0 {
+		if spec != "" {
+			return fmt.Errorf("fleet: -nodes and -local are mutually exclusive")
+		}
+		spec = fmt.Sprintf("local:%d", *local)
+	}
+	if spec == "" {
+		return fmt.Errorf("fleet: need -nodes or -local")
+	}
+
+	pop, err := pf.simulate()
+	if err != nil {
+		return err
+	}
+	names, seqs := pop.AssemblyView()
+	metrics := perf.NewMetrics()
+	coord, err := fleetFromSpec(spec, *cacheMB<<20, metrics)
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	if err := coord.RegisterAssemblies(names, seqs); err != nil {
+		return err
+	}
+	stopObs, err := of.start(obs.ServerConfig{
+		Metrics: metrics.Snapshot,
+		Fleet:   coord.NodeInfos,
+	})
+	if err != nil {
+		return err
+	}
+	defer stopObs()
+
+	infos := coord.NodeInfos()
+	fmt.Printf("fleet: %d assemblies (%d bp ref) over %d node(s):\n", len(names), *pf.refLen, len(infos))
+	for _, info := range infos {
+		state := "live"
+		if !info.Live {
+			state = "DEAD"
+		}
+		fmt.Printf("  %-16s %-4s range %s", info.Name, state, info.Range)
+		if info.Addr != "" {
+			fmt.Printf("  @ %s", info.Addr)
+		}
+		fmt.Println()
+	}
+
+	cfg := build.DefaultPGGBConfig()
+	ctx := context.Background()
+
+	t0 := time.Now()
+	direct, err := build.PGGB(ctx, names, seqs, cfg, nil)
+	if err != nil {
+		return fmt.Errorf("single-process build: %w", err)
+	}
+	singleWall := time.Since(t0)
+
+	t1 := time.Now()
+	blocks, stats, hits, err := coord.AllPairMatches(ctx, names, cfg.K, cfg.W)
+	if err != nil {
+		return fmt.Errorf("fleet pair matching: %w", err)
+	}
+	fleetRes, err := build.PGGBFromMatches(ctx, names, seqs, blocks, stats, cfg, nil)
+	if err != nil {
+		return fmt.Errorf("fleet graph induction: %w", err)
+	}
+	fleetWall := time.Since(t1)
+
+	var want, got bytes.Buffer
+	if err := gfa.Write(&want, direct.Graph); err != nil {
+		return err
+	}
+	if err := gfa.Write(&got, fleetRes.Graph); err != nil {
+		return err
+	}
+	pairs := len(names) * (len(names) - 1) / 2
+	fmt.Printf("\nsingle-process build: %v; fleet build: %v (%d pair tasks, %d shard-cache hits)\n",
+		singleWall.Round(time.Millisecond), fleetWall.Round(time.Millisecond), pairs, hits)
+	snap := metrics.Snapshot()
+	fmt.Printf("fleet counters: tasks=%d reassigned=%d remote_hits=%d remote_misses=%d pushes=%d deaths=%d\n",
+		snap.Counters["fleet.tasks"], snap.Counters["fleet.reassigned"],
+		snap.Counters["fleet.remote_hits"], snap.Counters["fleet.remote_misses"],
+		snap.Counters["fleet.push"], snap.Counters["fleet.deaths"])
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		return fmt.Errorf("fleet GFA differs from single-process GFA (%d vs %d bytes) — determinism contract broken",
+			got.Len(), want.Len())
+	}
+	fmt.Printf("fleet GFA is byte-identical to the single-process build (%d bytes)\n", want.Len())
+	return nil
+}

@@ -10,7 +10,9 @@
 //	pgbench serve-sim [flags]
 //	pgbench map-serve [flags]
 //	pgbench soak [-scenario S] [-dur D] [-chaos LIST] [flags]
-//	pgbench bench [-scale small|bench|large] [-json FILE]
+//	pgbench bench [-scale small|bench|large] [-json FILE] [-compare BASE.json]
+//	pgbench fleet-worker [-listen ADDR]
+//	pgbench fleet [-nodes ADDRS | -local N]
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 
 	"pangenomicsbench/internal/build"
 	"pangenomicsbench/internal/core"
+	"pangenomicsbench/internal/fleet"
 	"pangenomicsbench/internal/gensim"
 	"pangenomicsbench/internal/obs"
 	"pangenomicsbench/internal/perf"
@@ -133,6 +136,10 @@ func run(args []string) error {
 		return soakCmd(rest)
 	case "bench":
 		return benchCmd(rest)
+	case "fleet":
+		return fleetCmd(rest)
+	case "fleet-worker":
+		return fleetWorkerCmd(rest)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -168,6 +175,7 @@ func serveSim(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-request timeout (0 = none)")
 	toolName := fs.String("tool", "pggb", "construction tool: pggb or mc")
 	storePath := fs.String("store", "", "journal directory: accepted builds are WAL-logged and crash-interrupted ones replayed on restart")
+	fleetSpec := fs.String("fleet-nodes", "", "route pair matching through a construction fleet: local:N or comma-separated fleet-worker addresses")
 	scenarioName := addScenarioFlag(fs, "baseline")
 	of := addObsFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -212,6 +220,13 @@ func serveSim(args []string) error {
 		}
 		defer journal.Close()
 	}
+	var coord *fleet.Coordinator
+	if *fleetSpec != "" {
+		if coord, err = fleetFromSpec(*fleetSpec, *cacheMB<<20, metrics); err != nil {
+			return err
+		}
+		defer coord.Close()
+	}
 	svc := serve.New(serve.Config{
 		Workers:        *workers,
 		CacheCapacity:  *cacheMB << 20,
@@ -219,6 +234,7 @@ func serveSim(args []string) error {
 		Metrics:        metrics,
 		Tracer:         tracer,
 		Journal:        journal,
+		Fleet:          coord,
 	})
 	if err := svc.RegisterAssemblies(names, seqs); err != nil {
 		return err
@@ -230,10 +246,14 @@ func serveSim(args []string) error {
 			fmt.Printf("journal replay: re-ran %d crash-interrupted build request(s)\n", n)
 		}
 	}
-	stopObs, err := of.start(obs.ServerConfig{
+	obsCfg := obs.ServerConfig{
 		Metrics:  metrics.Snapshot,
 		Recorder: tracer.Recorder(),
-	})
+	}
+	if coord != nil {
+		obsCfg.Fleet = coord.NodeInfos
+	}
+	stopObs, err := of.start(obsCfg)
 	if err != nil {
 		return err
 	}
@@ -241,8 +261,12 @@ func serveSim(args []string) error {
 
 	pcfg := build.DefaultPGGBConfig()
 	mcfg := build.DefaultMCConfig()
-	fmt.Printf("serve-sim: %d assemblies (%d bp ref), %d tenants, %d requests, %d clients, tool=%s\n\n",
+	fmt.Printf("serve-sim: %d assemblies (%d bp ref), %d tenants, %d requests, %d clients, tool=%s\n",
 		len(names), *pf.refLen, *tenants, len(trace), *conc, tool)
+	if coord != nil {
+		fmt.Printf("pair matching sharded over a %d-node fleet (%s)\n", len(coord.NodeInfos()), *fleetSpec)
+	}
+	fmt.Println()
 
 	// Replay: conc clients drain the trace in issue order.
 	var next int
@@ -316,5 +340,14 @@ func usage() {
   pgbench bench [-scale S] [-json FILE]        micro-benchmark the mapping,
                                                construction and snapshot
                                                save/load hot paths to JSON
+                                               (-compare BASE.json gates against
+                                               a recorded baseline; -manifest
+                                               names a tolerance manifest)
+  pgbench fleet-worker [-listen ADDR]          run one construction-fleet worker
+                                               daemon (pair-match RPCs over HTTP)
+  pgbench fleet [-nodes ADDRS | -local N]      shard an all-pair build across
+                                               fleet workers and verify the GFA
+                                               is byte-identical to the
+                                               single-process build
 scales: small (quick check), bench (default), large`)
 }

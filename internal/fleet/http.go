@@ -1,0 +1,221 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// The worker daemon's wire protocol is three JSON-over-HTTP endpoints —
+// stdlib only, mirroring the node-registry-over-RPC shape of production
+// daemon fleets:
+//
+//	POST /configure  ConfigPush   → 204
+//	POST /match      MatchRequest → MatchResponse (409 unknown-assembly)
+//	GET  /ping                    → PingReply
+//	GET  /healthz                 → "ok"
+//
+// Errors are JSON {"error": ..., "code": ...}; code "unknown-assembly"
+// maps back to ErrUnknownAssembly client-side so the coordinator can
+// re-push its catalog and retry instead of declaring the node dead.
+
+// httpError is the wire form of a worker-side error.
+type httpError struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+const codeUnknownAssembly = "unknown-assembly"
+
+// Handler exposes w over the fleet wire protocol.
+func Handler(w *Worker) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/configure", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var push ConfigPush
+		if err := json.NewDecoder(r.Body).Decode(&push); err != nil {
+			writeErr(rw, http.StatusBadRequest, err, "")
+			return
+		}
+		if err := w.Configure(push); err != nil {
+			writeErr(rw, http.StatusBadRequest, err, "")
+			return
+		}
+		rw.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/match", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req MatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(rw, http.StatusBadRequest, err, "")
+			return
+		}
+		resp, err := w.Match(r.Context(), req)
+		if err != nil {
+			if errors.Is(err, ErrUnknownAssembly) {
+				writeErr(rw, http.StatusConflict, err, codeUnknownAssembly)
+			} else {
+				writeErr(rw, http.StatusInternalServerError, err, "")
+			}
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(resp)
+	})
+	mux.HandleFunc("/ping", func(rw http.ResponseWriter, r *http.Request) {
+		reply := w.Ping()
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(reply)
+	})
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(rw, "ok")
+	})
+	return mux
+}
+
+// writeErr serves one JSON error body.
+func writeErr(rw http.ResponseWriter, status int, err error, code string) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	_ = json.NewEncoder(rw).Encode(httpError{Error: err.Error(), Code: code})
+}
+
+// WorkerServer runs one worker daemon: a Worker behind Handler on a TCP
+// listener (the pgbench fleet-worker process).
+type WorkerServer struct {
+	W   *Worker
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewWorkerServer wraps w; Start binds and serves it.
+func NewWorkerServer(w *Worker) *WorkerServer { return &WorkerServer{W: w} }
+
+// Start listens on addr (e.g. ":9001", "127.0.0.1:0") and serves in the
+// background, returning the bound address.
+func (s *WorkerServer) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("fleet: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: Handler(s.W), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the daemon (no-op if never started).
+func (s *WorkerServer) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// HTTPTransport talks the fleet wire protocol to a remote worker daemon.
+type HTTPTransport struct {
+	base   string
+	client *http.Client
+}
+
+// Dial returns a transport for the worker daemon at addr (host:port or a
+// full http:// base URL). No connection is made until the first call.
+func Dial(addr string) *HTTPTransport {
+	base := addr
+	if len(base) < 7 || base[:7] != "http://" {
+		base = "http://" + base
+	}
+	return &HTTPTransport{base: base, client: &http.Client{}}
+}
+
+// Addr returns the daemon base URL this transport targets.
+func (t *HTTPTransport) Addr() string { return t.base }
+
+func (t *HTTPTransport) Configure(ctx context.Context, push ConfigPush) error {
+	return t.post(ctx, "/configure", push, nil)
+}
+
+func (t *HTTPTransport) Match(ctx context.Context, req MatchRequest) (*MatchResponse, error) {
+	var resp MatchResponse
+	if err := t.post(ctx, "/match", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *HTTPTransport) Ping(ctx context.Context) (*PingReply, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base+"/ping", nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := t.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return nil, decodeErr(res)
+	}
+	var reply PingReply
+	if err := json.NewDecoder(res.Body).Decode(&reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+func (t *HTTPTransport) Close() error {
+	t.client.CloseIdleConnections()
+	return nil
+}
+
+// post sends one JSON request and decodes the JSON reply into out (nil out
+// expects an empty 2xx).
+func (t *HTTPTransport) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	res, err := t.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode < 200 || res.StatusCode > 299 {
+		return decodeErr(res)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, res.Body)
+		return nil
+	}
+	return json.NewDecoder(res.Body).Decode(out)
+}
+
+// decodeErr maps a non-2xx reply back onto the fleet error vocabulary.
+func decodeErr(res *http.Response) error {
+	var he httpError
+	raw, _ := io.ReadAll(io.LimitReader(res.Body, 4096))
+	if json.Unmarshal(raw, &he) == nil && he.Error != "" {
+		if he.Code == codeUnknownAssembly {
+			return fmt.Errorf("%w (%s)", ErrUnknownAssembly, he.Error)
+		}
+		return fmt.Errorf("fleet: worker error (HTTP %d): %s", res.StatusCode, he.Error)
+	}
+	return fmt.Errorf("fleet: worker error (HTTP %d): %s", res.StatusCode, bytes.TrimSpace(raw))
+}

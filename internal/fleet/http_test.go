@@ -1,0 +1,77 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"pangenomicsbench/internal/build"
+	"pangenomicsbench/internal/perf"
+)
+
+// TestHTTPWorkerEndToEnd drives two real worker daemons over loopback TCP:
+// config push, sharded matching, heartbeats, and the unknown-assembly
+// error mapping all cross the wire, and the merged result matches the
+// single-process build exactly.
+func TestHTTPWorkerEndToEnd(t *testing.T) {
+	names, seqs := testCatalog(t, 5000, 5)
+
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		srv := NewWorkerServer(NewWorker("httpd", 0))
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		addrs = append(addrs, addr)
+	}
+
+	c := NewCoordinator(Config{Metrics: perf.NewMetrics()})
+	t.Cleanup(c.Close)
+	if err := c.RegisterAssemblies(names, seqs); err != nil {
+		t.Fatal(err)
+	}
+	for i, addr := range addrs {
+		if err := c.AddNode(addr, Dial(addr)); err != nil {
+			t.Fatalf("AddNode %d: %v", i, err)
+		}
+	}
+
+	want, _, err := build.AllPairMatches(context.Background(), seqs, testK, testW, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := c.AllPairMatches(context.Background(), names, testK, testW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("HTTP fleet blocks differ from single-process build")
+	}
+
+	// Heartbeat payloads round-trip the wire.
+	tr := Dial(addrs[0])
+	t.Cleanup(func() { _ = tr.Close() })
+	ping, err := tr.Ping(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ping.Assemblies != len(names) {
+		t.Fatalf("daemon has %d assemblies, want %d", ping.Assemblies, len(names))
+	}
+
+	// Unknown-assembly replies map back onto the sentinel across HTTP.
+	_, err = tr.Match(context.Background(), MatchRequest{A: "nope-a", B: "nope-b", K: testK, W: testW})
+	if !errors.Is(err, ErrUnknownAssembly) {
+		t.Fatalf("err = %v, want ErrUnknownAssembly", err)
+	}
+
+	// NodeInfos carries the daemon address for the /fleet admin view.
+	for _, info := range c.NodeInfos() {
+		if info.Addr == "" {
+			t.Fatalf("node %s has no address", info.Name)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestPairHashOrderIndependent(t *testing.T) {
+	if PairHash("hap3", "hap7") != PairHash("hap7", "hap3") {
+		t.Fatal("PairHash depends on argument order")
+	}
+	if PairHash("a", "b") == PairHash("a", "c") {
+		t.Fatal("distinct pairs collide trivially")
+	}
+	// The separator must keep ("ab","c") and ("a","bc") distinct.
+	if PairHash("ab", "c") == PairHash("a", "bc") {
+		t.Fatal("PairHash concatenation is ambiguous")
+	}
+}
+
+// TestPairHashDispersesSimilarNames pins the avalanche finalizer: catalogs
+// name assemblies hap00, hap01, ... — near-identical strings whose raw
+// FNV-1a sums share high bits (the final XOR'd byte is never multiplied),
+// which once collapsed every pair onto shard 0. Both shards of a 2-node
+// fleet must receive work from such a catalog.
+func TestPairHashDispersesSimilarNames(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		counts := make([]int, n)
+		for i := 0; i < 12; i++ {
+			for j := i + 1; j < 12; j++ {
+				a, b := fmt.Sprintf("hap%02d", i), fmt.Sprintf("hap%02d", j)
+				counts[OwnerOf(PairHash(a, b), n)]++
+			}
+		}
+		loaded := 0
+		for _, c := range counts {
+			if c > 0 {
+				loaded++
+			}
+		}
+		// 66 pairs over n ≤ 8 shards: a healthy hash loads every shard.
+		if loaded != n {
+			t.Fatalf("n=%d: only %d of %d shards received pairs (%v)", n, loaded, n, counts)
+		}
+	}
+}
+
+// TestOwnerExactlyOneShard is the sharding property test: every unordered
+// pair maps to exactly one shard — OwnerOf lands in [0, n), the owner's
+// key range contains the hash, and the n ranges tile the key space with
+// no gaps or overlaps.
+func TestOwnerExactlyOneShard(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 16, 61} {
+		// Ranges tile [0, 2^64): adjacent, first starts at 0, last ends at max.
+		if lo := RangeOf(0, n).Lo; lo != 0 {
+			t.Fatalf("n=%d: first range starts at %d", n, lo)
+		}
+		if hi := RangeOf(n-1, n).Hi; hi != ^uint64(0) {
+			t.Fatalf("n=%d: last range ends at %x", n, hi)
+		}
+		for i := 0; i+1 < n; i++ {
+			if RangeOf(i, n).Hi+1 != RangeOf(i+1, n).Lo {
+				t.Fatalf("n=%d: gap/overlap between shard %d and %d", n, i, i+1)
+			}
+		}
+		for trial := 0; trial < 2000; trial++ {
+			a := fmt.Sprintf("hap%d", rng.Intn(500))
+			b := fmt.Sprintf("hap%d", rng.Intn(500))
+			if a == b {
+				continue
+			}
+			h := PairHash(a, b)
+			owner := OwnerOf(h, n)
+			if owner < 0 || owner >= n {
+				t.Fatalf("n=%d: owner %d out of range for hash %x", n, owner, h)
+			}
+			if !RangeOf(owner, n).Contains(h) {
+				t.Fatalf("n=%d: owner %d range %v does not contain %x", n, owner, RangeOf(owner, n), h)
+			}
+			// Exactly one: range boundaries are exact, so no other shard
+			// may claim the hash.
+			for i := 0; i < n; i++ {
+				if i != owner && RangeOf(i, n).Contains(h) {
+					t.Fatalf("n=%d: hash %x claimed by shards %d and %d", n, h, owner, i)
+				}
+			}
+		}
+	}
+	// Range boundary keys resolve to their own shard on both edges.
+	for _, n := range []int{2, 3, 5, 8} {
+		for i := 0; i < n; i++ {
+			r := RangeOf(i, n)
+			if OwnerOf(r.Lo, n) != i || OwnerOf(r.Hi, n) != i {
+				t.Fatalf("n=%d shard %d: boundary keys misrouted (%d/%d)",
+					n, i, OwnerOf(r.Lo, n), OwnerOf(r.Hi, n))
+			}
+		}
+	}
+}
+
+// TestShardStableAcrossRebalance checks that shard assignment moves only
+// at rebalance boundaries when the node count changes:
+//
+//   - scaling n → k·n subdivides ranges exactly, so a pair's new owner is
+//     always a child of its old range: OwnerOf(h, k·n)/k == OwnerOf(h, n);
+//   - growing n → n+1 shifts boundaries by less than one range width, so a
+//     pair moves at most one shard forward: new owner ∈ {old, old+1}.
+func TestShardStableAcrossRebalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5000; trial++ {
+		h := rng.Uint64()
+		for _, n := range []int{1, 2, 3, 4, 6, 8} {
+			for _, k := range []int{2, 3, 4} {
+				if OwnerOf(h, k*n)/k != OwnerOf(h, n) {
+					t.Fatalf("h=%x: OwnerOf(%d)=%d not nested under OwnerOf(%d)=%d",
+						h, k*n, OwnerOf(h, k*n), n, OwnerOf(h, n))
+				}
+			}
+			old, grown := OwnerOf(h, n), OwnerOf(h, n+1)
+			if grown != old && grown != old+1 {
+				t.Fatalf("h=%x: n=%d→%d moved shard %d→%d (want ≤1 step)", h, n, n+1, old, grown)
+			}
+		}
+	}
+}

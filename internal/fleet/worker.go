@@ -1,0 +1,233 @@
+package fleet
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"pangenomicsbench/internal/build"
+)
+
+// cacheKey identifies one canonical pair-match computation in a worker's
+// shard cache (the cross-process counterpart of serve's pair cache).
+type cacheKey struct {
+	a, b string
+	k, w int
+}
+
+// cacheEntry is one cached pair result with single-flight and pinning:
+// ready closes when the owner publishes or fails, refs > 0 blocks
+// eviction while a request is still reading the blocks.
+type cacheEntry struct {
+	key    cacheKey
+	ready  chan struct{}
+	err    error
+	blocks []build.MatchBlock
+	stats  build.PairStats
+	cost   int
+	refs   int
+	elem   *list.Element // non-nil while unpinned and evictable
+}
+
+// entryCost approximates a cached entry's bytes (5 ints per block + header).
+const entryCost = 40
+
+// Worker executes pair-match RPCs for the shard of the canonical pair-hash
+// space the coordinator routes to it. It holds the pushed assembly catalog
+// and a size-bounded, ref-counted, single-flight cache of its shard's pair
+// results, so overlapping cohorts hit across builds and across processes.
+// All methods are safe for concurrent use.
+type Worker struct {
+	name string
+
+	mu         sync.Mutex
+	catalog    map[string][]byte
+	version    int // last ConfigPush.Version applied
+	owned      KeyRange
+	capacity   int
+	size       int
+	entries    map[cacheKey]*cacheEntry
+	lru        *list.List // front = most recent; unpinned ready entries only
+	tasks      int64
+	hits       int64
+	misses     int64
+	evictions  int64
+	assemblies int
+}
+
+// NewWorker returns a named worker with an empty catalog and the given
+// shard-cache capacity in bytes (≤0 uses 32 MiB).
+func NewWorker(name string, cacheBytes int) *Worker {
+	if cacheBytes <= 0 {
+		cacheBytes = 32 << 20
+	}
+	return &Worker{
+		name:     name,
+		catalog:  map[string][]byte{},
+		capacity: cacheBytes,
+		entries:  map[cacheKey]*cacheEntry{},
+		lru:      list.New(),
+	}
+}
+
+// Configure applies one coordinator config push: the assembly catalog is
+// replaced wholesale (pushes are cumulative snapshots, not deltas), and
+// the cache budget and owned range are updated. Stale pushes (a version
+// below the last applied one) are ignored, so a delayed re-push cannot
+// roll the catalog back.
+func (w *Worker) Configure(push ConfigPush) error {
+	if len(push.Names) != len(push.Seqs) {
+		return fmt.Errorf("fleet: config push has %d names but %d seqs", len(push.Names), len(push.Seqs))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if push.Version < w.version {
+		return nil
+	}
+	cat := make(map[string][]byte, len(push.Names))
+	for i, n := range push.Names {
+		if n == "" || len(push.Seqs[i]) == 0 {
+			return fmt.Errorf("fleet: config push entry %d is empty", i)
+		}
+		cat[n] = push.Seqs[i]
+	}
+	w.catalog = cat
+	w.assemblies = len(cat)
+	w.version = push.Version
+	w.owned = push.Range
+	if push.CacheBytes > 0 {
+		w.capacity = push.CacheBytes
+		w.evictLocked()
+	}
+	return nil
+}
+
+// Match resolves one canonical pair through the shard cache, computing it
+// with build.PairMatches on a miss. Concurrent requests for the same
+// uncomputed pair share one execution. The returned blocks are in
+// canonical orientation (SeqA = 0 names req.A, SeqB = 1 names req.B) and
+// must not be mutated by the caller.
+func (w *Worker) Match(ctx context.Context, req MatchRequest) (*MatchResponse, error) {
+	if req.A >= req.B {
+		return nil, fmt.Errorf("fleet: non-canonical pair %q, %q (want A < B)", req.A, req.B)
+	}
+	key := cacheKey{a: req.A, b: req.B, k: req.K, w: req.W}
+	for {
+		w.mu.Lock()
+		e := w.entries[key]
+		if e == nil {
+			seqA, okA := w.catalog[req.A]
+			seqB, okB := w.catalog[req.B]
+			if !okA || !okB {
+				w.mu.Unlock()
+				return nil, fmt.Errorf("%w: %q/%q (catalog has %d assemblies)", ErrUnknownAssembly, req.A, req.B, len(w.catalog))
+			}
+			e = &cacheEntry{key: key, ready: make(chan struct{}), refs: 1}
+			w.entries[key] = e
+			w.misses++
+			w.tasks++
+			w.mu.Unlock()
+
+			blocks, stats, err := build.PairMatches(0, seqA, 1, seqB, req.K, req.W, nil)
+			w.mu.Lock()
+			if err != nil {
+				e.err = err
+				delete(w.entries, key)
+				close(e.ready)
+				w.mu.Unlock()
+				return nil, err
+			}
+			e.blocks = blocks
+			e.stats = stats
+			e.cost = entryCost*len(blocks) + 64
+			w.size += e.cost
+			w.evictLocked()
+			close(e.ready)
+			resp := &MatchResponse{Blocks: e.blocks, Stats: e.stats}
+			w.releaseLocked(e)
+			w.mu.Unlock()
+			return resp, nil
+		}
+
+		// Hit or join: pin so eviction cannot drop the entry mid-read.
+		e.refs++
+		if e.elem != nil {
+			w.lru.Remove(e.elem)
+			e.elem = nil
+		}
+		w.mu.Unlock()
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			w.mu.Lock()
+			w.releaseLocked(e)
+			w.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		w.mu.Lock()
+		if e.err != nil {
+			// The owner failed and removed the entry; retry as fresh owner.
+			w.releaseLocked(e)
+			w.mu.Unlock()
+			continue
+		}
+		w.hits++
+		w.tasks++
+		resp := &MatchResponse{Blocks: e.blocks, Stats: e.stats, CacheHit: true}
+		w.releaseLocked(e)
+		w.mu.Unlock()
+		return resp, nil
+	}
+}
+
+// releaseLocked unpins an entry; the last release of a still-resident
+// ready entry makes it evictable. Called with w.mu held.
+func (w *Worker) releaseLocked(e *cacheEntry) {
+	e.refs--
+	if e.refs > 0 || e.err != nil {
+		return
+	}
+	if w.entries[e.key] != e {
+		return // evicted (or replaced) while pinned
+	}
+	if e.elem == nil {
+		e.elem = w.lru.PushFront(e)
+	}
+	w.evictLocked()
+}
+
+// evictLocked drops least-recently-used unpinned entries until the cache
+// fits its capacity. Called with w.mu held.
+func (w *Worker) evictLocked() {
+	for w.size > w.capacity {
+		back := w.lru.Back()
+		if back == nil {
+			return // everything resident is pinned
+		}
+		e := back.Value.(*cacheEntry)
+		w.lru.Remove(back)
+		e.elem = nil
+		delete(w.entries, e.key)
+		w.size -= e.cost
+		w.evictions++
+	}
+}
+
+// Ping reports the worker's identity, counters and cache occupancy — the
+// heartbeat payload the coordinator aggregates.
+func (w *Worker) Ping() PingReply {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return PingReply{
+		Name:          w.name,
+		Assemblies:    w.assemblies,
+		ConfigVersion: w.version,
+		Range:         w.owned,
+		Tasks:         w.tasks,
+		CacheHits:     w.hits,
+		CacheMisses:   w.misses,
+		CacheEntries:  len(w.entries),
+		CacheBytes:    w.size,
+	}
+}

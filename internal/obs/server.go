@@ -22,6 +22,26 @@ type SnapshotInfo struct {
 	Current    bool   `json:"current"`
 }
 
+// FleetNodeInfo is one construction-fleet node's registry state, as shown
+// by the /fleet endpoint: liveness, heartbeat age, the key range of the
+// canonical pair-hash space the node owns, and the last heartbeat's
+// task/shard-cache counters (the per-shard cache hit ratio is
+// CacheHits / (CacheHits + CacheMisses)).
+type FleetNodeInfo struct {
+	Name           string `json:"name"`
+	Addr           string `json:"addr,omitempty"`
+	Live           bool   `json:"live"`
+	HeartbeatAgeMS int64  `json:"heartbeat_age_ms"`
+	Range          string `json:"range"`
+	Tasks          int64  `json:"tasks"`
+	CacheHits      int64  `json:"cache_hits"`
+	CacheMisses    int64  `json:"cache_misses"`
+	CacheEntries   int    `json:"cache_entries"`
+	CacheBytes     int    `json:"cache_bytes"`
+	Assemblies     int    `json:"assemblies"`
+	ConfigVersion  int    `json:"config_version"`
+}
+
 // ServerConfig wires the admin server's data sources. Every field is
 // optional; endpoints with no source report an empty result.
 type ServerConfig struct {
@@ -31,6 +51,8 @@ type ServerConfig struct {
 	Recorder *Recorder
 	// Snapshots supplies the registry state behind /snapshots.
 	Snapshots func() []SnapshotInfo
+	// Fleet supplies the construction-fleet node registry behind /fleet.
+	Fleet func() []FleetNodeInfo
 	// Health, when non-nil, gates /healthz: a returned error serves 503.
 	Health func() error
 }
@@ -53,6 +75,7 @@ func NewServer(cfg ServerConfig) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/traces", s.handleTraces)
 	s.mux.HandleFunc("/snapshots", s.handleSnapshots)
+	s.mux.HandleFunc("/fleet", s.handleFleet)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
@@ -91,6 +114,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /metrics    Prometheus text exposition of the service metric set
   /traces     flight-recorder traces (?format=jsonl|tree, ?n=20, ?which=slow|recent|exemplars, ?min_dur=5ms)
   /snapshots  mapserve registry generations, refcounts, in-flight queries
+  /fleet      construction-fleet node registry (liveness, key ranges, shard caches)
   /healthz    liveness
 `)
 }
@@ -163,6 +187,17 @@ func (s *Server) handleSnapshots(w http.ResponseWriter, _ *http.Request) {
 	infos := []SnapshotInfo{}
 	if s.cfg.Snapshots != nil {
 		infos = s.cfg.Snapshots()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(infos)
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	infos := []FleetNodeInfo{}
+	if s.cfg.Fleet != nil {
+		infos = s.cfg.Fleet()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

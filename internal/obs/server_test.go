@@ -216,6 +216,56 @@ func TestTracesMinDurFilter(t *testing.T) {
 	}
 }
 
+// TestServerFleetEndpoint exercises the /fleet admin view: the registry
+// source's node entries round-trip as JSON with liveness, heartbeat age,
+// key ranges and cache counters intact.
+func TestServerFleetEndpoint(t *testing.T) {
+	srv := NewServer(ServerConfig{
+		Fleet: func() []FleetNodeInfo {
+			return []FleetNodeInfo{
+				{Name: "a-node", Addr: "127.0.0.1:9001", Live: true, HeartbeatAgeMS: 120,
+					Range: "[0000000000000000, 7fffffffffffffff]", Tasks: 42,
+					CacheHits: 30, CacheMisses: 12, CacheEntries: 7, CacheBytes: 4096,
+					Assemblies: 5, ConfigVersion: 5},
+				{Name: "b-node", Live: false, HeartbeatAgeMS: 9000,
+					Range: "[8000000000000000, ffffffffffffffff]"},
+			}
+		},
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr
+
+	code, body := get(t, base+"/fleet")
+	if code != http.StatusOK {
+		t.Fatalf("/fleet = %d", code)
+	}
+	var infos []FleetNodeInfo
+	if err := json.Unmarshal([]byte(body), &infos); err != nil {
+		t.Fatalf("/fleet does not parse: %v\n%s", err, body)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("/fleet returned %d nodes, want 2", len(infos))
+	}
+	if infos[0].Name != "a-node" || !infos[0].Live || infos[0].Tasks != 42 || infos[0].CacheHits != 30 {
+		t.Fatalf("/fleet live node = %+v", infos[0])
+	}
+	if infos[1].Live || infos[1].HeartbeatAgeMS != 9000 {
+		t.Fatalf("/fleet dead node = %+v", infos[1])
+	}
+	// A dead node with no address omits the field entirely.
+	if strings.Contains(body, `"addr": ""`) {
+		t.Fatalf("/fleet serializes empty addr:\n%s", body)
+	}
+	// The index advertises the endpoint.
+	if _, idx := get(t, base+"/"); !strings.Contains(idx, "/fleet") {
+		t.Fatalf("index does not mention /fleet:\n%s", idx)
+	}
+}
+
 func TestServerEmptySources(t *testing.T) {
 	srv := NewServer(ServerConfig{})
 	addr, err := srv.Start("127.0.0.1:0")
@@ -224,13 +274,15 @@ func TestServerEmptySources(t *testing.T) {
 	}
 	defer srv.Close()
 	base := "http://" + addr
-	for _, path := range []string{"/metrics", "/traces", "/snapshots", "/healthz"} {
+	for _, path := range []string{"/metrics", "/traces", "/snapshots", "/fleet", "/healthz"} {
 		if code, _ := get(t, base+path); code != http.StatusOK {
 			t.Errorf("%s with no sources = %d, want 200", path, code)
 		}
 	}
-	if _, body := get(t, base+"/snapshots"); !strings.HasPrefix(strings.TrimSpace(body), "[") {
-		t.Errorf("/snapshots with no source = %q, want a JSON array", body)
+	for _, path := range []string{"/snapshots", "/fleet"} {
+		if _, body := get(t, base+path); !strings.HasPrefix(strings.TrimSpace(body), "[") {
+			t.Errorf("%s with no source = %q, want a JSON array", path, body)
+		}
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"pangenomicsbench/internal/build"
+	"pangenomicsbench/internal/fleet"
 	"pangenomicsbench/internal/obs"
 	"pangenomicsbench/internal/perf"
 )
@@ -72,6 +73,14 @@ type Config struct {
 	// so a restarted coordinator can Recover crash-interrupted cohorts.
 	// Coalesced joiners are not journaled — they share the leader's record.
 	Journal *Journal
+	// Fleet, when set, routes PGGB pair matching through a multi-node
+	// construction fleet instead of the in-process pair cache: each pair is
+	// dispatched to the worker owning its canonical hash shard, and workers'
+	// shard caches replace the local one. Set Fleet before registering
+	// assemblies — RegisterAssembly forwards the catalog to the fleet so
+	// workers can be config-pushed. Results are byte-identical to the local
+	// path per the fleet determinism contract. MC requests are unaffected.
+	Fleet *fleet.Coordinator
 }
 
 // Request is one graph-construction job: a tool, a cohort of registered
@@ -156,11 +165,15 @@ func (s *Service) RegisterAssembly(name string, seq []byte) error {
 		return fmt.Errorf("serve: assembly %q has an empty sequence", name)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, dup := s.catalog[name]; dup {
+		s.mu.Unlock()
 		return fmt.Errorf("serve: assembly %q already registered", name)
 	}
 	s.catalog[name] = seq
+	s.mu.Unlock()
+	if s.cfg.Fleet != nil {
+		return s.cfg.Fleet.RegisterAssembly(name, seq)
+	}
 	return nil
 }
 
@@ -471,7 +484,9 @@ func (s *Service) buildPGGB(ctx context.Context, req Request, seqs [][]byte, res
 }
 
 // matchPair resolves one cohort pair (cohort indices i < j) through the
-// cache and remaps the canonical blocks into cohort coordinates.
+// cache and remaps the canonical blocks into cohort coordinates. With a
+// fleet configured, the pair is dispatched to the worker owning its hash
+// shard instead, and the worker's shard cache stands in for the local one.
 func (s *Service) matchPair(ctx context.Context, nameI string, seqI []byte, i int, nameJ string, seqJ []byte, j int, cfg build.PGGBConfig) ([]build.MatchBlock, build.PairStats, bool, error) {
 	lo, hi := nameI, nameJ
 	seqLo, seqHi := seqI, seqJ
@@ -480,6 +495,13 @@ func (s *Service) matchPair(ctx context.Context, nameI string, seqI []byte, i in
 		lo, hi = hi, lo
 		seqLo, seqHi = seqHi, seqLo
 		swapped = true
+	}
+	if s.cfg.Fleet != nil {
+		blocks, st, hit, err := s.cfg.Fleet.Match(ctx, lo, hi, cfg.K, cfg.W)
+		if err != nil {
+			return nil, build.PairStats{}, false, err
+		}
+		return fleet.RemapBlocks(blocks, i, j, swapped), st, hit, nil
 	}
 	key := pairKey{a: lo, b: hi, k: cfg.K, w: cfg.W}
 	entry, hit, err := s.cache.acquire(ctx, key, func() ([]build.MatchBlock, build.PairStats, error) {

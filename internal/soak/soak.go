@@ -15,6 +15,7 @@
 package soak
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -27,7 +28,9 @@ import (
 	"time"
 
 	"pangenomicsbench/internal/build"
+	"pangenomicsbench/internal/fleet"
 	"pangenomicsbench/internal/gensim"
+	"pangenomicsbench/internal/gfa"
 	"pangenomicsbench/internal/mapserve"
 	"pangenomicsbench/internal/obs"
 	"pangenomicsbench/internal/perf"
@@ -52,6 +55,12 @@ const (
 	// ChaosBuildReject takes the build tier down for a window
 	// (serve.SetChaosRejectBuilds) while queries keep flowing.
 	ChaosBuildReject ChaosKind = "build-reject"
+	// ChaosWorkerKill kills one construction-fleet worker while a cohort
+	// rebuild is in flight — requires Config.FleetNodes ≥ 2. The run asserts
+	// the build still completes with byte-identical output (dead worker's
+	// tasks reassigned along the shard ring) and that the fleet registry
+	// marks the node dead.
+	ChaosWorkerKill ChaosKind = "worker-kill"
 )
 
 // ParseChaos parses a comma-separated chaos list ("swap,restart").
@@ -63,10 +72,10 @@ func ParseChaos(s string) ([]ChaosKind, error) {
 	for _, f := range strings.Split(s, ",") {
 		k := ChaosKind(strings.TrimSpace(f))
 		switch k {
-		case ChaosSwap, ChaosShed, ChaosRestart, ChaosBuildReject:
+		case ChaosSwap, ChaosShed, ChaosRestart, ChaosBuildReject, ChaosWorkerKill:
 			out = append(out, k)
 		default:
-			return nil, fmt.Errorf("soak: unknown chaos kind %q (want swap, shed, restart or build-reject)", f)
+			return nil, fmt.Errorf("soak: unknown chaos kind %q (want swap, shed, restart, build-reject or worker-kill)", f)
 		}
 	}
 	return out, nil
@@ -97,6 +106,11 @@ type Config struct {
 	// Chaos lists the fault injections, fired in order at even fractions of
 	// Duration.
 	Chaos []ChaosKind
+	// FleetNodes > 0 routes the build tier's pair matching through an
+	// in-process loopback construction fleet of that many workers
+	// (serve.Config.Fleet); required ≥ 2 by ChaosWorkerKill so a build can
+	// survive losing one.
+	FleetNodes int
 	// StoreDir persists published snapshots and is required by ChaosRestart.
 	StoreDir string
 	// Sink, when non-nil, receives structured JSONL records: periodic
@@ -121,12 +135,12 @@ type Config struct {
 
 // Result summarizes one completed soak run.
 type Result struct {
-	Issued, Mapped, Shed, Failed, Lost int64
-	Swaps, Restarts, Storms, Rejects   int
-	Generations                        uint64
-	Wall                               time.Duration
-	Report                             obs.SoakReport
-	Metrics                            perf.MetricsSnapshot
+	Issued, Mapped, Shed, Failed, Lost      int64
+	Swaps, Restarts, Storms, Rejects, Kills int
+	Generations                             uint64
+	Wall                                    time.Duration
+	Report                                  obs.SoakReport
+	Metrics                                 perf.MetricsSnapshot
 }
 
 // chaosEvent is one scheduled injection.
@@ -179,6 +193,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	for _, k := range cfg.Chaos {
 		if k == ChaosRestart && cfg.StoreDir == "" {
 			return nil, fmt.Errorf("soak: chaos %q needs StoreDir — a warm restart reloads the last persisted generation", k)
+		}
+		if k == ChaosWorkerKill && cfg.FleetNodes < 2 {
+			return nil, fmt.Errorf("soak: chaos %q needs FleetNodes ≥ 2 — a build must survive losing one worker", k)
 		}
 	}
 	sc := cfg.Scenario
@@ -235,6 +252,28 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	names, seqs := pop.AssemblyView()
+
+	// Optional construction fleet: loopback workers sharding the build
+	// tier's pair matching. Tight heartbeats so a killed worker is noticed
+	// well inside a soak-scale run.
+	var coord *fleet.Coordinator
+	var fleetNodes []*fleet.LocalNode
+	if cfg.FleetNodes > 0 {
+		coord = fleet.NewCoordinator(fleet.Config{
+			HeartbeatEvery: 100 * time.Millisecond,
+			Metrics:        metrics,
+		})
+		defer coord.Close()
+		for i := 0; i < cfg.FleetNodes; i++ {
+			name := fmt.Sprintf("soak-node-%d", i)
+			ln := fleet.NewLocalNode(fleet.NewWorker(name, 0), 0)
+			fleetNodes = append(fleetNodes, ln)
+			if err := coord.AddNode(name, ln); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	var snapSeq uint64
 	var publishErr error
 	var publishMu sync.Mutex
@@ -242,6 +281,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		CacheCapacity: 64 << 20,
 		Metrics:       metrics,
 		Tracer:        tracer,
+		Fleet:         coord,
 		OnResult: func(req serve.Request, res *build.Result) {
 			n := atomic.AddUint64(&snapSeq, 1)
 			snap, err := mapserve.SnapshotFromBuild(fmt.Sprintf("cohort-%d", n), res, cfg.Tool)
@@ -263,8 +303,19 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	cohort := serve.Request{Tool: serve.ToolPGGB, Cohort: names, PGGB: build.DefaultPGGBConfig(), MC: build.DefaultMCConfig()}
 	t0 := time.Now()
-	if _, err := builder.Build(ctx, cohort); err != nil {
+	first, err := builder.Build(ctx, cohort)
+	if err != nil {
 		return nil, fmt.Errorf("soak: initial cohort build: %w", err)
+	}
+	// Baseline graph bytes: worker-kill chaos asserts rebuilds under fault
+	// reproduce this exactly.
+	var baselineGFA []byte
+	if len(fleetNodes) > 0 {
+		var buf bytes.Buffer
+		if err := gfa.Write(&buf, first.Result.Graph); err != nil {
+			return nil, fmt.Errorf("soak: baseline GFA: %w", err)
+		}
+		baselineGFA = buf.Bytes()
 	}
 	publishMu.Lock()
 	perr := publishErr
@@ -343,6 +394,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}()
 
+	// Worker-kill verdicts, written by the chaos driver and read after
+	// bg.Wait(): every faulted rebuild must reproduce the baseline graph,
+	// and every killed worker must end up marked dead in the registry.
+	killIdentical, killMarkedDead := true, true
+
 	// Chaos driver.
 	bg.Add(1)
 	go func() {
@@ -391,6 +447,64 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 					elapsed, time.Since(rt0).Round(time.Millisecond))
 				cfg.Sink.Emit("chaos", map[string]any{"event": "restart", "elapsed_ms": elapsed.Milliseconds(),
 					"restart_ms": time.Since(rt0).Milliseconds()})
+			case ChaosWorkerKill:
+				if res.Kills >= len(fleetNodes)-1 {
+					fmt.Fprintf(out, "soak: worker-kill at %v skipped — would leave no live workers\n", elapsed)
+					res.Kills++ // counted so chaos-complete still balances
+					continue
+				}
+				victim := fleetNodes[res.Kills]
+				victimName := fmt.Sprintf("soak-node-%d", res.Kills)
+				kt0 := time.Now()
+				type buildOut struct {
+					resp *serve.Response
+					err  error
+				}
+				done := make(chan buildOut, 1)
+				go func() {
+					r, err := builder.Build(ctx, cohort)
+					done <- buildOut{r, err}
+				}()
+				// Let pair dispatch begin, then drop the worker mid-build;
+				// its in-flight and still-owned tasks must be reassigned
+				// along the shard ring.
+				time.Sleep(2 * time.Millisecond)
+				victim.Kill()
+				bo := <-done
+				res.Kills++
+				switch {
+				case bo.err != nil:
+					killIdentical = false
+					fmt.Fprintf(out, "soak: rebuild under worker-kill failed: %v\n", bo.err)
+				default:
+					var buf bytes.Buffer
+					if err := gfa.Write(&buf, bo.resp.Result.Graph); err != nil || !bytes.Equal(buf.Bytes(), baselineGFA) {
+						killIdentical = false
+						fmt.Fprintf(out, "soak: rebuild under worker-kill diverged from baseline graph\n")
+					}
+				}
+				// The registry must mark the victim dead — either instantly
+				// via a failed task RPC or within a few heartbeats.
+				marked := false
+				for deadline := time.Now().Add(2 * time.Second); time.Now().Before(deadline); {
+					for _, info := range coord.NodeInfos() {
+						if info.Name == victimName && !info.Live {
+							marked = true
+						}
+					}
+					if marked {
+						break
+					}
+					time.Sleep(20 * time.Millisecond)
+				}
+				if !marked {
+					killMarkedDead = false
+				}
+				fmt.Fprintf(out, "soak: chaos worker-kill at %v — %s killed mid-build, rebuild finished in %v (identical=%v dead-marked=%v)\n",
+					elapsed, victimName, time.Since(kt0).Round(time.Millisecond), killIdentical, marked)
+				cfg.Sink.Emit("chaos", map[string]any{"event": "worker-kill", "elapsed_ms": elapsed.Milliseconds(),
+					"victim": victimName, "rebuild_ms": time.Since(kt0).Milliseconds(),
+					"identical": killIdentical, "dead_marked": marked})
 			case ChaosBuildReject:
 				builder.SetChaosRejectBuilds(true)
 				fmt.Fprintf(out, "soak: chaos build outage at %v for %v\n", elapsed, stormLen)
@@ -477,8 +591,15 @@ dispatch:
 	res.Report.CheckShedRate(res.Issued, res.Shed, chaosShed, cfg.MaxShedRate)
 	res.Report.CheckGoroutines(goroutineBase, 16)
 	res.Report.CheckHeapGrowth(heapBase, 256<<20)
-	res.Report.Add("chaos-complete", res.Swaps+res.Restarts+res.Storms+res.Rejects == len(cfg.Chaos),
-		"%d of %d chaos events completed", res.Swaps+res.Restarts+res.Storms+res.Rejects, len(cfg.Chaos))
+	chaosDone := res.Swaps + res.Restarts + res.Storms + res.Rejects + res.Kills
+	res.Report.Add("chaos-complete", chaosDone == len(cfg.Chaos),
+		"%d of %d chaos events completed", chaosDone, len(cfg.Chaos))
+	if res.Kills > 0 {
+		res.Report.Add("worker-kill-identical", killIdentical,
+			"rebuilds under worker-kill reproduce the baseline graph byte-for-byte: %v", killIdentical)
+		res.Report.Add("worker-kill-dead", killMarkedDead,
+			"killed workers marked dead in the fleet registry: %v", killMarkedDead)
+	}
 
 	checks := make(map[string]any, len(res.Report.Checks))
 	for _, c := range res.Report.Checks {
