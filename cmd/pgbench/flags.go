@@ -56,13 +56,15 @@ func addScenarioFlag(fs *flag.FlagSet, def string) *string {
 
 // obsFlags is the admin-endpoint flag block shared by the serve commands.
 type obsFlags struct {
-	addr *string
+	addr  *string
+	pprof *bool
 }
 
-// addObsFlag registers -obs on fs.
+// addObsFlag registers -obs and -pprof on fs.
 func addObsFlag(fs *flag.FlagSet) *obsFlags {
 	return &obsFlags{
-		addr: fs.String("obs", "", "admin/metrics listen address, e.g. :8080 (empty = no endpoint)"),
+		addr:  fs.String("obs", "", "admin/metrics listen address, e.g. :8080 (empty = no endpoint)"),
+		pprof: fs.Bool("pprof", false, "mount continuous-profiling endpoints under /debug/pprof/ on the -obs server"),
 	}
 }
 
@@ -72,12 +74,16 @@ func (o *obsFlags) start(cfg obs.ServerConfig) (func(), error) {
 	if *o.addr == "" {
 		return func() {}, nil
 	}
+	cfg.EnableProfiling = cfg.EnableProfiling || *o.pprof
 	srv := obs.NewServer(cfg)
 	bound, err := srv.Start(*o.addr)
 	if err != nil {
 		return nil, err
 	}
 	fmt.Printf("admin endpoint: http://%s/ (/metrics /traces /snapshots /healthz)\n", bound)
+	if cfg.EnableProfiling {
+		fmt.Printf("profiling endpoints: http://%s/debug/pprof/\n", bound)
+	}
 	return func() { _ = srv.Close() }, nil
 }
 

@@ -25,6 +25,7 @@ func fleetWorkerCmd(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:9471", "worker RPC listen address")
 	name := fs.String("name", "", "worker name reported in heartbeats (default: the listen address)")
 	cacheMB := fs.Int("cache-mb", 32, "shard cache capacity (MiB); a coordinator config push may override it")
+	of := addObsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -32,11 +33,28 @@ func fleetWorkerCmd(args []string) error {
 	if wname == "" {
 		wname = *listen
 	}
-	srv := fleet.NewWorkerServer(fleet.NewWorker(wname, *cacheMB<<20))
+	// Every worker carries its own metric set and tracer: the metrics feed
+	// GET /metrics on the RPC listener (the coordinator's federation scrape)
+	// and the tracer's span trees ride back on match responses, so the
+	// coordinator can graft them into one cross-process trace per build.
+	metrics := perf.NewMetrics()
+	tracer := obs.NewTracer(obs.TracerConfig{Metrics: metrics})
+	w := fleet.NewWorker(wname, *cacheMB<<20)
+	w.SetObs(metrics, tracer)
+	srv := fleet.NewWorkerServer(w)
 	addr, err := srv.Start(*listen)
 	if err != nil {
 		return err
 	}
+	stopObs, err := of.start(obs.ServerConfig{
+		Metrics:  metrics.Snapshot,
+		Recorder: tracer.Recorder(),
+	})
+	if err != nil {
+		_ = srv.Close()
+		return err
+	}
+	defer stopObs()
 	fmt.Printf("fleet-worker %s: serving pair-match RPCs on %s (cache %d MiB)\n", wname, addr, *cacheMB)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -48,7 +66,7 @@ func fleetWorkerCmd(args []string) error {
 // fleetFromSpec builds a running coordinator from a node spec: "local:N"
 // spins N in-process loopback workers; anything else is a comma-separated
 // list of fleet-worker daemon addresses.
-func fleetFromSpec(spec string, cacheBytes int, metrics *perf.Metrics) (*fleet.Coordinator, error) {
+func fleetFromSpec(spec string, cacheBytes int, metrics *perf.Metrics, tracer *obs.Tracer) (*fleet.Coordinator, error) {
 	coord := fleet.NewCoordinator(fleet.Config{Metrics: metrics, CacheBytes: cacheBytes})
 	if n, ok := strings.CutPrefix(spec, "local:"); ok {
 		count, err := strconv.Atoi(n)
@@ -58,7 +76,13 @@ func fleetFromSpec(spec string, cacheBytes int, metrics *perf.Metrics) (*fleet.C
 		}
 		for i := 0; i < count; i++ {
 			name := fmt.Sprintf("local-%02d", i)
-			if err := coord.AddNode(name, fleet.NewLocalNode(fleet.NewWorker(name, 0), 0)); err != nil {
+			w := fleet.NewWorker(name, 0)
+			// Loopback workers get their own metric set (so federation shows
+			// distinct node series) but share the driver's tracer — their
+			// match spans land in the same flight recorder the -obs endpoint
+			// serves, exactly as remote worker spans do after grafting.
+			w.SetObs(perf.NewMetrics(), tracer)
+			if err := coord.AddNode(name, fleet.NewLocalNode(w, 0)); err != nil {
 				coord.Close()
 				return nil, err
 			}
@@ -93,6 +117,7 @@ func fleetCmd(args []string) error {
 	nodes := fs.String("nodes", "", "comma-separated fleet-worker daemon addresses")
 	local := fs.Int("local", 0, "spin up N in-process loopback workers instead of -nodes")
 	cacheMB := fs.Int("cache-mb", 32, "per-worker shard cache budget pushed with the catalog (MiB)")
+	linger := fs.Duration("linger", 0, "keep the process (and -obs endpoint) alive this long after the build, for scraping")
 	of := addObsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,7 +139,8 @@ func fleetCmd(args []string) error {
 	}
 	names, seqs := pop.AssemblyView()
 	metrics := perf.NewMetrics()
-	coord, err := fleetFromSpec(spec, *cacheMB<<20, metrics)
+	tracer := obs.NewTracer(obs.TracerConfig{Metrics: metrics})
+	coord, err := fleetFromSpec(spec, *cacheMB<<20, metrics, tracer)
 	if err != nil {
 		return err
 	}
@@ -123,8 +149,10 @@ func fleetCmd(args []string) error {
 		return err
 	}
 	stopObs, err := of.start(obs.ServerConfig{
-		Metrics: metrics.Snapshot,
-		Fleet:   coord.NodeInfos,
+		Metrics:        metrics.Snapshot,
+		Recorder:       tracer.Recorder(),
+		Fleet:          coord.NodeInfos,
+		FederatedNodes: coord.FederatedNodes,
 	})
 	if err != nil {
 		return err
@@ -155,15 +183,26 @@ func fleetCmd(args []string) error {
 	}
 	singleWall := time.Since(t0)
 
+	// The fleet build runs under one root span: dispatch spans become its
+	// children and every remote worker's span tree is grafted in, so the
+	// -obs /traces endpoint shows a single cross-process tree for the build.
+	bs := tracer.StartRoot("fleet.build")
+	bs.SetInt("assemblies", int64(len(names)))
+	bctx := obs.ContextWithSpan(ctx, bs)
 	t1 := time.Now()
-	blocks, stats, hits, err := coord.AllPairMatches(ctx, names, cfg.K, cfg.W)
+	blocks, stats, hits, err := coord.AllPairMatches(bctx, names, cfg.K, cfg.W)
 	if err != nil {
+		bs.Error(err)
+		bs.End()
 		return fmt.Errorf("fleet pair matching: %w", err)
 	}
-	fleetRes, err := build.PGGBFromMatches(ctx, names, seqs, blocks, stats, cfg, nil)
+	fleetRes, err := build.PGGBFromMatches(bctx, names, seqs, blocks, stats, cfg, nil)
 	if err != nil {
+		bs.Error(err)
+		bs.End()
 		return fmt.Errorf("fleet graph induction: %w", err)
 	}
+	bs.End()
 	fleetWall := time.Since(t1)
 
 	var want, got bytes.Buffer
@@ -181,10 +220,15 @@ func fleetCmd(args []string) error {
 		snap.Counters["fleet.tasks"], snap.Counters["fleet.reassigned"],
 		snap.Counters["fleet.remote_hits"], snap.Counters["fleet.remote_misses"],
 		snap.Counters["fleet.push"], snap.Counters["fleet.deaths"])
+	fmt.Printf("fleet build trace: %s\n", bs.TraceID())
 	if !bytes.Equal(want.Bytes(), got.Bytes()) {
 		return fmt.Errorf("fleet GFA differs from single-process GFA (%d vs %d bytes) — determinism contract broken",
 			got.Len(), want.Len())
 	}
 	fmt.Printf("fleet GFA is byte-identical to the single-process build (%d bytes)\n", want.Len())
+	if *linger > 0 {
+		fmt.Printf("lingering %v for scrapes\n", *linger)
+		time.Sleep(*linger)
+	}
 	return nil
 }

@@ -175,6 +175,7 @@ func serveSim(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-request timeout (0 = none)")
 	toolName := fs.String("tool", "pggb", "construction tool: pggb or mc")
 	storePath := fs.String("store", "", "journal directory: accepted builds are WAL-logged and crash-interrupted ones replayed on restart")
+	profileSlow := fs.Duration("profile-slow", 0, "capture a CPU profile of builds slower than this into -store (0 = off; requires -store)")
 	fleetSpec := fs.String("fleet-nodes", "", "route pair matching through a construction fleet: local:N or comma-separated fleet-worker addresses")
 	scenarioName := addScenarioFlag(fs, "baseline")
 	of := addObsFlag(fs)
@@ -222,10 +223,18 @@ func serveSim(args []string) error {
 	}
 	var coord *fleet.Coordinator
 	if *fleetSpec != "" {
-		if coord, err = fleetFromSpec(*fleetSpec, *cacheMB<<20, metrics); err != nil {
+		if coord, err = fleetFromSpec(*fleetSpec, *cacheMB<<20, metrics, tracer); err != nil {
 			return err
 		}
 		defer coord.Close()
+	}
+	var profiler *obs.Profiler
+	if *profileSlow > 0 {
+		if *storePath == "" {
+			return fmt.Errorf("-profile-slow needs -store to hold the captured profiles")
+		}
+		profiler = &obs.Profiler{Dir: *storePath, Threshold: *profileSlow}
+		fmt.Printf("profiling builds slower than %v into %s (cpu-<trace_id>.pprof)\n", *profileSlow, *storePath)
 	}
 	svc := serve.New(serve.Config{
 		Workers:        *workers,
@@ -235,6 +244,7 @@ func serveSim(args []string) error {
 		Tracer:         tracer,
 		Journal:        journal,
 		Fleet:          coord,
+		Profiler:       profiler,
 	})
 	if err := svc.RegisterAssemblies(names, seqs); err != nil {
 		return err
@@ -252,6 +262,7 @@ func serveSim(args []string) error {
 	}
 	if coord != nil {
 		obsCfg.Fleet = coord.NodeInfos
+		obsCfg.FederatedNodes = coord.FederatedNodes
 	}
 	stopObs, err := of.start(obsCfg)
 	if err != nil {

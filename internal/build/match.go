@@ -31,6 +31,7 @@ type PairStats struct {
 	WindowsKept  int // windows whose WFA-estimated identity passed the filter
 	Blocks       int // exact match blocks emitted
 	MatchedBases int // sum of block lengths
+	MinimizeTime time.Duration
 	WFATime      time.Duration
 }
 
@@ -42,6 +43,7 @@ func (s *PairStats) Add(o PairStats) {
 	s.WindowsKept += o.WindowsKept
 	s.Blocks += o.Blocks
 	s.MatchedBases += o.MatchedBases
+	s.MinimizeTime += o.MinimizeTime
 	s.WFATime += o.WFATime
 }
 
@@ -88,6 +90,7 @@ func PairMatches(ia int, a []byte, ib int, b []byte, k, w int, probe *perf.Probe
 	if len(a) == 0 || len(b) == 0 {
 		return nil, st, fmt.Errorf("build: PairMatches needs non-empty sequences (len a=%d, b=%d)", len(a), len(b))
 	}
+	tMin := time.Now()
 	ma, err := minimizer.Compute(a, k, w, probe)
 	if err != nil {
 		return nil, st, err
@@ -96,6 +99,7 @@ func PairMatches(ia int, a []byte, ib int, b []byte, k, w int, probe *perf.Probe
 	if err != nil {
 		return nil, st, err
 	}
+	st.MinimizeTime = time.Since(tMin)
 
 	// Index A's minimizers, capped per hash (repeat filter).
 	occ := make(map[uint64][]int, len(ma))

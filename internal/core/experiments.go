@@ -12,6 +12,7 @@ import (
 	"pangenomicsbench/internal/fleet"
 	"pangenomicsbench/internal/gensim"
 	"pangenomicsbench/internal/layout"
+	"pangenomicsbench/internal/obs"
 	"pangenomicsbench/internal/perf"
 	"pangenomicsbench/internal/pipeline"
 	"pangenomicsbench/internal/sched"
@@ -451,10 +452,15 @@ func (s *Suite) Fig5Fleet() (Table, error) {
 	predicted := sched.Speedups(cluster, chain, nodeCounts)
 
 	// Measured rows: real coordinators over width-1 loopback workers, with
-	// cold shard caches for every node count.
+	// cold shard caches for every node count. Each coordinator carries a
+	// metric set so the shard-balance gauges quantify the hash skew the
+	// scaling plateau comes from.
 	walls := make([]time.Duration, len(nodeCounts))
+	maxShard := make([]int64, len(nodeCounts))
+	imbalance := make([]int64, len(nodeCounts))
 	for ni, n := range nodeCounts {
-		coord := fleet.NewCoordinator(fleet.Config{})
+		fm := perf.NewMetrics()
+		coord := fleet.NewCoordinator(fleet.Config{Metrics: fm})
 		for i := 0; i < n; i++ {
 			name := fmt.Sprintf("node-%02d", i)
 			if err := coord.AddNode(name, fleet.NewLocalNode(fleet.NewWorker(name, 0), 1)); err != nil {
@@ -465,6 +471,14 @@ func (s *Suite) Fig5Fleet() (Table, error) {
 		if err := coord.RegisterAssemblies(names, capped); err != nil {
 			coord.Close()
 			return Table{}, err
+		}
+		snap := fm.Snapshot()
+		imbalance[ni] = snap.Gauges["fleet.shard_imbalance_milli"].Value
+		for i := 0; i < n; i++ {
+			key := obs.WithLabel("fleet.shard_pairs", "node", fmt.Sprintf("node-%02d", i))
+			if v := snap.Gauges[key].Value; v > maxShard[ni] {
+				maxShard[ni] = v
+			}
 		}
 		t1 := time.Now()
 		_, _, _, err := coord.AllPairMatches(context.Background(), names, s.Cfg.K, s.Cfg.W)
@@ -478,12 +492,14 @@ func (s *Suite) Fig5Fleet() (Table, error) {
 	tbl := Table{
 		ID:     "fig5-fleet",
 		Title:  "Fleet Node Scaling (PGGB all-pair construction, speedup vs 1 node)",
-		Header: []string{"Nodes", "Predicted x", "Measured wall", "Measured x"},
+		Header: []string{"Nodes", "Predicted x", "Measured wall", "Measured x", "Max shard", "Imbalance"},
 		Notes: []string{
 			fmt.Sprintf("%d pair tasks sharded by canonical pair hash over width-1 loopback workers;", len(tasks)),
 			"predicted: sched.GrowthChain makespan with greedy task placement;",
 			"measured: hash routing cannot rebalance, so skewed shards lag the greedy bound,",
-			"and the curve plateaus once nodes outnumber the heaviest shard's task load",
+			"and the curve plateaus once nodes outnumber the heaviest shard's task load;",
+			"max shard / imbalance: the fleet.shard_pairs / fleet.shard_imbalance_milli gauges",
+			"(heaviest shard's pair count; max/mean ratio ×1000, 1000 = perfectly balanced)",
 		},
 	}
 	for ni, n := range nodeCounts {
@@ -493,6 +509,7 @@ func (s *Suite) Fig5Fleet() (Table, error) {
 		}
 		tbl.Rows = append(tbl.Rows, []string{
 			fmt.Sprintf("%d", n), f2(predicted[ni]), walls[ni].Round(time.Microsecond).String(), f2(meas),
+			fmt.Sprintf("%d", maxShard[ni]), fmt.Sprintf("%.2f", float64(imbalance[ni])/1000),
 		})
 	}
 	return tbl, nil

@@ -37,11 +37,12 @@ type node struct {
 	name string
 	t    Transport
 
-	mu       sync.Mutex
-	live     bool
-	lastSeen time.Time
-	lastPing PingReply
-	pushed   int // catalog version last successfully pushed
+	mu          sync.Mutex
+	live        bool
+	lastSeen    time.Time
+	lastPing    PingReply
+	lastMetrics *perf.MetricsSnapshot // last heartbeat-scraped snapshot (federation)
+	pushed      int                   // catalog version last successfully pushed
 
 	// pushMu serializes config pushes so concurrent dispatches don't each
 	// re-send the full catalog before the first push lands.
@@ -117,6 +118,11 @@ func (c *Coordinator) AddNode(name string, t Transport) error {
 		return fmt.Errorf("fleet: empty node name")
 	}
 	n := &node{name: name, t: t, live: true, lastSeen: time.Now()}
+	// HTTP transports count decode-side wire errors; hand them the
+	// coordinator's metric set (optional capability, as with MetricsSource).
+	if mt, ok := t.(interface{ SetMetrics(*perf.Metrics) }); ok {
+		mt.SetMetrics(c.metrics)
+	}
 	c.mu.Lock()
 	for _, ex := range c.nodes {
 		if ex.name == name {
@@ -128,6 +134,7 @@ func (c *Coordinator) AddNode(name string, t Transport) error {
 	sort.Slice(c.nodes, func(i, j int) bool { return c.nodes[i].name < c.nodes[j].name })
 	c.mu.Unlock()
 	c.updateNodeGauges()
+	c.updateShardGauges()
 	if err := c.pushConfig(context.Background(), n); err != nil {
 		c.markDead(n)
 		return nil // registered; heartbeats will retry the push on revival
@@ -146,14 +153,16 @@ func (c *Coordinator) RegisterAssembly(name string, seq []byte) error {
 		return fmt.Errorf("fleet: assembly %q has an empty sequence", name)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, dup := c.byName[name]; dup {
+		c.mu.Unlock()
 		return fmt.Errorf("fleet: assembly %q already registered", name)
 	}
 	c.byName[name] = len(c.names)
 	c.names = append(c.names, name)
 	c.seqs = append(c.seqs, seq)
 	c.version++
+	c.mu.Unlock()
+	c.updateShardGauges()
 	return nil
 }
 
@@ -247,6 +256,51 @@ func (c *Coordinator) markLive(nd *node, reply *PingReply) {
 	c.updateNodeGauges()
 }
 
+// updateShardGauges recomputes the derived shard-balance view from the
+// current catalog and ring: fleet.shard_pairs{node=...} counts the
+// unordered catalog pairs each node's key range owns, and
+// fleet.shard_imbalance_milli is the max/mean load ratio ×1000 (1000 =
+// perfectly balanced). This is what makes hash-routing skew — e.g. the
+// bench corpus's 22/6 split across 2 shards (EXPERIMENTS.md fig5-fleet) —
+// directly observable on the federated /metrics scrape.
+func (c *Coordinator) updateShardGauges() {
+	if c.metrics == nil {
+		return
+	}
+	c.mu.Lock()
+	names := append([]string(nil), c.names...)
+	nodeNames := make([]string, len(c.nodes))
+	for i, nd := range c.nodes {
+		nodeNames[i] = nd.name
+	}
+	c.mu.Unlock()
+	n := len(nodeNames)
+	if n == 0 {
+		return
+	}
+	perShard := make([]int64, n)
+	var total int64
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			perShard[OwnerOf(PairHash(names[i], names[j]), n)]++
+			total++
+		}
+	}
+	var max int64
+	for i, v := range perShard {
+		c.metrics.GaugeSet(obs.WithLabel("fleet.shard_pairs", "node", nodeNames[i]), v)
+		if v > max {
+			max = v
+		}
+	}
+	imbalance := int64(1000)
+	if total > 0 {
+		mean := float64(total) / float64(n)
+		imbalance = int64(float64(max) / mean * 1000)
+	}
+	c.metrics.GaugeSet("fleet.shard_imbalance_milli", imbalance)
+}
+
 func (c *Coordinator) updateNodeGauges() {
 	live := 0
 	c.mu.Lock()
@@ -284,6 +338,18 @@ func (c *Coordinator) heartbeatLoop() {
 				if wasDead {
 					// Revival: make the node useful again before tasks hit it.
 					_ = c.pushConfig(context.Background(), nd)
+				}
+				// Federation scrape rides the heartbeat tick: transports that
+				// can read their worker's metric set refresh the node-labeled
+				// view the admin /metrics endpoint serves.
+				if src, ok := nd.t.(MetricsSource); ok {
+					sctx, scancel := context.WithTimeout(context.Background(), c.cfg.HeartbeatEvery)
+					if snap, merr := src.Metrics(sctx); merr == nil {
+						nd.mu.Lock()
+						nd.lastMetrics = &snap
+						nd.mu.Unlock()
+					}
+					scancel()
 				}
 				continue
 			}
@@ -326,7 +392,18 @@ func (c *Coordinator) Match(ctx context.Context, a, b string, k, w int) ([]build
 			c.markDead(nd)
 			continue
 		}
-		resp, err := nd.t.Match(ctx, req)
+		// Each dispatch attempt gets a child span of whatever build trace
+		// rides ctx; the traced context is what the transport Injects (HTTP)
+		// or hands straight to the worker (loopback), so the worker's linked
+		// span parents under this one. The worker's completed subtree comes
+		// back piggybacked and is grafted on before End.
+		dctx, dsp := obs.StartSpan(ctx, "fleet.dispatch")
+		dsp.Set("node", nd.name)
+		dsp.Set("pair", a+"|"+b)
+		if off > 0 {
+			dsp.SetInt("ring_offset", int64(off))
+		}
+		resp, err := nd.t.Match(dctx, req)
 		if err != nil && errors.Is(err, ErrUnknownAssembly) {
 			// The worker fell behind the catalog (e.g. daemon restart):
 			// force a re-push and retry once on the same node.
@@ -334,10 +411,12 @@ func (c *Coordinator) Match(ctx context.Context, a, b string, k, w int) ([]build
 			nd.pushed = 0
 			nd.mu.Unlock()
 			if perr := c.pushConfig(ctx, nd); perr == nil {
-				resp, err = nd.t.Match(ctx, req)
+				resp, err = nd.t.Match(dctx, req)
 			}
 		}
 		if err != nil {
+			dsp.Error(err)
+			dsp.End()
 			if ctx.Err() != nil {
 				return nil, build.PairStats{}, false, ctx.Err()
 			}
@@ -345,8 +424,13 @@ func (c *Coordinator) Match(ctx context.Context, a, b string, k, w int) ([]build
 			c.markDead(nd)
 			continue
 		}
+		if resp.Trace != nil {
+			dsp.AttachRemote(*resp.Trace)
+		}
+		dsp.End()
 		c.markLive(nd, nil)
 		c.metrics.Add("fleet.tasks", 1)
+		c.metrics.Add(obs.WithLabel("fleet.dispatched", "node", nd.name), 1)
 		if off > 0 {
 			c.metrics.Add("fleet.reassigned", 1)
 		}
@@ -475,6 +559,23 @@ func (c *Coordinator) AllPairMatches(ctx context.Context, cohort []string, k, w 
 		}
 	}
 	return out, agg, nHits, nil
+}
+
+// FederatedNodes returns the last heartbeat-scraped metric snapshot per
+// node — the obs.ServerConfig.FederatedNodes source. Nodes never scraped
+// (dead since birth, or a transport without MetricsSource) are omitted.
+func (c *Coordinator) FederatedNodes() []obs.NodeMetrics {
+	nodes := c.snapshotNodes()
+	out := make([]obs.NodeMetrics, 0, len(nodes))
+	for _, nd := range nodes {
+		nd.mu.Lock()
+		snap := nd.lastMetrics
+		nd.mu.Unlock()
+		if snap != nil {
+			out = append(out, obs.NodeMetrics{Node: nd.name, Snapshot: *snap})
+		}
+	}
+	return out
 }
 
 // NodeInfos reports the registry for the /fleet admin endpoint: one entry

@@ -26,6 +26,7 @@ import (
 	"math/bits"
 
 	"pangenomicsbench/internal/build"
+	"pangenomicsbench/internal/obs"
 )
 
 // ErrUnknownAssembly reports that a worker was asked to match an assembly
@@ -134,11 +135,15 @@ type MatchRequest struct {
 
 // MatchResponse carries one pair's match blocks in canonical orientation
 // (SeqA = 0 names A, SeqB = 1 names B), plus the matching stats and
-// whether the worker's shard cache already held the result.
+// whether the worker's shard cache already held the result. When the
+// worker runs with tracing enabled, Trace piggybacks its completed span
+// subtree (cache hit/miss, kernel stage timings) so the coordinator can
+// graft it under the dispatching span — one cross-process tree per build.
 type MatchResponse struct {
 	Blocks   []build.MatchBlock `json:"blocks"`
 	Stats    build.PairStats    `json:"stats"`
 	CacheHit bool               `json:"cache_hit"`
+	Trace    *obs.SpanData      `json:"trace,omitempty"`
 }
 
 // ConfigPush is the coordinator→worker capability/config push: the full

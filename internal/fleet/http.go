@@ -10,20 +10,31 @@ import (
 	"net"
 	"net/http"
 	"time"
+
+	"pangenomicsbench/internal/obs"
+	"pangenomicsbench/internal/perf"
 )
 
-// The worker daemon's wire protocol is three JSON-over-HTTP endpoints —
-// stdlib only, mirroring the node-registry-over-RPC shape of production
-// daemon fleets:
+// The worker daemon's wire protocol is JSON-over-HTTP endpoints — stdlib
+// only, mirroring the node-registry-over-RPC shape of production daemon
+// fleets:
 //
 //	POST /configure  ConfigPush   → 204
 //	POST /match      MatchRequest → MatchResponse (409 unknown-assembly)
 //	GET  /ping                    → PingReply
+//	GET  /metrics                 → Prometheus text (?format=json: raw snapshot)
 //	GET  /healthz                 → "ok"
 //
 // Errors are JSON {"error": ..., "code": ...}; code "unknown-assembly"
 // maps back to ErrUnknownAssembly client-side so the coordinator can
 // re-push its catalog and retry instead of declaring the node dead.
+//
+// /match participates in distributed tracing: a Traceparent request header
+// (obs.Inject on the coordinator side) links the worker's span under the
+// coordinator's build trace, and the completed worker subtree rides back in
+// MatchResponse.Trace. /metrics is the federation scrape target: the
+// coordinator polls it (JSON form) on the heartbeat tick and re-exposes
+// every series node-labeled on its own admin endpoint.
 
 // httpError is the wire form of a worker-side error.
 type httpError struct {
@@ -43,11 +54,11 @@ func Handler(w *Worker) http.Handler {
 		}
 		var push ConfigPush
 		if err := json.NewDecoder(r.Body).Decode(&push); err != nil {
-			writeErr(rw, http.StatusBadRequest, err, "")
+			writeErr(rw, http.StatusBadRequest, err, "decode", w)
 			return
 		}
 		if err := w.Configure(push); err != nil {
-			writeErr(rw, http.StatusBadRequest, err, "")
+			writeErr(rw, http.StatusBadRequest, err, "configure", w)
 			return
 		}
 		rw.WriteHeader(http.StatusNoContent)
@@ -59,15 +70,19 @@ func Handler(w *Worker) http.Handler {
 		}
 		var req MatchRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(rw, http.StatusBadRequest, err, "")
+			writeErr(rw, http.StatusBadRequest, err, "decode", w)
 			return
 		}
-		resp, err := w.Match(r.Context(), req)
+		ctx := r.Context()
+		if sc, ok := obs.Extract(r.Header); ok {
+			ctx = obs.ContextWithRemote(ctx, sc)
+		}
+		resp, err := w.Match(ctx, req)
 		if err != nil {
 			if errors.Is(err, ErrUnknownAssembly) {
-				writeErr(rw, http.StatusConflict, err, codeUnknownAssembly)
+				writeErr(rw, http.StatusConflict, err, codeUnknownAssembly, w)
 			} else {
-				writeErr(rw, http.StatusInternalServerError, err, "")
+				writeErr(rw, http.StatusInternalServerError, err, "match", w)
 			}
 			return
 		}
@@ -79,14 +94,35 @@ func Handler(w *Worker) http.Handler {
 		rw.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(rw).Encode(reply)
 	})
+	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, r *http.Request) {
+		snap := w.MetricsSnapshot()
+		if r.URL.Query().Get("format") == "json" {
+			rw.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(rw).Encode(snap)
+			return
+		}
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(rw, obs.PromText(snap))
+	})
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(rw, "ok")
 	})
 	return mux
 }
 
-// writeErr serves one JSON error body.
-func writeErr(rw http.ResponseWriter, status int, err error, code string) {
+// writeErr serves one JSON error body, counting it under the worker's
+// fleet.transport_errors{code=...} so wire failures that would otherwise
+// vanish into coordinator retry logic stay visible on the federated scrape.
+func writeErr(rw http.ResponseWriter, status int, err error, code string, w *Worker) {
+	if code == "" {
+		code = fmt.Sprintf("http-%d", status)
+	}
+	if w != nil {
+		w.obsMu.RLock()
+		m := w.metrics
+		w.obsMu.RUnlock()
+		m.Add(obs.WithLabel("fleet.transport_errors", "code", code), 1)
+	}
 	rw.Header().Set("Content-Type", "application/json")
 	rw.WriteHeader(status)
 	_ = json.NewEncoder(rw).Encode(httpError{Error: err.Error(), Code: code})
@@ -125,9 +161,13 @@ func (s *WorkerServer) Close() error {
 }
 
 // HTTPTransport talks the fleet wire protocol to a remote worker daemon.
+// Outbound requests carry the caller's trace context as a Traceparent
+// header (obs.Inject), so worker-side spans link under the dispatching
+// build trace.
 type HTTPTransport struct {
-	base   string
-	client *http.Client
+	base    string
+	client  *http.Client
+	metrics *perf.Metrics
 }
 
 // Dial returns a transport for the worker daemon at addr (host:port or a
@@ -143,6 +183,11 @@ func Dial(addr string) *HTTPTransport {
 // Addr returns the daemon base URL this transport targets.
 func (t *HTTPTransport) Addr() string { return t.base }
 
+// SetMetrics wires the coordinator-side metric set; decode-side wire
+// failures count under fleet.transport_errors{code=...}. Call before
+// handing the transport to a coordinator.
+func (t *HTTPTransport) SetMetrics(m *perf.Metrics) { t.metrics = m }
+
 func (t *HTTPTransport) Configure(ctx context.Context, push ConfigPush) error {
 	return t.post(ctx, "/configure", push, nil)
 }
@@ -156,23 +201,38 @@ func (t *HTTPTransport) Match(ctx context.Context, req MatchRequest) (*MatchResp
 }
 
 func (t *HTTPTransport) Ping(ctx context.Context) (*PingReply, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base+"/ping", nil)
-	if err != nil {
-		return nil, err
-	}
-	res, err := t.client.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer res.Body.Close()
-	if res.StatusCode != http.StatusOK {
-		return nil, decodeErr(res)
-	}
 	var reply PingReply
-	if err := json.NewDecoder(res.Body).Decode(&reply); err != nil {
+	if err := t.get(ctx, "/ping", &reply); err != nil {
 		return nil, err
 	}
 	return &reply, nil
+}
+
+// Metrics scrapes the worker's metric snapshot — the federation source the
+// coordinator polls on its heartbeat tick (see MetricsSource).
+func (t *HTTPTransport) Metrics(ctx context.Context) (perf.MetricsSnapshot, error) {
+	var snap perf.MetricsSnapshot
+	if err := t.get(ctx, "/metrics?format=json", &snap); err != nil {
+		return perf.MetricsSnapshot{}, err
+	}
+	return snap, nil
+}
+
+// get fetches one JSON endpoint into out.
+func (t *HTTPTransport) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base+path, nil)
+	if err != nil {
+		return err
+	}
+	res, err := t.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return t.decodeErr(res)
+	}
+	return json.NewDecoder(res.Body).Decode(out)
 }
 
 func (t *HTTPTransport) Close() error {
@@ -192,13 +252,14 @@ func (t *HTTPTransport) post(ctx context.Context, path string, in, out any) erro
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.Inject(ctx, req.Header)
 	res, err := t.client.Do(req)
 	if err != nil {
 		return err
 	}
 	defer res.Body.Close()
 	if res.StatusCode < 200 || res.StatusCode > 299 {
-		return decodeErr(res)
+		return t.decodeErr(res)
 	}
 	if out == nil {
 		_, _ = io.Copy(io.Discard, res.Body)
@@ -207,11 +268,20 @@ func (t *HTTPTransport) post(ctx context.Context, path string, in, out any) erro
 	return json.NewDecoder(res.Body).Decode(out)
 }
 
-// decodeErr maps a non-2xx reply back onto the fleet error vocabulary.
-func decodeErr(res *http.Response) error {
+// decodeErr maps a non-2xx reply back onto the fleet error vocabulary and
+// counts it under the coordinator-side fleet.transport_errors{code=...}
+// series — the client half of the worker's writeErr accounting, so a wire
+// error that melts into retry/reassignment logic still leaves a trace.
+func (t *HTTPTransport) decodeErr(res *http.Response) error {
 	var he httpError
 	raw, _ := io.ReadAll(io.LimitReader(res.Body, 4096))
-	if json.Unmarshal(raw, &he) == nil && he.Error != "" {
+	ok := json.Unmarshal(raw, &he) == nil && he.Error != ""
+	code := he.Code
+	if !ok || code == "" {
+		code = fmt.Sprintf("http-%d", res.StatusCode)
+	}
+	t.metrics.Add(obs.WithLabel("fleet.transport_errors", "code", code), 1)
+	if ok {
 		if he.Code == codeUnknownAssembly {
 			return fmt.Errorf("%w (%s)", ErrUnknownAssembly, he.Error)
 		}

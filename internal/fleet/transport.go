@@ -3,6 +3,8 @@ package fleet
 import (
 	"context"
 	"sync/atomic"
+
+	"pangenomicsbench/internal/perf"
 )
 
 // Transport is one coordinator→worker channel: config push, pair-match
@@ -14,6 +16,15 @@ type Transport interface {
 	Match(ctx context.Context, req MatchRequest) (*MatchResponse, error)
 	Ping(ctx context.Context) (*PingReply, error)
 	Close() error
+}
+
+// MetricsSource is the optional transport capability behind metrics
+// federation: a transport that can scrape its worker's metric snapshot.
+// Kept out of Transport itself so existing implementations (and test
+// fakes) stay valid; the coordinator type-asserts on the heartbeat tick
+// and simply skips nodes whose transport can't scrape.
+type MetricsSource interface {
+	Metrics(ctx context.Context) (perf.MetricsSnapshot, error)
 }
 
 // LocalNode is the in-process loopback transport: coordinator calls land
@@ -81,6 +92,15 @@ func (n *LocalNode) Ping(_ context.Context) (*PingReply, error) {
 	}
 	r := n.w.Ping()
 	return &r, nil
+}
+
+// Metrics implements MetricsSource over the loopback: the worker's metric
+// snapshot, gated on liveness like every other RPC.
+func (n *LocalNode) Metrics(_ context.Context) (perf.MetricsSnapshot, error) {
+	if n.dead.Load() {
+		return perf.MetricsSnapshot{}, ErrNodeDown
+	}
+	return n.w.MetricsSnapshot(), nil
 }
 
 func (n *LocalNode) Close() error { return nil }

@@ -62,6 +62,12 @@ type Response struct {
 	// QueueWait is time from admission to batch execution; MapTime the
 	// in-kernel mapping time.
 	QueueWait, MapTime time.Duration
+	// TraceID identifies this query's trace ("" with tracing disabled) —
+	// the join key between flight-log events and /traces?trace_id=. Shed
+	// and failed queries still return a TraceID-carrying response alongside
+	// their error when tracing is on, since exactly those traces are the
+	// ones the recorder always retains.
+	TraceID string
 }
 
 // pending is one admitted query awaiting execution.
@@ -168,7 +174,7 @@ func (s *Service) Map(ctx context.Context, read []byte) (*Response, error) {
 		sp.Shed("chaos")
 		sp.Error(ErrOverloaded)
 		sp.End()
-		return nil, ErrOverloaded
+		return errResp(sp), ErrOverloaded
 	}
 	select {
 	case s.queue <- p:
@@ -180,12 +186,24 @@ func (s *Service) Map(ctx context.Context, read []byte) (*Response, error) {
 		sp.Shed("queue")
 		sp.Error(ErrOverloaded)
 		sp.End()
-		return nil, ErrOverloaded
+		return errResp(sp), ErrOverloaded
 	}
 
 	<-p.done
 	sp.End()
+	if p.err != nil && p.resp == nil {
+		return errResp(sp), p.err
+	}
 	return p.resp, p.err
+}
+
+// errResp carries a failed query's trace id back to the caller — nil when
+// tracing is disabled, preserving the historical nil-response contract.
+func errResp(sp *obs.Span) *Response {
+	if sp == nil {
+		return nil
+	}
+	return &Response{TraceID: sp.TraceID().String()}
 }
 
 // dispatch forms micro-batches: the first query of a batch starts a
@@ -319,6 +337,7 @@ func (s *Service) runBatch(batch []*pending) {
 				BatchSize:  len(batch),
 				QueueWait:  wait,
 				MapTime:    mt,
+				TraceID:    p.span.TraceID().String(),
 			}
 		}
 		// End the root span here, when the response is ready: request latency

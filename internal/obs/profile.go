@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// Profiler is the slow-build continuous-profiling hook: Start begins a CPU
+// profile, and the returned stop function keeps it only when the profiled
+// work ran past Threshold — so the store directory accumulates exactly the
+// profiles of the builds worth explaining, each named after its trace id so
+// the /traces tree links straight to the evidence.
+//
+// The Go runtime supports one CPU profile per process at a time, so an
+// overlapping Start degrades to a no-op rather than failing the build path;
+// a nil *Profiler is a no-op everywhere, matching the package's nil-Tracer
+// rule.
+type Profiler struct {
+	// Dir receives kept profiles (created on demand).
+	Dir string
+	// Threshold is the minimum profiled duration worth keeping; ≤0 keeps
+	// every completed capture.
+	Threshold time.Duration
+
+	mu     sync.Mutex
+	active bool
+	seq    int
+}
+
+// ProfileStop finalizes one capture: d is the profiled work's duration,
+// traceID names the kept file (cpu-<traceID>.pprof). It returns the kept
+// file's path, or "" when the capture was dropped (below threshold, capture
+// never started, or a file-system error).
+type ProfileStop func(d time.Duration, traceID string) string
+
+// Start begins a CPU profile capture. The returned stop must be called
+// exactly once (deferred around the work being profiled). When the profiler
+// is nil, disabled, or already capturing, stop is a cheap no-op.
+func (p *Profiler) Start() ProfileStop {
+	noop := func(time.Duration, string) string { return "" }
+	if p == nil || p.Dir == "" {
+		return noop
+	}
+	p.mu.Lock()
+	if p.active {
+		p.mu.Unlock()
+		return noop
+	}
+	if err := os.MkdirAll(p.Dir, 0o755); err != nil {
+		p.mu.Unlock()
+		return noop
+	}
+	p.seq++
+	tmp := filepath.Join(p.Dir, fmt.Sprintf(".cpu-inflight-%d.pprof", p.seq))
+	f, err := os.Create(tmp)
+	if err != nil {
+		p.mu.Unlock()
+		return noop
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		// Another subsystem holds the process profiler; stand down.
+		f.Close()
+		os.Remove(tmp)
+		p.mu.Unlock()
+		return noop
+	}
+	p.active = true
+	p.mu.Unlock()
+
+	var once sync.Once
+	return func(d time.Duration, traceID string) string {
+		path := ""
+		once.Do(func() {
+			pprof.StopCPUProfile()
+			err := f.Close()
+			p.mu.Lock()
+			p.active = false
+			p.mu.Unlock()
+			if err != nil || (p.Threshold > 0 && d < p.Threshold) {
+				os.Remove(tmp)
+				return
+			}
+			if traceID == "" {
+				traceID = fmt.Sprintf("untraced-%d", d.Nanoseconds())
+			}
+			kept := filepath.Join(p.Dir, "cpu-"+traceID+".pprof")
+			if err := os.Rename(tmp, kept); err != nil {
+				os.Remove(tmp)
+				return
+			}
+			path = kept
+		})
+		return path
+	}
+}

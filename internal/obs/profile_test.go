@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// spin burns CPU long enough for the profiler to collect samples.
+func spin(d time.Duration) {
+	deadline := time.Now().Add(d)
+	x := uint64(1)
+	for time.Now().Before(deadline) {
+		x = x*6364136223846793005 + 1442695040888963407
+	}
+	_ = x
+}
+
+func TestProfilerKeepsSlowCapture(t *testing.T) {
+	dir := t.TempDir()
+	p := &Profiler{Dir: dir, Threshold: 10 * time.Millisecond}
+	stop := p.Start()
+	spin(30 * time.Millisecond)
+	path := stop(30*time.Millisecond, "deadbeef")
+	if path == "" {
+		t.Fatal("above-threshold capture was dropped")
+	}
+	if filepath.Base(path) != "cpu-deadbeef.pprof" {
+		t.Fatalf("kept profile named %q, want cpu-deadbeef.pprof", filepath.Base(path))
+	}
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("kept profile unusable: %v (size %d)", err, fi.Size())
+	}
+	// The second stop call is a no-op (sync.Once).
+	if again := stop(time.Hour, "other"); again != "" {
+		t.Fatalf("second stop returned %q", again)
+	}
+	// No in-flight temp files left behind.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".cpu-inflight") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestProfilerDropsFastCapture(t *testing.T) {
+	dir := t.TempDir()
+	p := &Profiler{Dir: dir, Threshold: time.Hour}
+	stop := p.Start()
+	spin(5 * time.Millisecond)
+	if path := stop(5*time.Millisecond, "fast"); path != "" {
+		t.Fatalf("below-threshold capture kept at %q", path)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 0 {
+		t.Fatalf("dropped capture left %d files behind", len(ents))
+	}
+}
+
+func TestProfilerUntracedFallbackName(t *testing.T) {
+	dir := t.TempDir()
+	p := &Profiler{Dir: dir}
+	stop := p.Start()
+	spin(5 * time.Millisecond)
+	path := stop(5*time.Millisecond, "")
+	if path == "" {
+		t.Fatal("zero-threshold profiler dropped a capture")
+	}
+	if !strings.HasPrefix(filepath.Base(path), "cpu-untraced-") {
+		t.Fatalf("untraced capture named %q", filepath.Base(path))
+	}
+}
+
+func TestProfilerOverlappingStartDegrades(t *testing.T) {
+	p := &Profiler{Dir: t.TempDir()}
+	stop1 := p.Start()
+	// The runtime allows one CPU profile per process: the overlapping Start
+	// must stand down instead of erroring the build path.
+	stop2 := p.Start()
+	if path := stop2(time.Hour, "overlap"); path != "" {
+		t.Fatalf("overlapping capture kept %q", path)
+	}
+	spin(5 * time.Millisecond)
+	if path := stop1(time.Hour, "first"); path == "" {
+		t.Fatal("first capture was dropped after an overlapping Start")
+	}
+	// With the first capture stopped, Start works again.
+	stop3 := p.Start()
+	spin(5 * time.Millisecond)
+	if path := stop3(time.Hour, "third"); path == "" {
+		t.Fatal("profiler did not recover after overlap")
+	}
+}
+
+func TestProfilerNilAndDisabled(t *testing.T) {
+	var p *Profiler
+	if path := p.Start()(time.Hour, "x"); path != "" {
+		t.Fatalf("nil profiler kept %q", path)
+	}
+	if path := (&Profiler{}).Start()(time.Hour, "x"); path != "" {
+		t.Fatalf("dir-less profiler kept %q", path)
+	}
+}

@@ -8,55 +8,215 @@ import (
 	"pangenomicsbench/internal/perf"
 )
 
+// Labeled series: a perf metric key may carry a Prometheus-style label
+// block suffix — `fleet.shard_pairs{node="w1"}` — built with WithLabel.
+// perf.Metrics itself stays label-unaware (keys are opaque strings); the
+// exposition layer here parses the suffix so all series of one family are
+// grouped under a single HELP/TYPE header, as the text format requires.
+// Metrics federation (Federate) is the main producer: it rewrites every
+// scraped worker key with a `node` label before merging into one snapshot.
+
+// WithLabel returns the metric key for name with an added label. The value
+// is escaped per the exposition format (backslash, quote, newline); calling
+// it again appends into the existing label block, keeping one well-formed
+// suffix. Label insertion order is preserved.
+func WithLabel(name, label, value string) string {
+	pair := label + `="` + escapeLabelValue(value) + `"`
+	if strings.HasSuffix(name, "}") {
+		return name[:len(name)-1] + "," + pair + "}"
+	}
+	return name + "{" + pair + "}"
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// splitLabels splits a metric key into its base name and label block
+// ("" when unlabeled; otherwise the braces-inclusive suffix).
+func splitLabels(key string) (base, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 && strings.HasSuffix(key, "}") {
+		return key[:i], key[i:]
+	}
+	return key, ""
+}
+
+// seriesName renders one sample name: sanitized base + suffix + label block.
+func seriesName(base, suffix, labels string) string {
+	return promName(base) + suffix + labels
+}
+
+// withLE merges an le label into an existing label block.
+func withLE(labels string, le string) string {
+	pair := `le="` + le + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// family is one metric family: all raw keys sharing a base name.
+type family struct {
+	base string
+	keys []string // full raw keys, sorted (unlabeled first)
+}
+
+// families groups a map's keys by base name, families sorted by base and
+// keys sorted within each family — the exposition format requires every
+// series of a family to be consecutive under one HELP/TYPE header.
+func families[V any](m map[string]V) []family {
+	byBase := map[string][]string{}
+	for k := range m {
+		base, _ := splitLabels(k)
+		byBase[base] = append(byBase[base], k)
+	}
+	out := make([]family, 0, len(byBase))
+	for base, keys := range byBase {
+		sort.Strings(keys)
+		out = append(out, family{base: base, keys: keys})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].base < out[j].base })
+	return out
+}
+
 // PromText renders a perf.MetricsSnapshot in the Prometheus text exposition
 // format (version 0.0.4): counters as <name>_total, gauges as <name> plus a
 // <name>_watermark gauge, latency accumulators as <name>_seconds summaries
 // (count/sum plus a _max gauge), and log2 value histograms as cumulative
 // le-bucketed histograms. Metric names are sanitized (every character
-// outside [a-zA-Z0-9_:] becomes '_') and families are emitted in sorted
-// order so consecutive scrapes diff cleanly.
+// outside [a-zA-Z0-9_:] becomes '_'), keys may carry label blocks (see
+// WithLabel), and families are emitted in sorted order so consecutive
+// scrapes diff cleanly.
 func PromText(s perf.MetricsSnapshot) string {
 	var b strings.Builder
 
-	for _, k := range sortedKeys(s.Counters) {
-		name := promName(k) + "_total"
-		fmt.Fprintf(&b, "# HELP %s Counter %q.\n# TYPE %s counter\n%s %d\n",
-			name, k, name, name, s.Counters[k])
-	}
-	for _, k := range sortedKeys(s.Gauges) {
-		g := s.Gauges[k]
-		name := promName(k)
-		fmt.Fprintf(&b, "# HELP %s Gauge %q.\n# TYPE %s gauge\n%s %d\n",
-			name, k, name, name, g.Value)
-		fmt.Fprintf(&b, "# HELP %s_watermark High watermark of gauge %q.\n# TYPE %s_watermark gauge\n%s_watermark %d\n",
-			name, k, name, name, g.Watermark)
-	}
-	for _, k := range sortedKeys(s.Latencies) {
-		l := s.Latencies[k]
-		name := promName(k) + "_seconds"
-		fmt.Fprintf(&b, "# HELP %s Latency summary %q.\n# TYPE %s summary\n", name, k, name)
-		fmt.Fprintf(&b, "%s_count %d\n%s_sum %s\n", name, l.Count, name, promFloat(l.Total.Seconds()))
-		fmt.Fprintf(&b, "# HELP %s_max Maximum latency sample %q.\n# TYPE %s_max gauge\n%s_max %s\n",
-			name, k, name, name, promFloat(l.Max.Seconds()))
-	}
-	for _, k := range sortedKeys(s.Values) {
-		v := s.Values[k]
-		name := promName(k)
-		fmt.Fprintf(&b, "# HELP %s Value distribution %q (log2 buckets).\n# TYPE %s histogram\n", name, k, name)
-		idxs := make([]int, 0, len(v.Buckets))
-		for i := range v.Buckets {
-			idxs = append(idxs, i)
+	for _, fam := range families(s.Counters) {
+		name := promName(fam.base) + "_total"
+		fmt.Fprintf(&b, "# HELP %s Counter %q.\n# TYPE %s counter\n", name, fam.base, name)
+		for _, k := range fam.keys {
+			_, labels := splitLabels(k)
+			fmt.Fprintf(&b, "%s %d\n", seriesName(fam.base, "_total", labels), s.Counters[k])
 		}
-		sort.Ints(idxs)
-		var cum int64
-		for _, i := range idxs {
-			cum += v.Buckets[i]
-			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", name, int64(1)<<uint(i), cum)
+	}
+	for _, fam := range families(s.Gauges) {
+		name := promName(fam.base)
+		fmt.Fprintf(&b, "# HELP %s Gauge %q.\n# TYPE %s gauge\n", name, fam.base, name)
+		for _, k := range fam.keys {
+			_, labels := splitLabels(k)
+			fmt.Fprintf(&b, "%s %d\n", seriesName(fam.base, "", labels), s.Gauges[k].Value)
 		}
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, v.Count)
-		fmt.Fprintf(&b, "%s_sum %s\n%s_count %d\n", name, promFloat(v.Sum), name, v.Count)
+		fmt.Fprintf(&b, "# HELP %s_watermark High watermark of gauge %q.\n# TYPE %s_watermark gauge\n",
+			name, fam.base, name)
+		for _, k := range fam.keys {
+			_, labels := splitLabels(k)
+			fmt.Fprintf(&b, "%s %d\n", seriesName(fam.base, "_watermark", labels), s.Gauges[k].Watermark)
+		}
+	}
+	for _, fam := range families(s.Latencies) {
+		name := promName(fam.base) + "_seconds"
+		fmt.Fprintf(&b, "# HELP %s Latency summary %q.\n# TYPE %s summary\n", name, fam.base, name)
+		for _, k := range fam.keys {
+			l := s.Latencies[k]
+			_, labels := splitLabels(k)
+			fmt.Fprintf(&b, "%s %d\n%s %s\n",
+				seriesName(fam.base, "_seconds_count", labels), l.Count,
+				seriesName(fam.base, "_seconds_sum", labels), promFloat(l.Total.Seconds()))
+		}
+		fmt.Fprintf(&b, "# HELP %s_max Maximum latency sample %q.\n# TYPE %s_max gauge\n", name, fam.base, name)
+		for _, k := range fam.keys {
+			_, labels := splitLabels(k)
+			fmt.Fprintf(&b, "%s %s\n",
+				seriesName(fam.base, "_seconds_max", labels), promFloat(s.Latencies[k].Max.Seconds()))
+		}
+	}
+	for _, fam := range families(s.Values) {
+		name := promName(fam.base)
+		fmt.Fprintf(&b, "# HELP %s Value distribution %q (log2 buckets).\n# TYPE %s histogram\n", name, fam.base, name)
+		for _, k := range fam.keys {
+			v := s.Values[k]
+			_, labels := splitLabels(k)
+			idxs := make([]int, 0, len(v.Buckets))
+			for i := range v.Buckets {
+				idxs = append(idxs, i)
+			}
+			sort.Ints(idxs)
+			var cum int64
+			for _, i := range idxs {
+				cum += v.Buckets[i]
+				fmt.Fprintf(&b, "%s %d\n",
+					seriesName(fam.base, "_bucket", withLE(labels, fmt.Sprintf("%d", int64(1)<<uint(i)))), cum)
+			}
+			fmt.Fprintf(&b, "%s %d\n", seriesName(fam.base, "_bucket", withLE(labels, "+Inf")), v.Count)
+			fmt.Fprintf(&b, "%s %s\n%s %d\n",
+				seriesName(fam.base, "_sum", labels), promFloat(v.Sum),
+				seriesName(fam.base, "_count", labels), v.Count)
+		}
 	}
 	return b.String()
+}
+
+// NodeMetrics is one fleet node's scraped metric snapshot, tagged with the
+// node name the federated view labels its series with.
+type NodeMetrics struct {
+	Node     string
+	Snapshot perf.MetricsSnapshot
+}
+
+// Federate merges per-node metric snapshots into one: local series pass
+// through unchanged, every node series gains a `node` label. The result
+// renders through PromText as a single federated exposition — the
+// coordinator's /metrics view over the whole fleet.
+func Federate(local perf.MetricsSnapshot, nodes []NodeMetrics) perf.MetricsSnapshot {
+	out := perf.MetricsSnapshot{
+		Counters:  map[string]int64{},
+		Gauges:    map[string]perf.GaugeSummary{},
+		Latencies: map[string]perf.LatencySummary{},
+		Values:    map[string]perf.ValueSummary{},
+	}
+	for k, v := range local.Counters {
+		out.Counters[k] = v
+	}
+	for k, v := range local.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range local.Latencies {
+		out.Latencies[k] = v
+	}
+	for k, v := range local.Values {
+		out.Values[k] = v
+	}
+	for _, n := range nodes {
+		for k, v := range n.Snapshot.Counters {
+			out.Counters[WithLabel(k, "node", n.Node)] = v
+		}
+		for k, v := range n.Snapshot.Gauges {
+			out.Gauges[WithLabel(k, "node", n.Node)] = v
+		}
+		for k, v := range n.Snapshot.Latencies {
+			out.Latencies[WithLabel(k, "node", n.Node)] = v
+		}
+		for k, v := range n.Snapshot.Values {
+			out.Values[WithLabel(k, "node", n.Node)] = v
+		}
+	}
+	return out
 }
 
 // promName sanitizes a dotted metric name into the Prometheus alphabet.
@@ -79,8 +239,9 @@ func promName(name string) string {
 	return b.String()
 }
 
-// promFloat formats a float sample value ('g' keeps integers short and
-// never emits a locale-dependent form).
+// promFloat formats a float sample value ('g' keeps integers short, never
+// emits a locale-dependent form, and spells specials the way the exposition
+// format does: NaN, +Inf, -Inf).
 func promFloat(f float64) string {
 	return fmt.Sprintf("%g", f)
 }

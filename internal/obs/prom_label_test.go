@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"pangenomicsbench/internal/perf"
+)
+
+func TestWithLabelEscaping(t *testing.T) {
+	cases := []struct{ value, want string }{
+		{"w1", `fleet.tasks{node="w1"}`},
+		{`back\slash`, `fleet.tasks{node="back\\slash"}`},
+		{`say "hi"`, `fleet.tasks{node="say \"hi\""}`},
+		{"line\nbreak", `fleet.tasks{node="line\nbreak"}`},
+		{`all\"three` + "\n", `fleet.tasks{node="all\\\"three\n"}`},
+	}
+	for _, c := range cases {
+		if got := WithLabel("fleet.tasks", "node", c.value); got != c.want {
+			t.Errorf("WithLabel(%q) = %s, want %s", c.value, got, c.want)
+		}
+	}
+	// A second label appends into the existing block.
+	k := WithLabel(WithLabel("fleet.errors", "code", "decode"), "node", "w1")
+	if k != `fleet.errors{code="decode",node="w1"}` {
+		t.Fatalf("chained WithLabel = %s", k)
+	}
+}
+
+// TestPromTextLabeledFamilies checks that labeled and unlabeled series of one
+// family render under a single HELP/TYPE header, consecutively, and that the
+// escaped label values survive the round trip to the exposition text.
+func TestPromTextLabeledFamilies(t *testing.T) {
+	m := perf.NewMetrics()
+	m.Add("fleet.tasks", 3)
+	m.Add(WithLabel("fleet.tasks", "node", "w1"), 2)
+	m.Add(WithLabel("fleet.tasks", "node", `we"ird`), 1)
+	m.GaugeSet(WithLabel("fleet.shard_pairs", "node", "w1"), 22)
+	m.GaugeSet(WithLabel("fleet.shard_pairs", "node", "w2"), 6)
+	m.Observe(WithLabel("fleet.rpc", "node", "w1"), 5*time.Millisecond)
+	m.ObserveValue(WithLabel("fleet.batch", "node", "w1"), 4)
+
+	text := PromText(m.Snapshot())
+	series := parseProm(t, text) // also rejects duplicate series
+
+	if got := series["fleet_tasks_total"]; got != 3 {
+		t.Errorf("unlabeled fleet_tasks_total = %v, want 3", got)
+	}
+	if got := series[`fleet_tasks_total{node="w1"}`]; got != 2 {
+		t.Errorf("labeled fleet_tasks_total = %v, want 2", got)
+	}
+	if got := series[`fleet_tasks_total{node="we\"ird"}`]; got != 1 {
+		t.Errorf("escaped-label series = %v, want 1", got)
+	}
+	if series[`fleet_shard_pairs{node="w1"}`] != 22 || series[`fleet_shard_pairs{node="w2"}`] != 6 {
+		t.Error("shard-pairs gauges did not render per node")
+	}
+	if got := series[`fleet_rpc_seconds_count{node="w1"}`]; got != 1 {
+		t.Errorf("labeled latency count = %v, want 1", got)
+	}
+	if got := series[`fleet_batch_bucket{node="w1",le="+Inf"}`]; got != 1 {
+		t.Errorf("labeled +Inf bucket = %v, want 1", got)
+	}
+
+	// One TYPE line per family, and every series of a family consecutive
+	// under it — the exposition format's grouping requirement.
+	lines := strings.Split(text, "\n")
+	seenFamily := map[string]bool{}
+	current := ""
+	for _, line := range lines {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fam := strings.Fields(line)[2]
+			if seenFamily[fam] {
+				t.Fatalf("family %s declared twice", fam)
+			}
+			seenFamily[fam] = true
+			current = fam
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		if !strings.HasPrefix(name, current) {
+			t.Fatalf("series %s rendered under family %s", name, current)
+		}
+	}
+}
+
+func TestPromFloatEdges(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{0, "0"},
+		{5, "5"},
+		{0.01, "0.01"},
+		{1e-9, "1e-09"},
+		{1e21, "1e+21"},
+		{-2.5, "-2.5"},
+	}
+	for _, c := range cases {
+		if got := promFloat(c.in); got != c.want {
+			t.Errorf("promFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFederate(t *testing.T) {
+	local := perf.NewMetrics()
+	local.Add("fleet.tasks", 10)
+	local.GaugeSet("fleet.shard_imbalance_milli", 1333)
+
+	w1 := perf.NewMetrics()
+	w1.Add("fleet.worker.tasks", 4)
+	w1.Observe("fleet.worker.match", 3*time.Millisecond)
+	w2 := perf.NewMetrics()
+	w2.Add("fleet.worker.tasks", 2)
+	w2.ObserveValue("fleet.worker.blocks", 8)
+
+	fed := Federate(local.Snapshot(), []NodeMetrics{
+		{Node: "w1", Snapshot: w1.Snapshot()},
+		{Node: "w2", Snapshot: w2.Snapshot()},
+	})
+
+	if fed.Counters["fleet.tasks"] != 10 {
+		t.Error("local counter did not pass through")
+	}
+	if fed.Counters[`fleet.worker.tasks{node="w1"}`] != 4 ||
+		fed.Counters[`fleet.worker.tasks{node="w2"}`] != 2 {
+		t.Errorf("node counters not federated: %+v", fed.Counters)
+	}
+	if fed.Latencies[`fleet.worker.match{node="w1"}`].Count != 1 {
+		t.Error("node latency not federated")
+	}
+	if fed.Values[`fleet.worker.blocks{node="w2"}`].Count != 1 {
+		t.Error("node value histogram not federated")
+	}
+	// The federated snapshot must render cleanly (no duplicate series).
+	parseProm(t, PromText(fed))
+
+	// Federating with no nodes reproduces the local view.
+	alone := Federate(local.Snapshot(), nil)
+	if PromText(alone) != PromText(local.Snapshot()) {
+		t.Fatal("node-free federation changed the local exposition")
+	}
+}

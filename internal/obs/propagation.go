@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Cross-process propagation: spans carry wire identity (a 16-byte trace id
+// shared by every span of a distributed trace, an 8-byte per-span id), which
+// travels between processes as a W3C-traceparent-style header:
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex parent-span-id>-01
+//
+// The coordinator Injects the header on outbound fleet RPCs; the worker
+// Extracts it, starts a *linked* root span (same trace id, parent span id
+// recorded) around its shard-cache lookup and kernel stages, and ships the
+// completed subtree back piggybacked on the RPC response. The coordinator
+// re-attaches it under the dispatching span, so /traces renders one tree per
+// build spanning every process that touched it.
+//
+// Identity generation is deliberately not cryptographic: a process-local
+// atomic counter run through a splitmix64 finalizer is collision-free within
+// a process and seeded from the clock across processes — and costs no
+// allocation, preserving the nil-tracer zero-alloc contract (ids are only
+// generated on the non-nil path anyway).
+
+// TraceID identifies a distributed trace (zero value = absent).
+type TraceID [16]byte
+
+// IsZero reports whether the id is unset.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String returns the 32-char lowercase hex form, or "" when unset.
+func (t TraceID) String() string {
+	if t.IsZero() {
+		return ""
+	}
+	return hex.EncodeToString(t[:])
+}
+
+// SpanID identifies one span within a trace (zero value = absent).
+type SpanID [8]byte
+
+// IsZero reports whether the id is unset.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String returns the 16-char lowercase hex form, or "" when unset.
+func (s SpanID) String() string {
+	if s.IsZero() {
+		return ""
+	}
+	return hex.EncodeToString(s[:])
+}
+
+// SpanContext is the wire identity of a span: enough for a remote process
+// to start a linked span in the same trace.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// Valid reports whether both ids are set.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// TraceparentHeader is the HTTP header carrying the span context.
+const TraceparentHeader = "Traceparent"
+
+// Traceparent renders the W3C-style header value
+// ("00-<traceid>-<spanid>-01"), or "" for an invalid context.
+func (sc SpanContext) Traceparent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], sc.TraceID[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], sc.SpanID[:])
+	b[52], b[53], b[54] = '-', '0', '1'
+	return string(b[:])
+}
+
+// ParseTraceparent parses a traceparent value. It accepts version 00 with
+// any flags byte and reports ok=false for anything malformed or with
+// all-zero ids (per the W3C spec those are invalid).
+func ParseTraceparent(s string) (SpanContext, bool) {
+	var sc SpanContext
+	if len(s) != 55 || s[0] != '0' || s[1] != '0' || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return sc, false
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(s[3:35])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(s[36:52])); err != nil {
+		return SpanContext{}, false
+	}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// Inject writes the context of the span carried by ctx into h. Without a
+// span (tracing disabled) it is a no-op, so untraced RPCs stay header-free.
+func Inject(ctx context.Context, h http.Header) {
+	sp := SpanFromContext(ctx)
+	if sp == nil {
+		return
+	}
+	if tp := sp.SpanContext().Traceparent(); tp != "" {
+		h.Set(TraceparentHeader, tp)
+	}
+}
+
+// Extract reads a span context from h (ok=false when absent or malformed).
+func Extract(h http.Header) (SpanContext, bool) {
+	return ParseTraceparent(h.Get(TraceparentHeader))
+}
+
+type remoteCtxKey struct{}
+
+// ContextWithRemote returns ctx carrying a remote parent span context —
+// what a server handler stores after Extract so downstream code can start
+// linked spans. An invalid context returns ctx unchanged.
+func ContextWithRemote(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteCtxKey{}, sc)
+}
+
+// RemoteFromContext returns the remote parent span context carried by ctx
+// (zero value when absent).
+func RemoteFromContext(ctx context.Context) SpanContext {
+	if ctx == nil {
+		return SpanContext{}
+	}
+	sc, _ := ctx.Value(remoteCtxKey{}).(SpanContext)
+	return sc
+}
+
+// ParentFromContext resolves the span context a server-side span should link
+// under: an in-process span in ctx wins (loopback transports share the
+// context), else a remote context planted by Extract, else zero.
+func ParentFromContext(ctx context.Context) SpanContext {
+	if sp := SpanFromContext(ctx); sp != nil {
+		return sp.SpanContext()
+	}
+	return RemoteFromContext(ctx)
+}
+
+// StartLinked begins a root span that continues a trace started elsewhere:
+// the new span keeps the parent's trace id and records the parent span id,
+// so when its completed subtree is shipped back and re-attached, the ids
+// line up into one tree. An invalid parent degrades to StartRoot.
+func (t *Tracer) StartLinked(name string, parent SpanContext) *Span {
+	s := t.StartRoot(name)
+	if s == nil {
+		return nil
+	}
+	if parent.Valid() {
+		s.traceID = parent.TraceID
+		s.parentID = parent.SpanID
+	}
+	return s
+}
+
+// idCounter seeds span/trace id generation; the clock offset decorrelates
+// processes, splitmix64 decorrelates successive values.
+var idCounter atomic.Uint64
+
+func init() { idCounter.Store(uint64(time.Now().UnixNano())) }
+
+// idMix64 is the splitmix64 finalizer (same construction fleet.PairHash
+// uses): every input bit flips ~half the output bits.
+func idMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func newSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		v := idMix64(idCounter.Add(1))
+		for i := 0; i < 8; i++ {
+			id[i] = byte(v >> (56 - 8*i))
+		}
+	}
+	return id
+}
+
+func newTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		hi := idMix64(idCounter.Add(1))
+		lo := idMix64(idCounter.Add(1))
+		for i := 0; i < 8; i++ {
+			id[i] = byte(hi >> (56 - 8*i))
+			id[8+i] = byte(lo >> (56 - 8*i))
+		}
+	}
+	return id
+}

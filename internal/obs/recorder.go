@@ -13,6 +13,9 @@ type SpanData struct {
 	Name     string        `json:"name"`
 	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"duration_ns"`
+	TraceID  string        `json:"trace_id,omitempty"`
+	SpanID   string        `json:"span_id,omitempty"`
+	ParentID string        `json:"parent_span_id,omitempty"`
 	Attrs    []Attr        `json:"attrs,omitempty"`
 	Error    string        `json:"error,omitempty"`
 	Shed     bool          `json:"shed,omitempty"`
@@ -169,6 +172,39 @@ func (r *Recorder) Exemplars() []SpanData {
 		out = append(out, r.slowest[name].d)
 	}
 	return append(out, r.errs...)
+}
+
+// ByTraceID returns the retained trace with the given id — ring, slowest
+// exemplars, and error exemplars are all searched (most recent ring entry
+// wins on the impossible-in-practice case of a duplicate). ok=false when
+// the id has scrolled out of every retention tier.
+func (r *Recorder) ByTraceID(id string) (SpanData, bool) {
+	if r == nil || id == "" {
+		return SpanData{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.next
+	if r.filled {
+		size = len(r.ring)
+	}
+	for i := 1; i <= size; i++ {
+		d := r.ring[(r.next-i+len(r.ring))%len(r.ring)]
+		if d.TraceID == id {
+			return d, true
+		}
+	}
+	for _, e := range r.slowest {
+		if e.d.TraceID == id {
+			return e.d, true
+		}
+	}
+	for i := len(r.errs) - 1; i >= 0; i-- {
+		if r.errs[i].TraceID == id {
+			return r.errs[i], true
+		}
+	}
+	return SpanData{}, false
 }
 
 // Errors returns the retained shed/error traces, oldest first.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -53,8 +54,16 @@ type ServerConfig struct {
 	Snapshots func() []SnapshotInfo
 	// Fleet supplies the construction-fleet node registry behind /fleet.
 	Fleet func() []FleetNodeInfo
+	// FederatedNodes, when non-nil, supplies per-node metric snapshots that
+	// /metrics merges into the local set with `node` labels (see Federate) —
+	// the coordinator wires this to its heartbeat-scraped worker snapshots.
+	FederatedNodes func() []NodeMetrics
 	// Health, when non-nil, gates /healthz: a returned error serves 503.
 	Health func() error
+	// EnableProfiling mounts the net/http/pprof handlers under /debug/pprof/.
+	// Off by default: profiling endpoints can stall the process (CPU profile
+	// holds the profiler for its whole duration) and belong behind a flag.
+	EnableProfiling bool
 }
 
 // Server is the live admin/metrics endpoint: a stdlib net/http server
@@ -77,6 +86,15 @@ func NewServer(cfg ServerConfig) *Server {
 	s.mux.HandleFunc("/snapshots", s.handleSnapshots)
 	s.mux.HandleFunc("/fleet", s.handleFleet)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if cfg.EnableProfiling {
+		// Mounted explicitly (not via the package's DefaultServeMux side
+		// effects) so profiling stays opt-in per server.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -111,12 +129,15 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, `pangenomicsbench admin endpoint
-  /metrics    Prometheus text exposition of the service metric set
-  /traces     flight-recorder traces (?format=jsonl|tree, ?n=20, ?which=slow|recent|exemplars, ?min_dur=5ms)
+  /metrics    Prometheus text exposition of the service metric set (federated node-labeled series when fleet-wired)
+  /traces     flight-recorder traces (?format=jsonl|tree, ?n=20, ?which=slow|recent|exemplars, ?min_dur=5ms, ?trace_id=<32hex> exact lookup)
   /snapshots  mapserve registry generations, refcounts, in-flight queries
   /fleet      construction-fleet node registry (liveness, key ranges, shard caches)
   /healthz    liveness
 `)
+	if s.cfg.EnableProfiling {
+		fmt.Fprint(w, "  /debug/pprof/  continuous-profiling endpoints (profile, trace, heap, ...)\n")
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -124,11 +145,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if s.cfg.Metrics != nil {
 		snap = s.cfg.Metrics()
 	}
+	if s.cfg.FederatedNodes != nil {
+		if nodes := s.cfg.FederatedNodes(); len(nodes) > 0 {
+			snap = Federate(snap, nodes)
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, PromText(snap))
 }
 
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("trace_id"); id != "" {
+		d, ok := s.cfg.Recorder.ByTraceID(id)
+		if !ok {
+			http.Error(w, fmt.Sprintf("no retained trace with trace_id=%q", id), http.StatusNotFound)
+			return
+		}
+		if format := r.URL.Query().Get("format"); format == "jsonl" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			fmt.Fprintln(w, d.JSONLine())
+		} else {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, d.Tree())
+		}
+		return
+	}
 	n := 20
 	if raw := r.URL.Query().Get("n"); raw != "" {
 		if v, err := strconv.Atoi(raw); err == nil && v > 0 {

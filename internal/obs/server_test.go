@@ -298,3 +298,124 @@ func TestServerCloseIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTracesTraceIDLookup exercises the exact-lookup path: a known id
+// returns exactly that trace (tree or jsonl), an unknown id is a 404.
+func TestTracesTraceIDLookup(t *testing.T) {
+	tr := NewTracer(TracerConfig{})
+	sp := tr.StartRoot("fleet.build")
+	sp.Child("fleet.dispatch").End()
+	sp.End()
+	id := sp.TraceID().String()
+	// A second trace ensures the lookup is exact, not "most recent".
+	other := tr.StartRoot("unrelated")
+	other.End()
+
+	srv := NewServer(ServerConfig{Recorder: tr.Recorder()})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr
+
+	code, body := get(t, base+"/traces?trace_id="+id)
+	if code != http.StatusOK {
+		t.Fatalf("trace_id lookup = %d: %s", code, body)
+	}
+	if !strings.Contains(body, "fleet.build") || !strings.Contains(body, "fleet.dispatch") {
+		t.Fatalf("tree missing spans:\n%s", body)
+	}
+	if strings.Contains(body, "unrelated") {
+		t.Fatal("exact lookup leaked another trace")
+	}
+
+	code, body = get(t, base+"/traces?trace_id="+id+"&format=jsonl")
+	if code != http.StatusOK {
+		t.Fatalf("jsonl lookup = %d", code)
+	}
+	var d SpanData
+	if err := json.Unmarshal([]byte(strings.TrimSpace(body)), &d); err != nil {
+		t.Fatalf("jsonl lookup not JSON: %v", err)
+	}
+	if d.TraceID != id || len(d.Children) != 1 {
+		t.Fatalf("jsonl lookup returned %+v", d)
+	}
+
+	if code, _ = get(t, base+"/traces?trace_id=ffffffffffffffffffffffffffffffff"); code != http.StatusNotFound {
+		t.Fatalf("unknown trace_id = %d, want 404", code)
+	}
+	// No recorder wired: any lookup is a 404, not a panic.
+	bare := NewServer(ServerConfig{})
+	addr2, err := bare.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if code, _ = get(t, "http://"+addr2+"/traces?trace_id="+id); code != http.StatusNotFound {
+		t.Fatalf("recorder-less lookup = %d, want 404", code)
+	}
+}
+
+// TestServerFederatedMetrics checks /metrics merges per-node snapshots under
+// node labels while local series pass through unlabeled.
+func TestServerFederatedMetrics(t *testing.T) {
+	local := perf.NewMetrics()
+	local.Add("fleet.tasks", 6)
+	w1 := perf.NewMetrics()
+	w1.Add("fleet.worker.tasks", 4)
+	w2 := perf.NewMetrics()
+	w2.Add("fleet.worker.tasks", 2)
+
+	srv := NewServer(ServerConfig{
+		Metrics: local.Snapshot,
+		FederatedNodes: func() []NodeMetrics {
+			return []NodeMetrics{
+				{Node: "w1", Snapshot: w1.Snapshot()},
+				{Node: "w2", Snapshot: w2.Snapshot()},
+			}
+		},
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	_, body := get(t, "http://"+addr+"/metrics")
+	series := parseProm(t, body)
+	if series["fleet_tasks_total"] != 6 {
+		t.Errorf("local series = %v, want 6", series["fleet_tasks_total"])
+	}
+	if series[`fleet_worker_tasks_total{node="w1"}`] != 4 ||
+		series[`fleet_worker_tasks_total{node="w2"}`] != 2 {
+		t.Errorf("federated node series missing:\n%s", body)
+	}
+}
+
+// TestServerProfilingGate checks pprof endpoints exist only behind the flag.
+func TestServerProfilingGate(t *testing.T) {
+	off := NewServer(ServerConfig{})
+	offAddr, err := off.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	if code, _ := get(t, "http://"+offAddr+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("pprof reachable without the flag: %d", code)
+	}
+
+	on := NewServer(ServerConfig{EnableProfiling: true})
+	onAddr, err := on.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer on.Close()
+	code, body := get(t, "http://"+onAddr+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "profile") {
+		t.Fatalf("pprof index = %d:\n%s", code, body)
+	}
+	if code, _ := get(t, "http://"+onAddr+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("pprof cmdline = %d", code)
+	}
+}

@@ -84,7 +84,7 @@ func (t *Tracer) StartRoot(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	s := &Span{name: name, start: time.Now()}
+	s := &Span{name: name, start: time.Now(), id: newSpanID(), traceID: newTraceID()}
 	s.root = s
 	s.tracer = t
 	return s
@@ -93,15 +93,19 @@ func (t *Tracer) StartRoot(name string) *Span {
 // Span is one timed node of a trace tree. All methods are nil-receiver
 // safe; a span must not be mutated after End.
 type Span struct {
-	tracer *Tracer // set on the root only
-	root   *Span
-	name   string
-	start  time.Time
+	tracer   *Tracer // set on the root only
+	root     *Span
+	name     string
+	start    time.Time
+	id       SpanID
+	traceID  TraceID // set on the root only
+	parentID SpanID  // set on a linked root only (remote parent)
 
 	mu       sync.Mutex
 	dur      time.Duration
 	attrs    []Attr
 	children []*Span
+	remote   []SpanData
 	errMsg   string
 	shed     bool
 	ended    bool
@@ -121,7 +125,7 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{root: s.root, name: name, start: time.Now()}
+	c := &Span{root: s.root, name: name, start: time.Now(), id: newSpanID()}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
@@ -135,7 +139,7 @@ func (s *Span) Stage(name string, start time.Time, d time.Duration) {
 	if s == nil {
 		return
 	}
-	c := &Span{root: s.root, name: name, start: start, dur: d, ended: true}
+	c := &Span{root: s.root, name: name, start: start, dur: d, ended: true, id: newSpanID()}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
@@ -242,13 +246,60 @@ func (s *Span) observe(name string, d time.Duration) {
 	s.tracer.metrics.Observe("span."+name, d)
 }
 
+// SpanContext returns the span's wire identity (zero for nil — so disabled
+// tracing injects no headers).
+func (s *Span) SpanContext() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.root.traceID, SpanID: s.id}
+}
+
+// TraceID returns the id of the trace this span belongs to (zero for nil).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.root.traceID
+}
+
+// AttachRemote grafts a completed span subtree from another process under
+// this span — the coordinator-side hook for worker trees piggybacked on RPC
+// responses. The subtree is kept verbatim (it carries its own ids, stamped
+// by the remote tracer); it renders after the span's local children.
+func (s *Span) AttachRemote(d SpanData) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.remote = append(s.remote, d)
+	s.mu.Unlock()
+}
+
+// Data returns the span's immutable snapshot. It is meant for a completed
+// span (after End) — the form a worker ships back over the wire. A nil span
+// returns the zero SpanData.
+func (s *Span) Data() SpanData {
+	if s == nil {
+		return SpanData{}
+	}
+	return s.snapshot()
+}
+
 // snapshot converts the (completed) span tree to immutable SpanData.
 func (s *Span) snapshot() SpanData {
+	return s.snap(s.root.traceID, s.parentID)
+}
+
+func (s *Span) snap(trace TraceID, parent SpanID) SpanData {
 	s.mu.Lock()
 	d := SpanData{
 		Name:     s.name,
 		Start:    s.start,
 		Duration: s.dur,
+		TraceID:  trace.String(),
+		SpanID:   s.id.String(),
+		ParentID: parent.String(),
 		Error:    s.errMsg,
 		Shed:     s.shed,
 	}
@@ -256,10 +307,12 @@ func (s *Span) snapshot() SpanData {
 		d.Attrs = append([]Attr(nil), s.attrs...)
 	}
 	children := append([]*Span(nil), s.children...)
+	remote := append([]SpanData(nil), s.remote...)
 	s.mu.Unlock()
 	for _, c := range children {
-		d.Children = append(d.Children, c.snapshot())
+		d.Children = append(d.Children, c.snap(trace, s.id))
 	}
+	d.Children = append(d.Children, remote...)
 	return d
 }
 

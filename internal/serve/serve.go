@@ -60,7 +60,15 @@ type Config struct {
 	Metrics *perf.Metrics
 	// Tracer records one span tree per build request — admission wait,
 	// execution, per-stage construction breakdown; nil disables tracing.
+	// With a Fleet configured, worker-side spans link under the build trace
+	// and ride back on the match responses, so one trace spans the whole
+	// fleet.
 	Tracer *obs.Tracer
+	// Profiler, when set, captures a CPU profile around every build and
+	// keeps the ones that ran past its threshold, named after the build's
+	// trace id (the trace carries a cpu_profile attribute pointing at the
+	// kept file). Nil disables continuous profiling.
+	Profiler *obs.Profiler
 	// OnResult, when set, observes every successfully built result (leader
 	// executions only — coalesced joiners share the leader's result and do
 	// not re-fire it). The map-serve tier uses it to publish a finished
@@ -106,6 +114,11 @@ type Response struct {
 	// QueueWait is the time spent waiting for a build slot; Exec the build
 	// execution time.
 	QueueWait, Exec time.Duration
+	// TraceID identifies this request's trace ("" with tracing disabled);
+	// /traces?trace_id= on the admin endpoint looks it up directly. A
+	// coalesced response carries the leader's trace id — the trace that
+	// actually holds the execution detail.
+	TraceID string
 }
 
 // flight is one in-flight request execution that identical requests join.
@@ -320,7 +333,7 @@ func (s *Service) execute(ctx context.Context, req Request, seqs [][]byte, sp *o
 		return nil, ctx.Err()
 	}
 	defer func() { <-s.slots }()
-	resp := &Response{QueueWait: time.Since(t0)}
+	resp := &Response{QueueWait: time.Since(t0), TraceID: sp.TraceID().String()}
 	s.metrics.Observe("serve.queue_wait", resp.QueueWait)
 	sp.Stage("admission", t0, resp.QueueWait)
 
@@ -338,12 +351,16 @@ func (s *Service) execute(ctx context.Context, req Request, seqs [][]byte, sp *o
 	defer s.metrics.GaugeAdd("serve.inflight", -1)
 
 	bs := sp.Child("build")
+	// Thread the build span through ctx so downstream spans — fleet dispatch
+	// children and the worker subtrees they graft on — parent under it.
+	bctx := obs.ContextWithSpan(ctx, bs)
+	stopProf := s.cfg.Profiler.Start()
 	t1 := time.Now()
 	var res *build.Result
 	var err error
 	switch req.Tool {
 	case ToolPGGB:
-		res, err = s.buildPGGB(ctx, req, seqs, resp)
+		res, err = s.buildPGGB(bctx, req, seqs, resp)
 	case ToolMC:
 		mc := req.MC
 		if mc.Workers <= 0 {
@@ -355,10 +372,16 @@ func (s *Service) execute(ctx context.Context, req Request, seqs [][]byte, sp *o
 			// Results are worker-count-invariant, so this only shifts time.
 			mc.Workers = fairShareWorkers(runtime.GOMAXPROCS(0), s.cfg.Workers)
 		}
-		res, err = build.MinigraphCactus(ctx, req.Cohort, seqs, mc, nil)
+		res, err = build.MinigraphCactus(bctx, req.Cohort, seqs, mc, nil)
 	}
 	resp.Exec = time.Since(t1)
 	s.metrics.Observe("serve.exec", resp.Exec)
+	// Slow-build profiling: the capture is kept only when the build ran past
+	// the profiler's threshold; the trace links to the profile file.
+	if path := stopProf(resp.Exec, sp.TraceID().String()); path != "" {
+		sp.Set("cpu_profile", path)
+		s.metrics.Add("serve.profiles_kept", 1)
+	}
 	if err != nil {
 		s.metrics.Add("serve.errors", 1)
 		bs.Error(err)

@@ -307,6 +307,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("soak: initial cohort build: %w", err)
 	}
+	cfg.Sink.Emit("build", map[string]any{
+		"event":    "initial",
+		"build_ms": time.Since(t0).Milliseconds(),
+		"trace_id": first.TraceID,
+	})
 	// Baseline graph bytes: worker-kill chaos asserts rebuilds under fault
 	// reproduce this exactly.
 	var baselineGFA []byte
@@ -500,11 +505,15 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				if !marked {
 					killMarkedDead = false
 				}
+				rebuildTrace := ""
+				if bo.resp != nil {
+					rebuildTrace = bo.resp.TraceID
+				}
 				fmt.Fprintf(out, "soak: chaos worker-kill at %v — %s killed mid-build, rebuild finished in %v (identical=%v dead-marked=%v)\n",
 					elapsed, victimName, time.Since(kt0).Round(time.Millisecond), killIdentical, marked)
 				cfg.Sink.Emit("chaos", map[string]any{"event": "worker-kill", "elapsed_ms": elapsed.Milliseconds(),
 					"victim": victimName, "rebuild_ms": time.Since(kt0).Milliseconds(),
-					"identical": killIdentical, "dead_marked": marked})
+					"identical": killIdentical, "dead_marked": marked, "trace_id": rebuildTrace})
 			case ChaosBuildReject:
 				builder.SetChaosRejectBuilds(true)
 				fmt.Fprintf(out, "soak: chaos build outage at %v for %v\n", elapsed, stormLen)
@@ -532,15 +541,36 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			for qi := range jobs {
 				q := trace[qi]
 				stMu.RLock()
-				_, err := svc.Map(ctx, q.Read.Seq)
+				resp, err := svc.Map(ctx, q.Read.Seq)
 				stMu.RUnlock()
+				outcome := "mapped"
 				switch {
 				case err == nil:
 					atomic.AddInt64(&mapped, 1)
 				case errors.Is(err, mapserve.ErrOverloaded):
 					atomic.AddInt64(&shed, 1)
+					outcome = "shed"
 				default:
 					atomic.AddInt64(&failed, 1)
+					outcome = "failed"
+				}
+				// Flight-log join key: shed and failed queries get a per-query
+				// record carrying their trace_id, so any chaos incident in the
+				// log is joinable against /traces?trace_id= on the flight
+				// recorder. Mapped queries stay in the periodic samples only —
+				// one JSONL line per success would dwarf the log.
+				if outcome != "mapped" {
+					traceID := ""
+					if resp != nil {
+						traceID = resp.TraceID
+					}
+					cfg.Sink.Emit("query", map[string]any{
+						"elapsed_ms": time.Since(replayStart).Milliseconds(),
+						"query":      qi,
+						"outcome":    outcome,
+						"trace_id":   traceID,
+						"err":        err.Error(),
+					})
 				}
 			}
 		}()
