@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"testing"
 
+	"pangenomicsbench/internal/align"
 	"pangenomicsbench/internal/build"
 	"pangenomicsbench/internal/core"
 	"pangenomicsbench/internal/gensim"
@@ -63,6 +64,30 @@ func benchMap(tool pipeline.Tool, reads []gensim.Read) testing.BenchmarkResult {
 		for i := 0; i < b.N; i++ {
 			for _, r := range reads {
 				tool.Map(r.Seq, nil)
+			}
+		}
+	})
+}
+
+// benchMapBatch times the batched mapping path: one MapBatch pass over the
+// corpus per op through the lane-packed kernels, with caller-owned output
+// slices reused across ops — the zero-steady-state-allocation serving
+// configuration.
+func benchMapBatch(tool pipeline.ContextTool, reads []gensim.Read) testing.BenchmarkResult {
+	bases := 0
+	rs := make([][]byte, len(reads))
+	for i, r := range reads {
+		rs[i] = r.Seq
+		bases += len(r.Seq)
+	}
+	results := make([]pipeline.Result, len(rs))
+	stages := make([]pipeline.StageTimes, len(rs))
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(bases))
+		for i := 0; i < b.N; i++ {
+			if _, err := tool.MapBatch(context.Background(), rs, results, stages, nil); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})
@@ -235,6 +260,62 @@ func benchCmd(args []string) error {
 		return err
 	}
 	record("map/minigraph-lr", benchMap(mg, long))
+
+	// Batched mapping hot paths: the same corpora through MapBatch — the
+	// lane-packed, reused-scratch serving configuration.
+	record("mapbatch/giraffe", benchMapBatch(giraffe, short))
+	record("mapbatch/vgmap", benchMapBatch(vgmap, short))
+	record("mapbatch/graphaligner", benchMapBatch(ga, long))
+	record("mapbatch/minigraph-lr", benchMapBatch(mg, long))
+
+	// Raw batched kernels: a full lane group per op, grow-only arenas, zero
+	// steady-state allocations.
+	var mlg align.MyersLaneGroup
+	record("kernel/myers-batch", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mlg.Reset()
+			for l := 0; l < align.MaxLanes; l++ {
+				ref := short[l%len(short)].Seq
+				if len(ref) > 240 {
+					ref = ref[:240]
+				}
+				query := short[(l+3)%len(short)].Seq
+				if len(query) > align.MaxMyersQuery {
+					query = query[:align.MaxMyersQuery]
+				}
+				if _, err := mlg.Add(ref, query); err != nil {
+					b.Fatal(err)
+				}
+			}
+			mlg.Run(nil)
+		}
+	}))
+	wfaA := make([][]byte, align.MaxLanes)
+	wfaB := make([][]byte, align.MaxLanes)
+	for l := range wfaA {
+		s := short[l%len(short)].Seq
+		if len(s) > 160 {
+			s = s[:160]
+		}
+		a := append([]byte(nil), s...)
+		bb := append([]byte(nil), s...)
+		for j := 5; j < len(bb); j += 37 { // sparse edits keep the WFA band narrow
+			bb[j] = "ACGT"[(j+l)%4]
+		}
+		wfaA[l], wfaB[l] = a, bb
+	}
+	var wlg align.WFALaneGroup
+	record("kernel/wfa-batch", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			wlg.Reset()
+			for l := 0; l < align.MaxLanes; l++ {
+				wlg.Add(wfaA[l], wfaB[l])
+			}
+			wlg.Run(nil)
+		}
+	}))
 
 	// Construction hot paths (what a cold start pays and a warm start skips).
 	names, seqs := suite.Pop.AssemblyView()

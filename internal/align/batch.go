@@ -1,0 +1,363 @@
+// Lane-packed batched kernels: up to MaxLanes independent alignment
+// problems advance in lockstep through one kernel call, struct-of-arrays
+// style, mirroring the 32-lane warp model of internal/simt on the CPU. Each
+// lane's arithmetic is exactly the serial kernel's, so per-lane results are
+// byte-identical to one-at-a-time calls at any batch size; the win is
+// allocation-free steady state (grow-only arenas per lane group, like the
+// pooled POA DP rows) and an interleaved instruction stream that amortizes
+// per-call setup. Lane groups also expose their column/active-step counts,
+// so the simt warp model can cross-check utilization accounting.
+package align
+
+import (
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/graph"
+	"pangenomicsbench/internal/perf"
+)
+
+// MaxLanes is the lane width of the batched kernels: 16 reads interleave
+// per kernel call (half a simt warp; two lane groups fill one).
+const MaxLanes = 16
+
+// MyersLaneGroup runs up to MaxLanes independent Myers64 problems in
+// lockstep: one column step per lane per round, lanes whose reference is
+// exhausted going inactive (the divergence model of simt.Warp.Exec). All
+// state lives in fixed per-lane arrays — zero allocations at any batch
+// size.
+type MyersLaneGroup struct {
+	n    int
+	eq   [MaxLanes]Peq
+	m    [MaxLanes]int
+	refs [MaxLanes][]byte
+	lens [MaxLanes]int
+	st   [MaxLanes]myersState
+	res  [MaxLanes]EditResult
+
+	cols      int
+	laneSteps int
+}
+
+// Reset empties the group for reuse.
+func (g *MyersLaneGroup) Reset() { g.n, g.cols, g.laneSteps = 0, 0, 0 }
+
+// Len returns the number of occupied lanes.
+func (g *MyersLaneGroup) Len() int { return g.n }
+
+// Full reports whether every lane is occupied.
+func (g *MyersLaneGroup) Full() bool { return g.n == MaxLanes }
+
+// Add loads one (ref, query) problem into the next lane and returns its
+// lane index. The query obeys the Myers64 length bound (1..64 bp); ref may
+// be any length, including empty. The slices are retained until Run.
+func (g *MyersLaneGroup) Add(ref, query []byte) (int, error) {
+	eq, err := NewPeq(query)
+	if err != nil {
+		return -1, err
+	}
+	l := g.n
+	g.n++
+	g.eq[l] = eq
+	g.m[l] = len(query)
+	g.refs[l] = ref
+	g.lens[l] = len(ref)
+	g.st[l] = initialMyersState(len(query))
+	g.res[l] = EditResult{Distance: g.st[l].score, EndRef: 0}
+	return l, nil
+}
+
+// Run advances every lane in lockstep, column-major: round i steps each
+// still-active lane by reference base i. Per-lane arithmetic is exactly
+// Myers64's, so Result(l) is byte-identical to the serial kernel.
+func (g *MyersLaneGroup) Run(probe *perf.Probe) {
+	maxLen := 0
+	for l := 0; l < g.n; l++ {
+		if len(g.refs[l]) > maxLen {
+			maxLen = len(g.refs[l])
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		for l := 0; l < g.n; l++ {
+			ref := g.refs[l]
+			if i >= len(ref) {
+				continue
+			}
+			st := &g.st[l]
+			st.step(g.eq[l][bio.Code(ref[i])], g.m[l], probe)
+			if st.score < g.res[l].Distance {
+				g.res[l] = EditResult{Distance: st.score, EndRef: i + 1}
+			}
+			g.laneSteps++
+		}
+		g.cols++
+	}
+	for l := 0; l < g.n; l++ {
+		g.refs[l] = nil // release retained references
+	}
+}
+
+// Result returns lane l's outcome after Run.
+func (g *MyersLaneGroup) Result(l int) EditResult { return g.res[l] }
+
+// RefLen returns the reference length loaded into lane l (its active
+// column count — the apportionment weight for batched stage timing).
+func (g *MyersLaneGroup) RefLen(l int) int { return g.lens[l] }
+
+// Columns returns the number of lockstep rounds the last Run issued (the
+// warp-instruction count of the simt cross-check).
+func (g *MyersLaneGroup) Columns() int { return g.cols }
+
+// LaneSteps returns the total active lane-steps of the last Run (the
+// active-lane sum of the simt cross-check): utilization is
+// LaneSteps/(Columns×lanes).
+func (g *MyersLaneGroup) LaneSteps() int { return g.laneSteps }
+
+// ActiveMask returns the active-lane bitmask of lockstep round col — the
+// mask a simt warp would issue for that column.
+func (g *MyersLaneGroup) ActiveMask(col int) uint32 {
+	var mask uint32
+	for l := 0; l < g.n; l++ {
+		if col < g.lens[l] {
+			mask |= 1 << uint(l)
+		}
+	}
+	return mask
+}
+
+// wfaLane is one lane's wavefront state inside a WFALaneGroup.
+type wfaLane struct {
+	ca, cb    []byte
+	cur, next []int
+	lo, hi    int
+	bias      int
+	goalK     int
+	n, m      int
+	wfBase    uint64
+	as        perf.AddrSpace
+	s         int
+	dist      int
+	done      bool
+}
+
+func (ln *wfaLane) start(a, b []byte) {
+	ln.n, ln.m = len(a), len(b)
+	ln.s, ln.dist = 0, 0
+	if ln.n == 0 {
+		ln.dist, ln.done = ln.m, true
+		return
+	}
+	if ln.m == 0 {
+		ln.dist, ln.done = ln.n, true
+		return
+	}
+	ln.done = false
+	ln.ca = bio.AppendCodes(ln.ca[:0], a)
+	ln.cb = bio.AppendCodes(ln.cb[:0], b)
+	ln.goalK = ln.n - ln.m
+	ln.as.Reset()
+	ln.wfBase = ln.as.Alloc((ln.n + ln.m + 1) * 4)
+	ln.bias = ln.m
+	ln.cur = ensureInts(ln.cur, ln.n+ln.m+1)
+	ln.next = ensureInts(ln.next, ln.n+ln.m+1)
+	for i := range ln.cur {
+		ln.cur[i] = -1
+	}
+	ln.lo, ln.hi = 0, 0
+	ln.cur[ln.bias] = 0
+}
+
+func (ln *wfaLane) extend(wf []int, k int, probe *perf.Probe) {
+	i := wf[k+ln.bias]
+	j := i - k
+	for i < ln.n && j < ln.m && ln.ca[i] == ln.cb[j] {
+		probe.TakeBranch(0x90, true)
+		probe.Load(uintptr(ln.wfBase)+uintptr(i), 1)
+		i++
+		j++
+	}
+	probe.TakeBranch(0x90, false)
+	probe.Op(perf.ScalarInt, 2)
+	wf[k+ln.bias] = i
+}
+
+// step runs one error score s of WFAEdit's main loop: extend every live
+// diagonal, test the goal, grow the wavefront. Identical arithmetic to the
+// serial kernel, one score per lockstep round.
+func (ln *wfaLane) step(probe *perf.Probe) {
+	// Extend every live diagonal.
+	for k := ln.lo; k <= ln.hi; k++ {
+		if ln.cur[k+ln.bias] >= 0 {
+			ln.extend(ln.cur, k, probe)
+		}
+	}
+	// Goal: bottom-right corner reached.
+	if ln.goalK >= ln.lo && ln.goalK <= ln.hi && ln.cur[ln.goalK+ln.bias] >= ln.n {
+		probe.TakeBranch(0x91, true)
+		ln.dist, ln.done = ln.s, true
+		return
+	}
+	probe.TakeBranch(0x91, false)
+
+	// Next: grow the wavefront by one error.
+	nlo, nhi := ln.lo-1, ln.hi+1
+	if nlo < -ln.m {
+		nlo = -ln.m
+	}
+	if nhi > ln.n {
+		nhi = ln.n
+	}
+	for k := nlo; k <= nhi; k++ {
+		best := -1
+		if k-1 >= ln.lo && k-1 <= ln.hi && ln.cur[k-1+ln.bias] >= 0 {
+			best = ln.cur[k-1+ln.bias] + 1 // deletion from k-1
+		}
+		if k >= ln.lo && k <= ln.hi && ln.cur[k+ln.bias] >= 0 && ln.cur[k+ln.bias]+1 > best {
+			best = ln.cur[k+ln.bias] + 1 // mismatch
+		}
+		if k+1 >= ln.lo && k+1 <= ln.hi && ln.cur[k+1+ln.bias] >= 0 && ln.cur[k+1+ln.bias] > best {
+			best = ln.cur[k+1+ln.bias] // insertion from k+1
+		}
+		if best > ln.n {
+			best = ln.n
+		}
+		if best >= 0 && best-k > ln.m {
+			best = ln.m + k
+		}
+		if best >= 0 && best-k < 0 {
+			best = -1 // off the matrix
+		}
+		ln.next[k+ln.bias] = best
+		probe.Op(perf.ScalarInt, 6)
+		probe.Store(uintptr(ln.wfBase)+uintptr((k+ln.bias)*4), 4)
+	}
+	ln.lo, ln.hi = nlo, nhi
+	ln.cur, ln.next = ln.next, ln.cur
+	ln.s++
+}
+
+// WFALaneGroup runs up to MaxLanes independent WFAEdit problems in
+// lockstep: one error score per lane per round, lanes retiring as their
+// wavefront reaches the goal. Per-lane buffers are grow-only, so a reused
+// group computes with zero steady-state allocations.
+type WFALaneGroup struct {
+	n     int
+	lanes [MaxLanes]wfaLane
+
+	cols      int
+	laneSteps int
+}
+
+// Reset empties the group for reuse (buffers are kept).
+func (g *WFALaneGroup) Reset() { g.n, g.cols, g.laneSteps = 0, 0, 0 }
+
+// Len returns the number of occupied lanes.
+func (g *WFALaneGroup) Len() int { return g.n }
+
+// Full reports whether every lane is occupied.
+func (g *WFALaneGroup) Full() bool { return g.n == MaxLanes }
+
+// Add loads one (a, b) edit-distance problem into the next lane and returns
+// its lane index. The sequences are encoded into lane-owned buffers, so the
+// caller's slices are not retained past Add.
+func (g *WFALaneGroup) Add(a, b []byte) int {
+	l := g.n
+	g.n++
+	g.lanes[l].start(a, b)
+	return l
+}
+
+// Run advances every unfinished lane by one error score per lockstep round
+// until all lanes retire. Per-lane results equal WFAEdit exactly.
+func (g *WFALaneGroup) Run(probe *perf.Probe) {
+	for {
+		live := 0
+		for l := 0; l < g.n; l++ {
+			if g.lanes[l].done {
+				continue
+			}
+			g.lanes[l].step(probe)
+			live++
+			g.laneSteps++
+		}
+		if live == 0 {
+			return
+		}
+		g.cols++
+	}
+}
+
+// Distance returns lane l's edit distance after Run.
+func (g *WFALaneGroup) Distance(l int) int { return g.lanes[l].dist }
+
+// Columns returns the lockstep rounds of the last Run.
+func (g *WFALaneGroup) Columns() int { return g.cols }
+
+// LaneSteps returns the total active lane-steps of the last Run.
+func (g *WFALaneGroup) LaneSteps() int { return g.laneSteps }
+
+// GBVLaneGroup interleaves up to MaxLanes independent GBV alignments: each
+// lane owns a full GBVWorkspace and one priority-queue relaxation is the
+// lockstep unit. Per-lane pop order — and therefore results — is identical
+// to a serial GBVWorkspace.Align, and all lane workspaces are grow-only.
+type GBVLaneGroup struct {
+	n      int
+	ws     [MaxLanes]GBVWorkspace
+	errs   [MaxLanes]error
+	active int
+
+	cols      int
+	laneSteps int
+}
+
+// Reset empties the group for reuse (lane workspaces are kept).
+func (g *GBVLaneGroup) Reset() { g.n, g.cols, g.laneSteps, g.active = 0, 0, 0, 0 }
+
+// Len returns the number of occupied lanes.
+func (g *GBVLaneGroup) Len() int { return g.n }
+
+// Full reports whether every lane is occupied.
+func (g *GBVLaneGroup) Full() bool { return g.n == MaxLanes }
+
+// Add primes the next lane with one (graph, query) alignment and returns
+// its lane index. An invalid query (Myers length bound) consumes the lane
+// and surfaces from Err(l), mirroring the serial kernel's error return.
+func (g *GBVLaneGroup) Add(gr *graph.Graph, query []byte, probe *perf.Probe) int {
+	l := g.n
+	g.n++
+	g.errs[l] = g.ws[l].Start(gr, query, probe)
+	return l
+}
+
+// Run drives every lane's relaxation in lockstep — one queue pop per live
+// lane per round — until all lanes reach their fixpoint.
+func (g *GBVLaneGroup) Run() {
+	for {
+		live := 0
+		for l := 0; l < g.n; l++ {
+			if g.errs[l] != nil || g.ws[l].Done() {
+				continue
+			}
+			g.ws[l].Step()
+			live++
+			g.laneSteps++
+		}
+		if live == 0 {
+			return
+		}
+		g.cols++
+	}
+}
+
+// Err returns lane l's setup error (nil for a valid lane).
+func (g *GBVLaneGroup) Err(l int) error { return g.errs[l] }
+
+// Result returns lane l's alignment outcome after Run.
+func (g *GBVLaneGroup) Result(l int) EditResult { return g.ws[l].Result() }
+
+// Steps returns lane l's processed queue pops (its apportionment weight).
+func (g *GBVLaneGroup) Steps(l int) int { return g.ws[l].Steps() }
+
+// Columns returns the lockstep rounds of the last Run.
+func (g *GBVLaneGroup) Columns() int { return g.cols }
+
+// LaneSteps returns the total active lane-steps of the last Run.
+func (g *GBVLaneGroup) LaneSteps() int { return g.laneSteps }

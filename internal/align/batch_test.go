@@ -1,0 +1,304 @@
+package align
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pangenomicsbench/internal/bio"
+	"pangenomicsbench/internal/graph"
+)
+
+// TestMyersLaneGroupMatchesSerial: every lane of a lockstep run must equal
+// the serial Myers64 result, for unequal-length references and queries at
+// every batch size 1..MaxLanes.
+func TestMyersLaneGroupMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var g MyersLaneGroup
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + rng.Intn(MaxLanes)
+		refs := make([][]byte, n)
+		queries := make([][]byte, n)
+		g.Reset()
+		for l := 0; l < n; l++ {
+			refs[l] = randSeq(rng, rng.Intn(300)) // may be empty
+			queries[l] = randSeq(rng, 1+rng.Intn(MaxMyersQuery))
+			if _, err := g.Add(refs[l], queries[l]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g.Run(nil)
+		for l := 0; l < n; l++ {
+			want, err := Myers64(refs[l], queries[l], nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := g.Result(l); got != want {
+				t.Fatalf("iter %d lane %d/%d: batched %+v != serial %+v", iter, l, n, got, want)
+			}
+		}
+	}
+}
+
+// TestWFALaneGroupMatchesSerial: lockstep wavefronts must retire with the
+// exact WFAEdit distance per lane.
+func TestWFALaneGroupMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var g WFALaneGroup
+	for iter := 0; iter < 30; iter++ {
+		n := 1 + rng.Intn(MaxLanes)
+		as := make([][]byte, n)
+		bs := make([][]byte, n)
+		g.Reset()
+		for l := 0; l < n; l++ {
+			as[l] = randSeq(rng, rng.Intn(120))
+			if rng.Intn(2) == 0 {
+				bs[l] = mutate(rng, as[l], 0.1)
+			} else {
+				bs[l] = randSeq(rng, rng.Intn(120))
+			}
+			g.Add(as[l], bs[l])
+		}
+		g.Run(nil)
+		for l := 0; l < n; l++ {
+			want := WFAEdit(as[l], bs[l], nil)
+			if got := g.Distance(l); got != want {
+				t.Fatalf("iter %d lane %d/%d: batched %d != serial %d (|a|=%d |b|=%d)",
+					iter, l, n, got, want, len(as[l]), len(bs[l]))
+			}
+		}
+	}
+}
+
+// TestGBVLaneGroupMatchesSerial: each lane's interleaved relaxation must
+// reproduce the serial GBV result (distance AND end node — pop order is
+// part of the contract) against independently random graphs.
+func TestGBVLaneGroupMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var lg GBVLaneGroup
+	for iter := 0; iter < 25; iter++ {
+		n := 1 + rng.Intn(MaxLanes)
+		graphs := make([]*graph.Graph, n)
+		queries := make([][]byte, n)
+		lg.Reset()
+		for l := 0; l < n; l++ {
+			graphs[l] = randomGraph(rng, true)
+			queries[l] = randSeq(rng, 1+rng.Intn(MaxMyersQuery))
+			lg.Add(graphs[l], queries[l], nil)
+		}
+		lg.Run()
+		for l := 0; l < n; l++ {
+			if err := lg.Err(l); err != nil {
+				t.Fatal(err)
+			}
+			want, err := GBV(graphs[l], queries[l], nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := lg.Result(l); got != want {
+				t.Fatalf("iter %d lane %d/%d: batched %+v != serial %+v", iter, l, n, got, want)
+			}
+		}
+	}
+}
+
+// TestGBVWorkspaceReusedMatchesFresh: a workspace reused across differently
+// sized problems (stale scratch contents) must still match a fresh run
+// exactly, including the EndNode tie-break fixed by heap pop order.
+func TestGBVWorkspaceReusedMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	var ws GBVWorkspace
+	for iter := 0; iter < 60; iter++ {
+		g := randomGraph(rng, true)
+		q := randSeq(rng, 1+rng.Intn(MaxMyersQuery))
+		got, err := ws.Align(g, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := GBV(g, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("iter %d: reused workspace %+v != fresh %+v", iter, got, want)
+		}
+	}
+}
+
+// TestGWFAWorkspaceReusedMatchesFresh: distances from a reused wavefront
+// workspace must equal the fresh-map path. (EndNode may legitimately differ
+// on exact ties — map iteration order — so only Distance is contractual;
+// the mapping pipelines consume only Distance.)
+func TestGWFAWorkspaceReusedMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	var ws GWFAWorkspace
+	for iter := 0; iter < 60; iter++ {
+		g := randomGraph(rng, true)
+		q := randSeq(rng, rng.Intn(80))
+		got, err := ws.Align(g, 1, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := GWFAAt(g, 1, 0, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Distance != want.Distance {
+			t.Fatalf("iter %d: reused workspace distance %d != fresh %d", iter, got.Distance, want.Distance)
+		}
+	}
+}
+
+// TestGSSWWorkspaceReusedMatchesFresh: the arena-backed GSSW must reproduce
+// the fresh-allocation result bit for bit — score, coordinates, path, and
+// cigar — across reuse with varying graph and query sizes (stale arena
+// contents must never leak into column 0 or the traceback).
+func TestGSSWWorkspaceReusedMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	var ws GSSWWorkspace
+	for iter := 0; iter < 60; iter++ {
+		g := randomSmallDAG(rng)
+		q := randSeq(rng, 1+rng.Intn(60))
+		got, err := ws.Align(g, q, bio.DefaultScoring, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := GSSW(g, q, bio.DefaultScoring, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d: reused workspace %+v != fresh %+v", iter, got, want)
+		}
+	}
+}
+
+// TestBatchedKernelAllocs pins the zero-allocation contract of the batched
+// kernels (the acceptance target: 0 allocs/op steady state on batched Myers
+// and WFA) and the near-zero contract of the reusable graph-kernel
+// workspaces, in the style of poa_alloc_test.go.
+func TestBatchedKernelAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	refs := make([][]byte, MaxLanes)
+	queries := make([][]byte, MaxLanes)
+	for l := range refs {
+		refs[l] = randSeq(rng, 100+rng.Intn(100))
+		queries[l] = randSeq(rng, 1+rng.Intn(MaxMyersQuery))
+	}
+
+	t.Run("myers-lanes", func(t *testing.T) {
+		var g MyersLaneGroup
+		warmAndPin(t, 0, func() {
+			g.Reset()
+			for l := range refs {
+				if _, err := g.Add(refs[l], queries[l]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			g.Run(nil)
+		})
+	})
+
+	t.Run("wfa-lanes", func(t *testing.T) {
+		var g WFALaneGroup
+		warmAndPin(t, 0, func() {
+			g.Reset()
+			for l := range refs {
+				g.Add(refs[l], queries[l])
+			}
+			g.Run(nil)
+		})
+	})
+
+	t.Run("gbv-workspace", func(t *testing.T) {
+		gr := randomGraph(rng, true)
+		q := randSeq(rng, MaxMyersQuery)
+		var ws GBVWorkspace
+		warmAndPin(t, 0, func() {
+			if _, err := ws.Align(gr, q, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+
+	t.Run("gwfa-workspace", func(t *testing.T) {
+		gr := randomGraph(rng, true)
+		q := randSeq(rng, 60)
+		var ws GWFAWorkspace
+		// The recursive extend closure and its captures escape per call; the
+		// per-wavefront maps and slices must not. A handful of fixed-size
+		// closure allocations is the steady-state floor.
+		warmAndPin(t, 8, func() {
+			if _, err := ws.Align(gr, 1, q, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+
+	t.Run("gssw-workspace", func(t *testing.T) {
+		gr := randomSmallDAG(rng)
+		q := randSeq(rng, 40)
+		var ws GSSWWorkspace
+		// TopoSort and the traceback path/cigar still allocate per call;
+		// the DP matrices (the §5.2 triple footprint) must not.
+		warmAndPin(t, 16, func() {
+			if _, err := ws.Align(gr, q, bio.DefaultScoring, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+}
+
+// warmAndPin warms fn once, then asserts its steady-state allocations stay
+// at or below limit.
+func warmAndPin(t *testing.T, limit float64, fn func()) {
+	t.Helper()
+	fn()
+	if avg := testing.AllocsPerRun(10, fn); avg > limit {
+		t.Errorf("steady-state allocs/op = %.1f, want <= %.0f", avg, limit)
+	}
+}
+
+// FuzzMyersLaneBoundaries fuzzes the lane-packing boundaries: unequal-length
+// references and queries carved from raw fuzz bytes must produce per-lane
+// results identical to the serial kernel, whatever the length mix.
+func FuzzMyersLaneBoundaries(f *testing.F) {
+	f.Add([]byte("ACGTACGTACGTACGTAAAACCCCGGGGTTTT"), uint8(3))
+	f.Add([]byte("A"), uint8(1))
+	f.Add([]byte("ACGTNNNNACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT"), uint8(16))
+	f.Fuzz(func(t *testing.T, data []byte, lanes uint8) {
+		n := int(lanes%MaxLanes) + 1
+		if len(data) == 0 {
+			return
+		}
+		var g MyersLaneGroup
+		refs := make([][]byte, 0, n)
+		queries := make([][]byte, 0, n)
+		// Carve unequal (ref, query) pairs from the fuzz payload: lane l's
+		// query length cycles 1..64, its ref takes a varying remainder slice.
+		for l := 0; l < n; l++ {
+			qLen := (l*7+len(data))%MaxMyersQuery + 1
+			if qLen > len(data) {
+				qLen = len(data)
+			}
+			q := data[:qLen]
+			ref := data[len(data)*l/n:]
+			if _, err := g.Add(ref, q); err != nil {
+				t.Fatal(err) // qLen is always in [1,64]
+			}
+			refs = append(refs, ref)
+			queries = append(queries, q)
+		}
+		g.Run(nil)
+		for l := 0; l < len(refs); l++ {
+			want, err := Myers64(refs[l], queries[l], nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := g.Result(l); got != want {
+				t.Fatalf("lane %d/%d: batched %+v != serial %+v (|ref|=%d |q|=%d)",
+					l, n, got, want, len(refs[l]), len(queries[l]))
+			}
+		}
+	})
+}

@@ -1,8 +1,6 @@
 package align
 
 import (
-	"container/heap"
-
 	"pangenomicsbench/internal/bio"
 	"pangenomicsbench/internal/graph"
 	"pangenomicsbench/internal/perf"
@@ -17,119 +15,216 @@ import (
 // pushed on a priority queue and recomputed until all scores stabilize —
 // the source of the kernel's unpredictable branching (§5.2).
 func GBV(g *graph.Graph, query []byte, probe *perf.Probe) (EditResult, error) {
-	if _, err := NewPeq(query); err != nil {
-		return EditResult{}, err
+	var ws GBVWorkspace
+	return ws.Align(g, query, probe)
+}
+
+// GBVWorkspace holds the fixpoint state of one GBV alignment: the priority
+// queue, per-node entry/exit profiles, and the synthetic address space. All
+// buffers are grow-only, so a reused workspace aligns with zero steady-state
+// allocations, and the relaxation is exposed one queue pop at a time (Start
+// then Step) so a lane group can interleave several independent alignments
+// in lockstep. Results are byte-identical to a fresh-allocation run: the
+// manual heap replicates container/heap's sift order exactly, and the
+// address space resets to the same base every Start.
+type GBVWorkspace struct {
+	g     *graph.Graph
+	probe *perf.Probe
+	eq    Peq
+	m     int
+
+	fresh, scratch, merged []int
+	inBuf                  []int // (n+1) entry profiles of m+1 ints each
+	inSet                  []bool
+	out                    []myersState
+	hasOut                 []bool
+	inQueue                []bool
+	pq                     []gbvItem
+
+	as          perf.AddrSpace
+	stateBase   uint64
+	stateStride uintptr
+
+	best  EditResult
+	steps int
+	done  bool
+}
+
+// ensureInts returns buf with length n (grow-only, contents unspecified).
+func ensureInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
 	}
-	eq, _ := NewPeq(query)
+	return buf[:n]
+}
+
+func ensureBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
+}
+
+// Start primes the workspace for one alignment of query against g. The
+// relaxation then runs via Step (or all at once via Align).
+func (ws *GBVWorkspace) Start(g *graph.Graph, query []byte, probe *perf.Probe) error {
+	eq, err := NewPeq(query)
+	if err != nil {
+		return err
+	}
 	m := len(query)
 	n := g.NumNodes()
+	ws.g, ws.probe, ws.eq, ws.m = g, probe, eq, m
+	ws.steps = 0
 	if n == 0 {
-		return EditResult{Distance: m}, nil
+		ws.best = EditResult{Distance: m}
+		ws.done = true
+		return nil
 	}
+	ws.done = false
 
-	as := perf.NewAddrSpace()
-	stateBase := as.Alloc(n * (m + 1) * 8)
-	stateStride := uintptr((m + 1) * 8)
+	ws.as.Reset()
+	ws.stateBase = ws.as.Alloc(n * (m + 1) * 8)
+	ws.stateStride = uintptr((m + 1) * 8)
 
 	// fresh is the free-start profile D[j] = j.
-	fresh := make([]int, m+1)
-	for j := range fresh {
-		fresh[j] = j
+	ws.fresh = ensureInts(ws.fresh, m+1)
+	for j := range ws.fresh {
+		ws.fresh[j] = j
 	}
+	ws.scratch = ensureInts(ws.scratch, m+1)
+	ws.merged = ensureInts(ws.merged, m+1)
+	ws.inBuf = ensureInts(ws.inBuf, (n+1)*(m+1))
+	ws.inSet = ensureBools(ws.inSet, n+1)
+	if cap(ws.out) < n+1 {
+		ws.out = make([]myersState, n+1)
+	}
+	ws.out = ws.out[:n+1]
+	ws.hasOut = ensureBools(ws.hasOut, n+1)
+	ws.inQueue = ensureBools(ws.inQueue, n+1)
 
-	in := make([][]int, n+1)       // cached merged entry profiles
-	out := make([]myersState, n+1) // exit states
-	hasOut := make([]bool, n+1)
-	inQueue := make([]bool, n+1)
-
-	pq := &gbvHeap{}
+	ws.pq = ws.pq[:0]
 	for id := 1; id <= n; id++ {
-		heap.Push(pq, gbvItem{graph.NodeID(id), m})
-		inQueue[id] = true
+		gbvHeapPush(&ws.pq, gbvItem{graph.NodeID(id), m})
+		ws.inQueue[id] = true
 	}
+	ws.best = EditResult{Distance: m}
+	return nil
+}
 
-	best := EditResult{Distance: m}
-	scratch := make([]int, m+1)
-	merged := make([]int, m+1)
+// Step processes one priority-queue pop (one node relaxation), returning
+// false once the fixpoint is reached. One pop is the lockstep unit the GBV
+// lane group interleaves across lanes.
+func (ws *GBVWorkspace) Step() bool {
+	if ws.done || len(ws.pq) == 0 {
+		ws.done = true
+		return false
+	}
+	g, probe, m := ws.g, ws.probe, ws.m
+	it := gbvHeapPop(&ws.pq)
+	id := it.node
+	ws.inQueue[id] = false
+	ws.steps++
+	probe.Op(perf.ScalarInt, 6) // heap pop bookkeeping
+	probe.Frontend(4)           // data-dependent dispatch on queue order
 
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(gbvItem)
-		id := it.node
-		inQueue[id] = false
-		probe.Op(perf.ScalarInt, 6) // heap pop bookkeeping
-		probe.Frontend(4)           // data-dependent dispatch on queue order
-
-		// Merge the entry profile: fresh start ∪ parents' exits.
-		copy(merged, fresh)
-		for _, p := range g.In(id) {
-			if !hasOut[p] {
-				probe.TakeBranch(0x80, false)
-				continue
-			}
-			probe.TakeBranch(0x80, true)
-			probe.Load(uintptr(stateBase)+uintptr(p-1)*stateStride, (m+1)*8)
-			prof := out[p].profile(m, scratch)
-			for j := 0; j <= m; j++ {
-				if prof[j] < merged[j] {
-					probe.TakeBranch(0x81, true)
-					merged[j] = prof[j]
-				} else {
-					probe.TakeBranch(0x81, false)
-				}
-			}
-			probe.Op(perf.ScalarInt, m+1)
-		}
-
-		if in[id] != nil && equalProfile(in[id], merged) {
-			probe.TakeBranch(0x82, false)
-			continue // entry unchanged: exit unchanged
-		}
-		probe.TakeBranch(0x82, true)
-		if in[id] == nil {
-			in[id] = make([]int, m+1)
-		}
-		copy(in[id], merged)
-
-		// Step the column through the node's bases.
-		st := fromProfile(merged)
-		seq := g.Seq(id)
-		for i, b := range seq {
-			st.step(eq[bio.Code(b)], m, probe)
-			// Row state read-modify-write: each row's bitvectors live in
-			// the per-node state block.
-			rowAddr := uintptr(stateBase) + uintptr(id-1)*stateStride + uintptr((i*16)%int(stateStride))
-			probe.Load(rowAddr, 16)
-			probe.Store(rowAddr, 16)
-			if st.score < best.Distance {
-				probe.TakeBranch(0x83, true)
-				best = EditResult{Distance: st.score, EndNode: id}
-			} else {
-				probe.TakeBranch(0x83, false)
-			}
-		}
-
-		changed := !hasOut[id] || st != out[id]
-		probe.TakeBranch(0x84, changed)
-		if !changed {
+	// Merge the entry profile: fresh start ∪ parents' exits.
+	copy(ws.merged, ws.fresh)
+	for _, p := range g.In(id) {
+		if !ws.hasOut[p] {
+			probe.TakeBranch(0x80, false)
 			continue
 		}
-		out[id] = st
-		hasOut[id] = true
-		probe.Store(uintptr(stateBase)+uintptr(id-1)*stateStride, (m+1)*8)
-
-		for _, c := range g.Out(id) {
-			if !inQueue[c] {
-				heap.Push(pq, gbvItem{c, st.score})
-				inQueue[c] = true
-				probe.Op(perf.ScalarInt, 8)
+		probe.TakeBranch(0x80, true)
+		probe.Load(uintptr(ws.stateBase)+uintptr(p-1)*ws.stateStride, (m+1)*8)
+		prof := ws.out[p].profile(m, ws.scratch)
+		for j := 0; j <= m; j++ {
+			if prof[j] < ws.merged[j] {
+				probe.TakeBranch(0x81, true)
+				ws.merged[j] = prof[j]
+			} else {
+				probe.TakeBranch(0x81, false)
 			}
 		}
+		probe.Op(perf.ScalarInt, m+1)
 	}
+
+	in := ws.inBuf[int(id)*(m+1) : int(id+1)*(m+1)]
+	if ws.inSet[id] && equalProfile(in, ws.merged) {
+		probe.TakeBranch(0x82, false)
+		return len(ws.pq) > 0 // entry unchanged: exit unchanged
+	}
+	probe.TakeBranch(0x82, true)
+	ws.inSet[id] = true
+	copy(in, ws.merged)
+
+	// Step the column through the node's bases.
+	st := fromProfile(ws.merged)
+	seq := g.Seq(id)
+	for i, b := range seq {
+		st.step(ws.eq[bio.Code(b)], m, probe)
+		// Row state read-modify-write: each row's bitvectors live in
+		// the per-node state block.
+		rowAddr := uintptr(ws.stateBase) + uintptr(id-1)*ws.stateStride + uintptr((i*16)%int(ws.stateStride))
+		probe.Load(rowAddr, 16)
+		probe.Store(rowAddr, 16)
+		if st.score < ws.best.Distance {
+			probe.TakeBranch(0x83, true)
+			ws.best = EditResult{Distance: st.score, EndNode: id}
+		} else {
+			probe.TakeBranch(0x83, false)
+		}
+	}
+
+	changed := !ws.hasOut[id] || st != ws.out[id]
+	probe.TakeBranch(0x84, changed)
+	if !changed {
+		return len(ws.pq) > 0
+	}
+	ws.out[id] = st
+	ws.hasOut[id] = true
+	probe.Store(uintptr(ws.stateBase)+uintptr(id-1)*ws.stateStride, (m+1)*8)
+
+	for _, c := range g.Out(id) {
+		if !ws.inQueue[c] {
+			gbvHeapPush(&ws.pq, gbvItem{c, st.score})
+			ws.inQueue[c] = true
+			probe.Op(perf.ScalarInt, 8)
+		}
+	}
+	return len(ws.pq) > 0
+}
+
+// Done reports whether the relaxation has reached its fixpoint.
+func (ws *GBVWorkspace) Done() bool { return ws.done || len(ws.pq) == 0 }
+
+// Steps returns the number of queue pops processed since Start — the lane
+// group's utilization accounting unit.
+func (ws *GBVWorkspace) Steps() int { return ws.steps }
+
+// Result returns the alignment outcome once Done.
+func (ws *GBVWorkspace) Result() EditResult {
+	best := ws.best
 	// The empty-alignment answer for zero-length nodes is already m.
-	if best.Distance == m {
+	if best.Distance == ws.m {
 		best.EndNode = 0
 	}
-	return best, nil
+	return best
+}
+
+// Align runs one full alignment in the workspace: Start, Step to fixpoint,
+// Result. Zero steady-state allocations once the buffers have grown.
+func (ws *GBVWorkspace) Align(g *graph.Graph, query []byte, probe *perf.Probe) (EditResult, error) {
+	if err := ws.Start(g, query, probe); err != nil {
+		return EditResult{}, err
+	}
+	for ws.Step() {
+	}
+	return ws.Result(), nil
 }
 
 func equalProfile(a, b []int) bool {
@@ -146,16 +241,53 @@ type gbvItem struct {
 	prio int
 }
 
-type gbvHeap []gbvItem
+// The manual heap below replicates container/heap's exact sift algorithm
+// (up on push; swap-root-to-end + down on pop) so pop order — and therefore
+// GBV's EndNode on equal-score ties — is byte-identical to the historical
+// container/heap implementation, without the interface boxing allocation
+// per push.
 
-func (h gbvHeap) Len() int            { return len(h) }
-func (h gbvHeap) Less(i, j int) bool  { return h[i].prio < h[j].prio }
-func (h gbvHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *gbvHeap) Push(x interface{}) { *h = append(*h, x.(gbvItem)) }
-func (h *gbvHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+func gbvLess(a, b gbvItem) bool { return a.prio < b.prio }
+
+func gbvHeapPush(h *[]gbvItem, it gbvItem) {
+	*h = append(*h, it)
+	s := *h
+	j := len(s) - 1
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !gbvLess(s[j], s[i]) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func gbvHeapPop(h *[]gbvItem) gbvItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	gbvHeapDown(s[:n], 0)
+	it := s[n]
+	*h = s[:n]
 	return it
+}
+
+func gbvHeapDown(s []gbvItem, i int) {
+	n := len(s)
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && gbvLess(s[j2], s[j1]) {
+			j = j2
+		}
+		if !gbvLess(s[j], s[i]) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
 }

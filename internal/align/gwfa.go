@@ -13,6 +13,27 @@ type gwfaKey struct {
 	k    int32 // diagonal = queryPos - nodeOffset
 }
 
+type gwfaPoint struct {
+	key gwfaKey
+	q   int32
+}
+
+// GWFAWorkspace holds the reusable wavefront state of GWFA: the per-diagonal
+// maps (cleared, not reallocated, between calls — Go keeps their buckets),
+// the point/key scan slices, the query code buffer, and the synthetic
+// address space. A reused workspace bridges a gap with zero steady-state
+// allocations once its maps have grown to the working-set size. Distances
+// are identical to the fresh-allocation path; the reported EndNode may
+// differ on exact ties because map iteration order is unspecified either
+// way (the mapping pipelines consume only Distance).
+type GWFAWorkspace struct {
+	furthest, cur, next map[gwfaKey]int32
+	pts                 []gwfaPoint
+	keys                []gwfaKey
+	qc                  []byte
+	as                  perf.AddrSpace
+}
+
 // GWFA is the Graph Wavefront Algorithm used by Minigraph to bridge gaps
 // between anchors (paper §3, [35]): non-affine (unit-cost) alignment of
 // query against the graph starting at offset 0 of node start, consuming the
@@ -29,6 +50,32 @@ func GWFA(g *graph.Graph, start graph.NodeID, query []byte, probe *perf.Probe) (
 // the exclusive end offset of the alignment within EndNode — the
 // (EndNode, EndRef) pair is the resume point for the next piece.
 func GWFAAt(g *graph.Graph, start graph.NodeID, startOff int, query []byte, probe *perf.Probe) (EditResult, error) {
+	return gwfaCore(nil, g, start, startOff, query, probe)
+}
+
+// Align runs GWFA from offset 0 of start reusing the workspace's buffers.
+func (ws *GWFAWorkspace) Align(g *graph.Graph, start graph.NodeID, query []byte, probe *perf.Probe) (EditResult, error) {
+	return gwfaCore(ws, g, start, 0, query, probe)
+}
+
+// prepare returns the (furthest, cur) maps for one run: the workspace's
+// cleared maps when ws is non-nil, fresh maps otherwise.
+func (ws *GWFAWorkspace) prepare() (map[gwfaKey]int32, map[gwfaKey]int32) {
+	if ws == nil {
+		return make(map[gwfaKey]int32), make(map[gwfaKey]int32)
+	}
+	if ws.furthest == nil {
+		ws.furthest = make(map[gwfaKey]int32)
+		ws.cur = make(map[gwfaKey]int32)
+		ws.next = make(map[gwfaKey]int32)
+	}
+	clear(ws.furthest)
+	clear(ws.cur)
+	clear(ws.next)
+	return ws.furthest, ws.cur
+}
+
+func gwfaCore(ws *GWFAWorkspace, g *graph.Graph, start graph.NodeID, startOff int, query []byte, probe *perf.Probe) (EditResult, error) {
 	if !g.Valid(start) {
 		return EditResult{}, errInvalidStart(start)
 	}
@@ -42,8 +89,17 @@ func GWFAAt(g *graph.Graph, start graph.NodeID, startOff int, query []byte, prob
 	if m == 0 {
 		return EditResult{Distance: 0, EndNode: start, EndRef: startOff}, nil
 	}
-	qc := bio.Encode2Bit(query)
-	as := perf.NewAddrSpace()
+	var qc []byte
+	var as *perf.AddrSpace
+	if ws != nil {
+		ws.qc = bio.AppendCodes(ws.qc[:0], query)
+		qc = ws.qc
+		ws.as.Reset()
+		as = &ws.as
+	} else {
+		qc = bio.Encode2Bit(query)
+		as = perf.NewAddrSpace()
+	}
 	// Wavefront state is scattered across per-node structures, so its
 	// footprint grows with the graph region the wavefront reaches
 	// (§5.2: chromosome-scale gaps cover more nodes → more memory
@@ -56,13 +112,7 @@ func GWFAAt(g *graph.Graph, start graph.NodeID, startOff int, query []byte, prob
 
 	// furthest[key] = furthest query offset reached on that diagonal at any
 	// score so far (monotone; used to prune dominated points).
-	furthest := make(map[gwfaKey]int32)
-	cur := make(map[gwfaKey]int32)
-
-	type point struct {
-		key gwfaKey
-		q   int32
-	}
+	furthest, cur := ws.prepare()
 
 	improve := func(wf map[gwfaKey]int32, key gwfaKey, q int32) bool {
 		probe.Load(uintptr(wfBase)+uintptr((uint64(uint32(key.node))*64+uint64(uint32(key.k))*8)%wfFoot), 8)
@@ -133,10 +183,20 @@ func GWFAAt(g *graph.Graph, start graph.NodeID, startOff int, query []byte, prob
 	}
 
 	for s := 1; ; s++ {
-		next := make(map[gwfaKey]int32)
-		var pts []point
+		var next map[gwfaKey]int32
+		var pts []gwfaPoint
+		if ws != nil {
+			next = ws.next
+			clear(next)
+			pts = ws.pts[:0]
+		} else {
+			next = make(map[gwfaKey]int32)
+		}
 		for key, q := range cur {
-			pts = append(pts, point{key, q})
+			pts = append(pts, gwfaPoint{key, q})
+		}
+		if ws != nil {
+			ws.pts = pts
 		}
 		if len(pts) == 0 {
 			// Wavefront died (fully dominated): distance is bounded by
@@ -168,13 +228,22 @@ func GWFAAt(g *graph.Graph, start graph.NodeID, startOff int, query []byte, prob
 		}
 		// Extend pass over the new wavefront.
 		var keys []gwfaKey
+		if ws != nil {
+			keys = ws.keys[:0]
+		}
 		for key := range next {
 			keys = append(keys, key)
+		}
+		if ws != nil {
+			ws.keys = keys
 		}
 		for _, key := range keys {
 			if extend(next, key, next[key]) {
 				return EditResult{Distance: s, EndNode: endKey.node, EndRef: int(m - endKey.k)}, nil
 			}
+		}
+		if ws != nil {
+			ws.cur, ws.next = next, cur
 		}
 		cur = next
 	}

@@ -136,3 +136,13 @@ func GC(seq []byte) float64 {
 	}
 	return float64(n) / float64(len(seq))
 }
+
+// AppendCodes appends the 2-bit codes of seq to dst and returns the extended
+// slice — the allocation-free variant of Encode2Bit for reusable kernel
+// workspaces (append into a caller-owned buffer, SNIPPETS Compact idiom).
+func AppendCodes(dst, seq []byte) []byte {
+	for _, b := range seq {
+		dst = append(dst, codeOf[b])
+	}
+	return dst
+}

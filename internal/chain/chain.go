@@ -28,15 +28,45 @@ type Chain struct {
 	Score   int
 }
 
+// dkey identifies one memoized node-pair distance.
+type dkey struct{ a, b graph.NodeID }
+
+// Scratch holds the per-read working state of the chaining DP — the sorted
+// anchor copy, score/backpointer arrays, the chain-extraction bookkeeping,
+// the graph-distance memo, and the arena that backs the returned chains'
+// Anchors slices. Reusing a Scratch across reads removes the per-read
+// allocations of Linear/GraphChains (the hot-path allocation bug the batched
+// mapping path fixes); the results are byte-identical to the plain
+// functions. Returned chains alias the scratch arena and stay valid only
+// until the next call on the same Scratch.
+type Scratch struct {
+	a      []Anchor
+	score  []int
+	prev   []int
+	order  []int
+	used   []bool
+	memo   map[dkey]int
+	arena  []Anchor // backing for collected chains' Anchors
+	chains []Chain
+}
+
 // Linear chains anchors on a linear reference with 1D dynamic programming
 // (minimap-style): anchors sorted by reference position; an anchor extends a
 // chain when both query and reference advance, with a gap-difference
 // penalty.
 func Linear(anchors []Anchor, maxGap int, probe *perf.Probe) []Chain {
+	var s Scratch
+	return s.Linear(anchors, maxGap, probe)
+}
+
+// Linear is the scratch-reusing variant of the package function, identical
+// in output.
+func (s *Scratch) Linear(anchors []Anchor, maxGap int, probe *perf.Probe) []Chain {
 	if len(anchors) == 0 {
 		return nil
 	}
-	a := append([]Anchor(nil), anchors...)
+	a := append(s.a[:0], anchors...)
+	s.a = a
 	sort.Slice(a, func(i, j int) bool {
 		if a[i].RPos != a[j].RPos {
 			return a[i].RPos < a[j].RPos
@@ -44,8 +74,8 @@ func Linear(anchors []Anchor, maxGap int, probe *perf.Probe) []Chain {
 		return a[i].QPos < a[j].QPos
 	})
 	n := len(a)
-	score := make([]int, n)
-	prev := make([]int, n)
+	score := ensureInts(&s.score, n)
+	prev := ensureInts(&s.prev, n)
 	for i := range a {
 		score[i] = a[i].Len
 		prev[i] = -1
@@ -75,7 +105,7 @@ func Linear(anchors []Anchor, maxGap int, probe *perf.Probe) []Chain {
 			probe.Op(perf.ScalarInt, 8)
 		}
 	}
-	return collectChains(a, score, prev)
+	return s.collectChains(a, score, prev)
 }
 
 // GraphChains clusters graph anchors by graph locality: two anchors belong
@@ -83,18 +113,30 @@ func Linear(anchors []Anchor, maxGap int, probe *perf.Probe) []Chain {
 // pairs) is consistent with their query distance. This replaces coordinate
 // subtraction with graph traversal — the expensive step §2.1 highlights.
 func GraphChains(g *graph.Graph, anchors []Anchor, maxGap int, probe *perf.Probe) []Chain {
+	var s Scratch
+	return s.GraphChains(g, anchors, maxGap, probe)
+}
+
+// GraphChains is the scratch-reusing variant of the package function,
+// identical in output. The distance memo is cleared on every call (cached
+// distances depend on maxGap), but its buckets are retained.
+func (s *Scratch) GraphChains(g *graph.Graph, anchors []Anchor, maxGap int, probe *perf.Probe) []Chain {
 	if len(anchors) == 0 {
 		return nil
 	}
-	a := append([]Anchor(nil), anchors...)
+	a := append(s.a[:0], anchors...)
+	s.a = a
 	sort.Slice(a, func(i, j int) bool { return a[i].QPos < a[j].QPos })
 	n := len(a)
-	score := make([]int, n)
-	prev := make([]int, n)
+	score := ensureInts(&s.score, n)
+	prev := ensureInts(&s.prev, n)
 	// Memoized distance oracle ("memoization in large data structures",
 	// §2.1).
-	type dkey struct{ a, b graph.NodeID }
-	memo := map[dkey]int{}
+	if s.memo == nil {
+		s.memo = make(map[dkey]int)
+	}
+	clear(s.memo)
+	memo := s.memo
 	dist := func(x, y graph.NodeID) int {
 		if x == y {
 			return 0
@@ -142,71 +184,94 @@ func GraphChains(g *graph.Graph, anchors []Anchor, maxGap int, probe *perf.Probe
 			if gap < 0 {
 				gap = -gap
 			}
-			s := score[j] + a[i].Len - gap/2
-			if s > score[i] {
-				score[i] = s
+			sc := score[j] + a[i].Len - gap/2
+			if sc > score[i] {
+				score[i] = sc
 				prev[i] = j
 			}
 			probe.Op(perf.ScalarInt, 10)
 		}
 	}
-	return collectChains(a, score, prev)
+	return s.collectChains(a, score, prev)
+}
+
+// ensureInts returns *buf with length n, growing the backing array only when
+// needed (contents unspecified).
+func ensureInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // collectChains extracts disjoint chains by repeatedly taking the best
-// unused chain end.
-func collectChains(a []Anchor, score, prev []int) []Chain {
+// unused chain end. The returned chains' Anchors slices are carved from the
+// scratch arena; earlier carvings stay valid when the arena grows because a
+// grown arena abandons (never overwrites) its old backing array.
+func (s *Scratch) collectChains(a []Anchor, score, prev []int) []Chain {
 	n := len(a)
-	order := make([]int, n)
+	order := ensureInts(&s.order, n)
 	for i := range order {
 		order[i] = i
 	}
 	sort.Slice(order, func(x, y int) bool { return score[order[x]] > score[order[y]] })
-	used := make([]bool, n)
-	var chains []Chain
+	if cap(s.used) < n {
+		s.used = make([]bool, n)
+	}
+	used := s.used[:n]
+	for i := range used {
+		used[i] = false
+	}
+	arena := s.arena[:0]
+	chains := s.chains[:0]
 	for _, end := range order {
 		if used[end] {
 			continue
 		}
-		var rev []Anchor
+		start := len(arena)
 		ok := true
 		for i := end; i >= 0; i = prev[i] {
 			if used[i] {
 				ok = false
 				break
 			}
-			rev = append(rev, a[i])
+			arena = append(arena, a[i])
 		}
 		if !ok {
+			arena = arena[:start]
 			continue
 		}
 		for i := end; i >= 0; i = prev[i] {
 			used[i] = true
 		}
-		ch := Chain{Score: score[end], Anchors: make([]Anchor, len(rev))}
-		for i := range rev {
-			ch.Anchors[i] = rev[len(rev)-1-i]
+		// The walk collected back-to-front; reverse the carved segment.
+		seg := arena[start:len(arena):len(arena)]
+		for x, y := 0, len(seg)-1; x < y; x, y = x+1, y-1 {
+			seg[x], seg[y] = seg[y], seg[x]
 		}
-		chains = append(chains, ch)
+		chains = append(chains, Chain{Score: score[end], Anchors: seg})
 	}
+	s.arena, s.chains = arena, chains
 	return chains
 }
 
 // Filter keeps the top chains by score, dropping those below frac of the
 // best score and returning at most maxChains — the filtering stage of
-// Fig. 1 (some tools' aggressive pruning, §2.1).
+// Fig. 1 (some tools' aggressive pruning, §2.1). The result is a prefix of
+// the (in-place, descending-score) sorted input: no allocation.
 func Filter(chains []Chain, frac float64, maxChains int) []Chain {
 	if len(chains) == 0 {
 		return nil
 	}
 	sort.Slice(chains, func(i, j int) bool { return chains[i].Score > chains[j].Score })
 	cut := int(float64(chains[0].Score) * frac)
-	var out []Chain
+	n := 0
 	for _, c := range chains {
-		if c.Score < cut || len(out) >= maxChains {
+		if c.Score < cut || n >= maxChains {
 			break
 		}
-		out = append(out, c)
+		n++
 	}
-	return out
+	return chains[:n]
 }

@@ -1,0 +1,217 @@
+package mapserve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pangenomicsbench/internal/gensim"
+	"pangenomicsbench/internal/obs"
+	"pangenomicsbench/internal/pipeline"
+)
+
+// batchServiceFixture is one published giraffe snapshot plus simulated reads
+// for driving the grouped executor path.
+func batchServiceFixture(t *testing.T, nReads, length int) (*Registry, *Snapshot, [][]byte) {
+	t.Helper()
+	pop := testPop(t, 8000, 4)
+	sim, err := pop.SimulateReads(gensim.ReadConfig{Count: nReads, Length: length, SubRate: 0.002, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := make([][]byte, nReads)
+	for i, r := range sim {
+		reads[i] = r.Seq
+	}
+	snap, err := NewSnapshot("pop", pop.Graph, DefaultToolConfig(ToolGiraffe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := &Registry{}
+	if _, err := reg.Publish(snap); err != nil {
+		t.Fatal(err)
+	}
+	return reg, snap, reads
+}
+
+// TestGroupedQueriesMatchSerial is the serving-tier differential: concurrent
+// non-cancelable queries ride lane groups through Snapshot.MapBatch, and
+// every response must be byte-identical to a direct serial Map of the same
+// read against the same snapshot.
+func TestGroupedQueriesMatchSerial(t *testing.T) {
+	reg, snap, reads := batchServiceFixture(t, 8, 600)
+	want := make([]pipeline.Result, len(reads))
+	for i, read := range reads {
+		r, _, err := snap.Map(context.Background(), read)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+
+	s := New(reg, Config{Workers: 1, MaxBatch: 16, BatchWait: 25 * time.Millisecond})
+	defer s.Close()
+
+	resps := make([]*Response, len(reads))
+	var wg sync.WaitGroup
+	for i := range reads {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := s.Map(context.Background(), reads[i])
+			if err != nil {
+				t.Errorf("query %d: %v", i, err)
+				return
+			}
+			resps[i] = resp
+		}(i)
+	}
+	wg.Wait()
+	for i, resp := range resps {
+		if resp == nil {
+			continue
+		}
+		if resp.Result != want[i] {
+			t.Errorf("query %d: batched %+v != serial %+v", i, resp.Result, want[i])
+		}
+		if resp.MapTime <= 0 {
+			t.Errorf("query %d: no map time attributed", i)
+		}
+	}
+}
+
+// TestGroupedQueryTraceStageSum extends the trace-attribution acceptance
+// test to the batched path: queries sharing one lane-group kernel call must
+// still produce traces whose direct children account for the request latency
+// within the 10% bound — the shared call's wall time is apportioned across
+// the group, never multiply-counted — and whose map spans carry the
+// apportioned per-stage breakdown as children.
+func TestGroupedQueryTraceStageSum(t *testing.T) {
+	reg, _, reads := batchServiceFixture(t, 4, 600)
+	tr := obs.NewTracer(obs.TracerConfig{})
+	// A long BatchWait both gathers the concurrent queries into one batch
+	// and makes the admission stage dominate the request, so the attribution
+	// check is robust to scheduler noise.
+	s := New(reg, Config{Workers: 1, MaxBatch: 8, BatchWait: 50 * time.Millisecond, Tracer: tr})
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for i := range reads {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Map(context.Background(), reads[i]); err != nil {
+				t.Errorf("query %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	traces := tr.Recorder().Last(len(reads))
+	if len(traces) != len(reads) {
+		t.Fatalf("recorder retained %d traces, want %d", len(traces), len(reads))
+	}
+	grouped := 0
+	for _, root := range traces {
+		if root.Failed() {
+			t.Fatalf("successful query marked failed: %s", root.Tree())
+		}
+		for _, name := range []string{"admission", "snapshot.acquire", "map"} {
+			if _, ok := findChild(root, name); !ok {
+				t.Errorf("trace missing %q child:\n%s", name, root.Tree())
+			}
+		}
+		mapSpan, _ := findChild(root, "map")
+		if attrValue(mapSpan, "lane_group") != "" {
+			grouped++
+			// The batched path attaches the apportioned kernel stages
+			// post hoc; a giraffe-mapped read exercises all of them.
+			for _, stage := range []string{"seed", "chain", "align"} {
+				if _, ok := findChild(mapSpan, stage); !ok {
+					t.Errorf("grouped map span missing kernel stage %q:\n%s", stage, root.Tree())
+				}
+			}
+		}
+		sum, dur := root.StageSum(), root.Duration
+		lo, hi := dur-dur/10, dur+dur/10
+		if sum < lo || sum > hi {
+			t.Errorf("stage sum %v outside 10%% of request latency %v:\n%s", sum, dur, root.Tree())
+		}
+	}
+	// The concurrent queries land in one micro-batch (the 50ms BatchWait is
+	// enormous next to their enqueue skew), so at least one lane group of
+	// ≥2 must have formed.
+	if grouped < 2 {
+		t.Errorf("only %d of %d queries rode a lane group", grouped, len(traces))
+	}
+}
+
+// TestGroupCancelReleasesSnapshot is the batched-path cancellation and
+// refcount-drain test: queries sharing one cancelable context form a lane
+// group, a mid-flight cancel sheds the unfinished members with a
+// context.Canceled cause while any completed prefix still answers, and —
+// regardless of where the cancel lands — the batch's single snapshot
+// reference is released, so the registry drains to zero in-flight queries.
+func TestGroupCancelReleasesSnapshot(t *testing.T) {
+	reg, snap, reads := batchServiceFixture(t, 8, 900)
+	s := New(reg, Config{Workers: 1, MaxBatch: 16, BatchWait: time.Millisecond})
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := range reads {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := s.Map(ctx, reads[i])
+			switch {
+			case err == nil:
+				if resp == nil || !resp.Result.Mapped && resp.Result.EditDistance == 0 && resp.MapTime == 0 {
+					t.Errorf("query %d: nil-ish success response %+v", i, resp)
+				}
+			case errors.Is(err, context.Canceled):
+				// Shed mid-group or at admission turn — the expected path.
+			default:
+				t.Errorf("query %d: unexpected error %v", i, err)
+			}
+		}(i)
+	}
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	wg.Wait()
+
+	// Every done channel closed and the worker's deferred Release ran: the
+	// registry must drain to zero in-flight queries (the registry's own
+	// reference on the current snapshot is not a query).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		drained := true
+		for _, info := range reg.Stats() {
+			if info.InFlight != 0 {
+				drained = false
+			}
+		}
+		if drained {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot references leaked after canceled batch: %+v", reg.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The service keeps serving after the canceled group.
+	want, _, err := snap.Map(context.Background(), reads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Map(context.Background(), reads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result != want {
+		t.Errorf("post-cancel query: %+v != serial %+v", resp.Result, want)
+	}
+}

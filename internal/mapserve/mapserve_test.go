@@ -37,6 +37,16 @@ func (b *blockingTool) MapCtx(ctx context.Context, read []byte, probe *perf.Prob
 	}
 	return pipeline.Result{Mapped: true, Node: 1, EditDistance: len(read)}, pipeline.StageTimes{}, nil
 }
+func (b *blockingTool) MapBatch(ctx context.Context, reads [][]byte, results []pipeline.Result, stages []pipeline.StageTimes, probe *perf.Probe) (int, error) {
+	for i, read := range reads {
+		r, st, err := b.MapCtx(ctx, read, probe)
+		if err != nil {
+			return i, &pipeline.BatchError{Done: i, Err: err}
+		}
+		results[i], stages[i] = r, st
+	}
+	return len(reads), nil
+}
 
 // stubService wires a blockingTool snapshot into a fresh service.
 func stubService(t *testing.T, tool *blockingTool, cfg Config) (*Service, *Registry) {

@@ -30,20 +30,39 @@ func hashKmer(x uint64) uint64 {
 	return x
 }
 
+// Scratch holds the per-read rolling buffers of Compute so the seeding hot
+// path reuses them across reads instead of allocating two slices per call
+// (the per-read allocation bug the batched mapping path fixes). The zero
+// value is ready; buffers grow to the longest read seen and stay.
+type Scratch struct {
+	hashes []uint64
+	valid  []bool
+}
+
 // Compute returns the (w,k)-minimizers of seq: for every window of w
 // consecutive k-mers, the one with the smallest hash (leftmost on ties).
 // K-mers containing N are skipped.
 func Compute(seq []byte, k, w int, probe *perf.Probe) ([]Minimizer, error) {
+	var s Scratch
+	return s.ComputeInto(nil, seq, k, w, probe)
+}
+
+// ComputeInto is the allocation-free variant of Compute: minimizers are
+// appended to dst (which may be nil or a recycled slice) and the extended
+// slice is returned, byte-identical to Compute's output in content and
+// order. Steady state performs zero allocations once dst and the scratch
+// buffers have grown to the working size.
+func (s *Scratch) ComputeInto(dst []Minimizer, seq []byte, k, w int, probe *perf.Probe) ([]Minimizer, error) {
 	if k < 1 || k > 31 || w < 1 {
-		return nil, fmt.Errorf("minimizer: invalid parameters k=%d w=%d", k, w)
+		return dst, fmt.Errorf("minimizer: invalid parameters k=%d w=%d", k, w)
 	}
 	n := len(seq)
 	if n < k {
-		return nil, nil
+		return dst, nil
 	}
 	// Rolling k-mer encoding.
-	hashes := make([]uint64, 0, n-k+1)
-	valid := make([]bool, 0, n-k+1)
+	hashes := s.hashes[:0]
+	valid := s.valid[:0]
 	var kmer uint64
 	mask := (uint64(1) << uint(2*k)) - 1
 	badUntil := -1
@@ -59,7 +78,8 @@ func Compute(seq []byte, k, w int, probe *perf.Probe) ([]Minimizer, error) {
 			probe.Op(perf.ScalarInt, 6)
 		}
 	}
-	var out []Minimizer
+	s.hashes, s.valid = hashes, valid
+	out := dst
 	lastPos := -1
 	for win := 0; win+w <= len(hashes); win++ {
 		bestPos, bestHash := -1, ^uint64(0)

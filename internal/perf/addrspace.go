@@ -23,3 +23,9 @@ func (a *AddrSpace) Alloc(size int) uint64 {
 	a.next = base + uint64(size) + 256
 	return base
 }
+
+// Reset rewinds the address space to its initial base, so a reused kernel
+// workspace hands out the same synthetic addresses every call — the cache
+// and branch models then see identical streams whether a kernel ran with a
+// fresh or a pooled workspace.
+func (a *AddrSpace) Reset() { a.next = 1 << 20 }

@@ -1,0 +1,65 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"pangenomicsbench/internal/chain"
+	"pangenomicsbench/internal/minimizer"
+	"pangenomicsbench/internal/perf"
+)
+
+// BatchError is the typed error of a MapBatch call that stopped before
+// mapping every read (cancellation or deadline mid-batch). Done is the
+// number of leading reads whose results and stage times are valid — the
+// same count MapBatch returns — and Err is the cause (ctx.Err()), reachable
+// through errors.Is/As via Unwrap.
+type BatchError struct {
+	Done int
+	Err  error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("pipeline: batch stopped after %d reads: %v", e.Done, e.Err)
+}
+
+// Unwrap exposes the cause, so errors.Is(err, context.Canceled) works.
+func (e *BatchError) Unwrap() error { return e.Err }
+
+var errBatchSlices = errors.New("pipeline: MapBatch results/stages shorter than reads")
+
+// checkBatchArgs validates the caller-owned output slices of MapBatch.
+func checkBatchArgs(reads [][]byte, results []Result, stages []StageTimes) error {
+	if len(results) < len(reads) || len(stages) < len(reads) {
+		return errBatchSlices
+	}
+	return nil
+}
+
+// seedScratch holds the reusable buffers of the shared seeding stage: the
+// minimizer rolling state and the minimizer output slice. It removes the
+// two-slices-plus-output allocation every seedGraph call used to pay per
+// read (the hot-path allocation bug of the batched mapping sweep).
+type seedScratch struct {
+	msc minimizer.Scratch
+	ms  []minimizer.Minimizer
+}
+
+// seedInto is the allocation-free seeding stage: minimizers of the read
+// looked up in the graph index, anchors appended to dst. Output content and
+// order are identical to the historical seedGraph.
+func (s *seedScratch) seedInto(dst []chain.Anchor, idx *minimizer.GraphIndex, read []byte, k int, probe *perf.Probe) []chain.Anchor {
+	ms, err := s.msc.ComputeInto(s.ms[:0], read, k, 10, probe)
+	s.ms = ms
+	if err != nil {
+		return dst
+	}
+	for _, m := range ms {
+		for _, loc := range idx.Lookup(m.Hash) {
+			dst = append(dst, chain.Anchor{
+				QPos: m.Pos, Node: loc.Node, Offset: loc.Offset, Len: k,
+			})
+		}
+	}
+	return dst
+}

@@ -3,6 +3,8 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"sync"
+	"time"
 
 	"pangenomicsbench/internal/align"
 	"pangenomicsbench/internal/chain"
@@ -27,6 +29,62 @@ type VgGiraffe struct {
 	nodePos map[graph.NodeID]int
 	// Capture records the GBWT kernel queries.
 	Capture *[]GBWTInput
+
+	pool sync.Pool // *giraffeScratch
+}
+
+// giraffeExt is one haplotype extension candidate; its reference sequence
+// lives in the scratch arena as an offset span, not an owned slice.
+type giraffeExt struct {
+	startNode      graph.NodeID
+	mismatches     int
+	refOff, refLen int
+}
+
+// giraffeFall describes a read whose extensions all failed: the Myers64
+// fallback over its best extension's reference is still owed.
+type giraffeFall struct {
+	refOff, refLen int
+	node           graph.NodeID
+}
+
+// giraffePend is one batch member waiting on the lane-packed fallback.
+type giraffePend struct {
+	idx    int // index into the batch's reads
+	fall   giraffeFall
+	chunks int // fallback chunks not yet applied
+	total  int // accumulated edit distance
+}
+
+// myersChunk is one 64 bp fallback chunk of one pending read.
+type myersChunk struct {
+	pi       int // index into pends
+	off, end int
+}
+
+// giraffeScratch is the per-goroutine working state of the mapping path:
+// seeding and chaining scratch, the extension byte arena (refSeq spans),
+// node-walk buffers, the extension candidates, and the lane-packed Myers
+// fallback group. All buffers are grow-only.
+type giraffeScratch struct {
+	seed    seedScratch
+	anchors []chain.Anchor
+	cs      chain.Scratch
+	arena   []byte         // refSeq arena; reset per call (per batch)
+	nodes   []graph.NodeID // forward walk of the current extension
+	preds   []graph.NodeID // backward walk, in discovery order
+	exts    []giraffeExt
+	lanes   align.MyersLaneGroup
+	pends   []giraffePend
+	work    []myersChunk
+}
+
+func (t *VgGiraffe) getScratch() *giraffeScratch {
+	s, _ := t.pool.Get().(*giraffeScratch)
+	if s == nil {
+		s = &giraffeScratch{}
+	}
+	return s
 }
 
 // NewVgGiraffe builds the tool, including its GBWT haplotype index and
@@ -65,12 +123,28 @@ func (t *VgGiraffe) Map(read []byte, probe *perf.Probe) (Result, StageTimes) {
 // MapCtx implements ContextTool: cancellation is observed between stages and
 // at every cluster of the dominant haplotype-extension loop.
 func (t *VgGiraffe) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) (Result, StageTimes, error) {
-	done := ctx.Done()
+	s := t.getScratch()
+	defer t.pool.Put(s)
+	s.arena = s.arena[:0]
 	var st StageTimes
+	res, _, err := t.mapOne(ctx, s, read, probe, &st, nil)
+	return res, st, err
+}
+
+// mapOne runs one read's seed → chain → filter → align pipeline on the
+// scratch. With fall == nil the Myers64 fallback (for reads whose
+// extensions all fail) runs inline — the serial path. With fall non-nil the
+// fallback is deferred to the caller for lane packing: *fall is filled and
+// the second return is true.
+func (t *VgGiraffe) mapOne(ctx context.Context, s *giraffeScratch, read []byte, probe *perf.Probe, st *StageTimes, fall *giraffeFall) (Result, bool, error) {
+	done := ctx.Done()
 	var anchors []chain.Anchor
-	timeStageCtx(ctx, "seed", &st.Seed, func() { anchors = seedGraph(t.idx, read, t.idx.K(), probe) })
+	timeStageCtx(ctx, "seed", &st.Seed, func() {
+		s.anchors = s.seed.seedInto(s.anchors[:0], t.idx, read, t.idx.K(), probe)
+		anchors = s.anchors
+	})
 	if len(anchors) == 0 {
-		return Result{}, st, nil
+		return Result{}, false, nil
 	}
 
 	// Clustering over the distance index: anchors get approximate linear
@@ -82,25 +156,19 @@ func (t *VgGiraffe) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) 
 			anchors[i].RPos = t.nodePos[anchors[i].Node] + anchors[i].Offset
 			probe.Op(perf.ScalarInt, 2)
 		}
-		clusters = chain.Linear(anchors, 2*len(read), probe)
+		clusters = s.cs.Linear(anchors, 2*len(read), probe)
 		clusters = chain.Filter(clusters, 0.4, 4)
 	})
 	if len(clusters) == 0 {
-		return Result{}, st, nil
+		return Result{}, false, nil
 	}
 	if stopped(done) {
-		return Result{}, st, ctx.Err()
+		return Result{}, false, ctx.Err()
 	}
 
 	// Filtering: gapless haplotype extension of every seed of every
 	// cluster through the GBWT (Fig. 4c) — Giraffe's dominant stage.
-	type extension struct {
-		startNode  graph.NodeID
-		mismatches int
-		refSeq     []byte
-		start      int
-	}
-	var exts []extension
+	s.exts = s.exts[:0]
 	canceled := false
 	timeStageCtx(ctx, "filter", &st.Filter, func() {
 		for _, cl := range clusters {
@@ -109,13 +177,11 @@ func (t *VgGiraffe) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) 
 				return
 			}
 			for _, an := range cl.Anchors {
-				walk, refSeq, anchorStart := t.extendSeed(an, read, probe)
-				if walk == nil {
+				refOff, refLen, anchorStart, ok := t.extendSeedInto(s, an, read, probe)
+				if !ok {
 					continue
 				}
-				if t.Capture != nil {
-					*t.Capture = append(*t.Capture, GBWTInput{Nodes: walk})
-				}
+				refSeq := s.arena[refOff : refOff+refLen]
 				// Gapless scoring of the read against the haplotype
 				// sequence, aligned by the anchor.
 				shift := anchorStart + an.Offset - an.QPos
@@ -128,71 +194,187 @@ func (t *VgGiraffe) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) 
 					}
 				}
 				probe.TakeBranch(0x62, mism <= 6)
-				exts = append(exts, extension{an.Node, mism, refSeq, shift})
+				s.exts = append(s.exts, giraffeExt{an.Node, mism, refOff, refLen})
 			}
 		}
 	})
 	if canceled {
-		return Result{}, st, ctx.Err()
+		return Result{}, false, ctx.Err()
 	}
-	if len(exts) == 0 {
-		return Result{}, st, nil
+	if len(s.exts) == 0 {
+		return Result{}, false, nil
 	}
 
 	best := Result{EditDistance: 1 << 30}
+	deferred := false
 	timeStageCtx(ctx, "align", &st.Align, func() {
 		// Best extension; full alignment only if every extension failed.
 		bi := 0
-		for i := range exts {
-			if exts[i].mismatches < exts[bi].mismatches {
+		for i := range s.exts {
+			if s.exts[i].mismatches < s.exts[bi].mismatches {
 				bi = i
 			}
 		}
-		if exts[bi].mismatches <= 6 {
-			best = Result{Mapped: true, Node: exts[bi].startNode, EditDistance: exts[bi].mismatches}
+		e := s.exts[bi]
+		if e.mismatches <= 6 {
+			best = Result{Mapped: true, Node: e.startNode, EditDistance: e.mismatches}
 			return
 		}
+		if fall != nil {
+			*fall = giraffeFall{refOff: e.refOff, refLen: e.refLen, node: e.startNode}
+			deferred = true
+			return
+		}
+		refSeq := s.arena[e.refOff : e.refOff+e.refLen]
 		total := 0
 		for off := 0; off < len(read); off += align.MaxMyersQuery {
 			end := off + align.MaxMyersQuery
 			if end > len(read) {
 				end = len(read)
 			}
-			r, err := align.Myers64(exts[bi].refSeq, read[off:end], probe)
+			r, err := align.Myers64(refSeq, read[off:end], probe)
 			if err != nil {
 				total += end - off
 				continue
 			}
 			total += r.Distance
 		}
-		best = Result{Mapped: true, Node: exts[bi].startNode, EditDistance: total}
+		best = Result{Mapped: true, Node: e.startNode, EditDistance: total}
 	})
-	return best, st, nil
+	return best, deferred, nil
 }
 
-// extendSeed walks from a seed's node along haplotypes in both directions
-// until the read is covered: forward through GBWT states, backward through
-// the predecessor whose sequence best matches the read prefix. It returns
-// the node walk, its sequence, and the offset of the anchor node's start
-// within that sequence.
-func (t *VgGiraffe) extendSeed(an chain.Anchor, read []byte, probe *perf.Probe) ([]graph.NodeID, []byte, int) {
+// MapBatch implements ContextTool: reads run through seed/chain/filter one
+// by one on shared scratch, and every read whose extensions failed joins a
+// lane-packed Myers64 fallback — up to align.MaxLanes 64 bp chunks from
+// any mix of pending reads per kernel call. Results are byte-identical to
+// serial MapCtx; each read's align time includes its reference-length-
+// weighted share of every shared kernel call it rode in.
+func (t *VgGiraffe) MapBatch(ctx context.Context, reads [][]byte, results []Result, stages []StageTimes, probe *perf.Probe) (int, error) {
+	if err := checkBatchArgs(reads, results, stages); err != nil {
+		return 0, err
+	}
+	s := t.getScratch()
+	defer t.pool.Put(s)
+	done := ctx.Done()
+	s.arena = s.arena[:0] // extension spans must survive until phase B
+	s.pends = s.pends[:0]
+	for i, read := range reads {
+		results[i], stages[i] = Result{}, StageTimes{}
+		if stopped(done) {
+			return i, &BatchError{Done: i, Err: ctx.Err()}
+		}
+		var fall giraffeFall
+		res, deferred, err := t.mapOne(ctx, s, read, probe, &stages[i], &fall)
+		if err != nil {
+			return i, &BatchError{Done: i, Err: err}
+		}
+		if !deferred {
+			results[i] = res
+			continue
+		}
+		s.pends = append(s.pends, giraffePend{idx: i, fall: fall})
+	}
+
+	// Phase B: the deferred fallbacks, chunked and lane-packed. The work
+	// list is ordered by read, so pendings finalize in read order and a
+	// cancellation always leaves a valid completed prefix.
+	s.work = s.work[:0]
+	for pi := range s.pends {
+		read := reads[s.pends[pi].idx]
+		n := 0
+		for off := 0; off < len(read); off += align.MaxMyersQuery {
+			end := off + align.MaxMyersQuery
+			if end > len(read) {
+				end = len(read)
+			}
+			s.work = append(s.work, myersChunk{pi: pi, off: off, end: end})
+			n++
+		}
+		s.pends[pi].chunks = n
+		if n == 0 { // unreachable (seeded reads are non-empty), kept safe
+			p := &s.pends[pi]
+			results[p.idx] = Result{Mapped: true, Node: p.fall.node}
+		}
+	}
+	finalized := 0
+	for w := 0; w < len(s.work); w += align.MaxLanes {
+		if stopped(done) {
+			n := len(reads)
+			if finalized < len(s.pends) {
+				n = s.pends[finalized].idx
+			}
+			return n, &BatchError{Done: n, Err: ctx.Err()}
+		}
+		hi := w + align.MaxLanes
+		if hi > len(s.work) {
+			hi = len(s.work)
+		}
+		wave := s.work[w:hi]
+		t0 := time.Now()
+		s.lanes.Reset()
+		var added [align.MaxLanes]bool
+		for wi, wk := range wave {
+			p := &s.pends[wk.pi]
+			refSeq := s.arena[p.fall.refOff : p.fall.refOff+p.fall.refLen]
+			read := reads[p.idx]
+			if _, err := s.lanes.Add(refSeq, read[wk.off:wk.end]); err == nil {
+				added[wi] = true
+			}
+		}
+		s.lanes.Run(probe)
+		wall := time.Since(t0)
+		// Apportion the shared kernel call's wall time by reference length
+		// (each lane's active column count): shares sum to the call's wall
+		// time, so batched stage totals never multiply-count kernel time.
+		sumW := 0
+		for l := 0; l < s.lanes.Len(); l++ {
+			sumW += s.lanes.RefLen(l) + 1
+		}
+		li := 0
+		for wi, wk := range wave {
+			p := &s.pends[wk.pi]
+			if added[wi] {
+				p.total += s.lanes.Result(li).Distance
+				stages[p.idx].Align += wall * time.Duration(s.lanes.RefLen(li)+1) / time.Duration(sumW)
+				li++
+			} else {
+				p.total += wk.end - wk.off // serial kernel-error fallback
+			}
+			p.chunks--
+			if p.chunks == 0 {
+				results[p.idx] = Result{Mapped: true, Node: p.fall.node, EditDistance: p.total}
+				finalized++
+			}
+		}
+	}
+	return len(reads), nil
+}
+
+// extendSeedInto walks from a seed's node along haplotypes in both
+// directions until the read is covered: forward through GBWT states,
+// backward through the predecessor whose sequence best matches the read
+// prefix. The walk's sequence is materialized into the scratch arena; the
+// return values are its span (offset, length), the offset of the anchor
+// node's start within it, and whether any haplotype visits the seed at all.
+func (t *VgGiraffe) extendSeedInto(s *giraffeScratch, an chain.Anchor, read []byte, probe *perf.Probe) (refOff, refLen, anchorStart int, ok bool) {
 	state := t.hap.Start(an.Node)
 	if state.Empty() {
-		return nil, nil, 0
+		return 0, 0, 0, false
 	}
-	walk := []graph.NodeID{an.Node}
-	refSeq := append([]byte(nil), t.g.Seq(an.Node)...)
-	for len(refSeq) < len(read)+32 {
+	s.nodes = append(s.nodes[:0], an.Node)
+	seqLen := len(t.g.Seq(an.Node))
+	for seqLen < len(read)+32 {
 		next := t.widestHop(&state, probe)
 		if next == 0 {
 			break
 		}
-		walk = append(walk, next)
-		refSeq = append(refSeq, t.g.Seq(next)...)
+		s.nodes = append(s.nodes, next)
+		seqLen += len(t.g.Seq(next))
 	}
 	// Backward: prepend the predecessor whose suffix matches the read
 	// bases that should precede the current walk.
-	anchorStart := 0
+	s.preds = s.preds[:0]
 	needed := an.QPos - an.Offset // read bases before the anchor node
 	cur := an.Node
 	for needed > 0 {
@@ -215,14 +397,31 @@ func (t *VgGiraffe) extendSeed(an chain.Anchor, read []byte, probe *perf.Probe) 
 			}
 		}
 		probe.TakeBranch(0x63, len(preds) > 1)
-		seq := t.g.Seq(bestPred)
-		refSeq = append(append([]byte(nil), seq...), refSeq...)
-		walk = append([]graph.NodeID{bestPred}, walk...)
-		anchorStart += len(seq)
-		needed -= len(seq)
+		s.preds = append(s.preds, bestPred)
+		anchorStart += len(t.g.Seq(bestPred))
+		needed -= len(t.g.Seq(bestPred))
 		cur = bestPred
 	}
-	return walk, refSeq, anchorStart
+	// Materialize: predecessors outermost-first, then the forward walk —
+	// the same concatenation the prepend loop used to build one byte at a
+	// time with a fresh slice per step.
+	refOff = len(s.arena)
+	for i := len(s.preds) - 1; i >= 0; i-- {
+		s.arena = append(s.arena, t.g.Seq(s.preds[i])...)
+	}
+	for _, id := range s.nodes {
+		s.arena = append(s.arena, t.g.Seq(id)...)
+	}
+	refLen = len(s.arena) - refOff
+	if t.Capture != nil {
+		walk := make([]graph.NodeID, 0, len(s.preds)+len(s.nodes))
+		for i := len(s.preds) - 1; i >= 0; i-- {
+			walk = append(walk, s.preds[i])
+		}
+		walk = append(walk, s.nodes...)
+		*t.Capture = append(*t.Capture, GBWTInput{Nodes: walk})
+	}
+	return refOff, refLen, anchorStart, true
 }
 
 // widestHop advances the state to the most frequent haplotype successor,

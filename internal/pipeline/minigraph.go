@@ -3,6 +3,7 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"pangenomicsbench/internal/align"
 	"pangenomicsbench/internal/chain"
@@ -27,6 +28,28 @@ type Minigraph struct {
 	// GWFATime accumulates time spent inside the GWFA kernel (to report
 	// the kernel fraction of the chaining stage, Fig. 2).
 	GWFATime *StageTimes
+
+	pool sync.Pool // *mgScratch
+}
+
+// mgScratch is the per-goroutine working state: seeding and chaining
+// scratch plus the reusable GWFA wavefront workspace, so every anchor
+// bridge and final alignment reuses the per-diagonal maps instead of
+// reallocating them (GWFA runs many times per read — the dominant
+// per-read allocation source of this tool).
+type mgScratch struct {
+	seed    seedScratch
+	anchors []chain.Anchor
+	cs      chain.Scratch
+	gwfa    align.GWFAWorkspace
+}
+
+func (t *Minigraph) getScratch() *mgScratch {
+	s, _ := t.pool.Get().(*mgScratch)
+	if s == nil {
+		s = &mgScratch{}
+	}
+	return s
 }
 
 // NewMinigraph builds the tool.
@@ -56,12 +79,48 @@ func (t *Minigraph) Map(read []byte, probe *perf.Probe) (Result, StageTimes) {
 // anchor bridge — the dominant cost of minigraph's chaining stage — and
 // before the final base-level alignment.
 func (t *Minigraph) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) (Result, StageTimes, error) {
-	done := ctx.Done()
+	s := t.getScratch()
+	defer t.pool.Put(s)
 	var st StageTimes
+	r, err := t.mapOne(ctx, s, read, probe, &st)
+	return r, st, err
+}
+
+// MapBatch implements ContextTool: reads run serially over one shared
+// scratch — GWFA's wavefront scatters across per-node state, so the batch
+// win is the reused workspace (warm per-diagonal maps across every bridge
+// of every read), not lane packing. Results are byte-identical to per-read
+// MapCtx.
+func (t *Minigraph) MapBatch(ctx context.Context, reads [][]byte, results []Result, stages []StageTimes, probe *perf.Probe) (int, error) {
+	if err := checkBatchArgs(reads, results, stages); err != nil {
+		return 0, err
+	}
+	s := t.getScratch()
+	defer t.pool.Put(s)
+	done := ctx.Done()
+	for i, read := range reads {
+		results[i], stages[i] = Result{}, StageTimes{}
+		if stopped(done) {
+			return i, &BatchError{Done: i, Err: ctx.Err()}
+		}
+		r, err := t.mapOne(ctx, s, read, probe, &stages[i])
+		if err != nil {
+			return i, &BatchError{Done: i, Err: err}
+		}
+		results[i] = r
+	}
+	return len(reads), nil
+}
+
+func (t *Minigraph) mapOne(ctx context.Context, s *mgScratch, read []byte, probe *perf.Probe, st *StageTimes) (Result, error) {
+	done := ctx.Done()
 	var anchors []chain.Anchor
-	timeStageCtx(ctx, "seed", &st.Seed, func() { anchors = seedGraph(t.idx, read, t.idx.K(), probe) })
+	timeStageCtx(ctx, "seed", &st.Seed, func() {
+		s.anchors = s.seed.seedInto(s.anchors[:0], t.idx, read, t.idx.K(), probe)
+		anchors = s.anchors
+	})
 	if len(anchors) == 0 {
-		return Result{}, st, nil
+		return Result{}, nil
 	}
 
 	// Chaining: 2D DP over anchors, then GWFA bridges between consecutive
@@ -74,7 +133,7 @@ func (t *Minigraph) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) 
 		if t.ChromosomeMode {
 			maxGap = 4 * len(read)
 		}
-		chains = chain.GraphChains(t.g, anchors, maxGap, probe)
+		chains = s.cs.GraphChains(t.g, anchors, maxGap, probe)
 		if len(chains) == 0 {
 			return
 		}
@@ -111,7 +170,7 @@ func (t *Minigraph) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) 
 			}
 			var gst StageTimes
 			timeStage(&gst.Chain, func() {
-				_, _ = align.GWFA(t.g, prev.Node, gapSeq, probe)
+				_, _ = s.gwfa.Align(t.g, prev.Node, gapSeq, probe)
 			})
 			if t.GWFATime != nil {
 				t.GWFATime.Chain += gst.Chain
@@ -121,13 +180,13 @@ func (t *Minigraph) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) 
 		}
 	})
 	if canceled {
-		return Result{}, st, ctx.Err()
+		return Result{}, ctx.Err()
 	}
 	if len(chains) == 0 {
-		return Result{}, st, nil
+		return Result{}, nil
 	}
 	if stopped(done) {
-		return Result{}, st, ctx.Err()
+		return Result{}, ctx.Err()
 	}
 
 	timeStageCtx(ctx, "filter", &st.Filter, func() { chains = chain.Filter(chains, 0.7, 2) })
@@ -144,10 +203,10 @@ func (t *Minigraph) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) 
 		if len(query) > 2000 {
 			query = query[:2000]
 		}
-		r, err := align.GWFA(t.g, start, query, probe)
+		r, err := s.gwfa.Align(t.g, start, query, probe)
 		if err == nil {
 			best = Result{Mapped: true, Node: start, EditDistance: r.Distance}
 		}
 	})
-	return best, st, nil
+	return best, nil
 }

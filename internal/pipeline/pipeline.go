@@ -47,9 +47,22 @@ type Tool interface {
 // rest of the read. All four tools in this package implement it; Map is
 // MapCtx with context.Background(). The serve-mode mapping executor relies
 // on this to stop work mid-batch when a query's deadline expires.
+//
+// MapBatch maps reads[i] into the caller-owned results[i] and stages[i]
+// (both must be at least len(reads) long) and returns the number of leading
+// reads completed. Results are byte-identical to calling MapCtx once per
+// read at any batch size; the batched path differs only in execution —
+// per-tool scratch is reused across the batch and the Myers/GBV kernel
+// calls of several reads interleave lane-packed through one kernel
+// invocation. Each read's stage times are its own work plus its
+// apportioned share of any shared kernel call, so the per-batch sum of
+// stage totals tracks the batch's wall time (no multiply-counting). When
+// ctx is canceled mid-batch, MapBatch returns (n, *BatchError) with
+// results[:n] and stages[:n] valid and the rest unmapped.
 type ContextTool interface {
 	Tool
 	MapCtx(ctx context.Context, read []byte, probe *perf.Probe) (Result, StageTimes, error)
+	MapBatch(ctx context.Context, reads [][]byte, results []Result, stages []StageTimes, probe *perf.Probe) (int, error)
 }
 
 // stopped reports whether a context's done channel has fired. Mapping loops

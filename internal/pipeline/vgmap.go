@@ -3,6 +3,7 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"pangenomicsbench/internal/align"
 	"pangenomicsbench/internal/bio"
@@ -25,6 +26,27 @@ type VgMap struct {
 	Capture *[]GSSWInput
 	// Radius is the subgraph extraction radius in bp around a seed hit.
 	Radius int
+
+	pool sync.Pool // *vgmapScratch
+}
+
+// vgmapScratch is the per-goroutine working state: seeding and chaining
+// scratch plus the arena-backed GSSW workspace, so the striped DP matrices
+// — the tool's dominant footprint — are reused across reads instead of
+// reallocated per chain.
+type vgmapScratch struct {
+	seed    seedScratch
+	anchors []chain.Anchor
+	cs      chain.Scratch
+	gssw    align.GSSWWorkspace
+}
+
+func (t *VgMap) getScratch() *vgmapScratch {
+	s, _ := t.pool.Get().(*vgmapScratch)
+	if s == nil {
+		s = &vgmapScratch{}
+	}
+	return s
 }
 
 // NewVgMap builds the tool over a pangenome graph.
@@ -42,19 +64,8 @@ func (t *VgMap) Name() string { return "VgMap" }
 // seedGraph is the shared seeding stage: minimizers of the read looked up
 // in the graph index.
 func seedGraph(idx *minimizer.GraphIndex, read []byte, k int, probe *perf.Probe) []chain.Anchor {
-	ms, err := minimizer.Compute(read, k, 10, probe)
-	if err != nil {
-		return nil
-	}
-	var anchors []chain.Anchor
-	for _, m := range ms {
-		for _, loc := range idx.Lookup(m.Hash) {
-			anchors = append(anchors, chain.Anchor{
-				QPos: m.Pos, Node: loc.Node, Offset: loc.Offset, Len: k,
-			})
-		}
-	}
-	return anchors
+	var s seedScratch
+	return s.seedInto(nil, idx, read, k, probe)
 }
 
 // Map implements Tool.
@@ -66,21 +77,56 @@ func (t *VgMap) Map(read []byte, probe *perf.Probe) (Result, StageTimes) {
 // MapCtx implements ContextTool: cancellation is observed between stages and
 // before every per-chain GSSW alignment, the tool's dominant cost.
 func (t *VgMap) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) (Result, StageTimes, error) {
-	done := ctx.Done()
+	s := t.getScratch()
+	defer t.pool.Put(s)
 	var st StageTimes
+	r, err := t.mapOne(ctx, s, read, probe, &st)
+	return r, st, err
+}
+
+// MapBatch implements ContextTool: reads run serially over one shared
+// scratch — the GSSW kernel is a whole-graph striped DP, so the batch win
+// is the reused workspace (zero per-read kernel matrix allocations), not
+// lane packing. Results are byte-identical to per-read MapCtx.
+func (t *VgMap) MapBatch(ctx context.Context, reads [][]byte, results []Result, stages []StageTimes, probe *perf.Probe) (int, error) {
+	if err := checkBatchArgs(reads, results, stages); err != nil {
+		return 0, err
+	}
+	s := t.getScratch()
+	defer t.pool.Put(s)
+	done := ctx.Done()
+	for i, read := range reads {
+		results[i], stages[i] = Result{}, StageTimes{}
+		if stopped(done) {
+			return i, &BatchError{Done: i, Err: ctx.Err()}
+		}
+		r, err := t.mapOne(ctx, s, read, probe, &stages[i])
+		if err != nil {
+			return i, &BatchError{Done: i, Err: err}
+		}
+		results[i] = r
+	}
+	return len(reads), nil
+}
+
+func (t *VgMap) mapOne(ctx context.Context, s *vgmapScratch, read []byte, probe *perf.Probe, st *StageTimes) (Result, error) {
+	done := ctx.Done()
 	var anchors []chain.Anchor
-	timeStageCtx(ctx, "seed", &st.Seed, func() { anchors = seedGraph(t.idx, read, t.idx.K(), probe) })
+	timeStageCtx(ctx, "seed", &st.Seed, func() {
+		s.anchors = s.seed.seedInto(s.anchors[:0], t.idx, read, t.idx.K(), probe)
+		anchors = s.anchors
+	})
 	if len(anchors) == 0 {
-		return Result{}, st, nil
+		return Result{}, nil
 	}
 
 	var chains []chain.Chain
-	timeStageCtx(ctx, "chain", &st.Chain, func() { chains = chain.GraphChains(t.g, anchors, 2*len(read), probe) })
+	timeStageCtx(ctx, "chain", &st.Chain, func() { chains = s.cs.GraphChains(t.g, anchors, 2*len(read), probe) })
 	if len(chains) == 0 {
-		return Result{}, st, nil
+		return Result{}, nil
 	}
 	if stopped(done) {
-		return Result{}, st, ctx.Err()
+		return Result{}, ctx.Err()
 	}
 	timeStageCtx(ctx, "filter", &st.Filter, func() { chains = chain.Filter(chains, 0.6, 3) })
 
@@ -102,7 +148,7 @@ func (t *VgMap) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) (Res
 			if t.Capture != nil {
 				*t.Capture = append(*t.Capture, GSSWInput{Sub: dag.Graph, Query: read})
 			}
-			r, err := align.GSSW(dag.Graph, read, t.sc, probe)
+			r, err := s.gssw.Align(dag.Graph, read, t.sc, probe)
 			if err != nil {
 				continue
 			}
@@ -116,7 +162,7 @@ func (t *VgMap) MapCtx(ctx context.Context, read []byte, probe *perf.Probe) (Res
 		}
 	})
 	if canceled {
-		return Result{}, st, ctx.Err()
+		return Result{}, ctx.Err()
 	}
-	return best, st, nil
+	return best, nil
 }

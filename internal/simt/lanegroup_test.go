@@ -1,0 +1,95 @@
+package simt
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"pangenomicsbench/internal/align"
+)
+
+// TestMyersLaneGroupWarpAccounting cross-checks the batched mapping
+// kernel's lane model against the simt warp model: replaying a
+// MyersLaneGroup run's per-column active masks through a simulated warp
+// must reproduce the group's own divergence accounting exactly —
+// Columns() becomes the warp-instruction count, LaneSteps() the
+// active-lane sum, and the simulator's WarpExecutionUtilization equals
+// LaneSteps/(Columns×WarpSize). The two models were written
+// independently (align's for CPU lane packing, simt's for the Table 7
+// GPU metrics), so agreement here pins the shared SIMT semantics:
+// ragged lanes retire, retired lanes still occupy issue slots.
+func TestMyersLaneGroupWarpAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randSeq := func(n int) []byte {
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = "ACGT"[rng.Intn(4)]
+		}
+		return s
+	}
+
+	// Ragged reference lengths force divergence: lanes retire one by one
+	// while the lockstep loop keeps issuing columns for the longest.
+	var g align.MyersLaneGroup
+	refLens := []int{10, 250, 40, 120, 1, 300, 77, 200}
+	for _, n := range refLens {
+		if _, err := g.Add(randSeq(n), randSeq(48)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Run(nil)
+
+	cols, steps := g.Columns(), g.LaneSteps()
+	if cols != 300 { // the longest lane drives the lockstep round count
+		t.Fatalf("Columns() = %d, want 300", cols)
+	}
+
+	// The per-column masks must tile the lane-step total, expose exactly
+	// the lanes whose reference still has bases, and only ever retire
+	// lanes (a lane never reactivates).
+	maskSum := 0
+	prev := uint32(1<<len(refLens)) - 1
+	for c := 0; c < cols; c++ {
+		mask := g.ActiveMask(c)
+		maskSum += bits.OnesCount32(mask)
+		if mask&^prev != 0 {
+			t.Fatalf("column %d reactivates lanes: mask %032b after %032b", c, mask, prev)
+		}
+		for l := 0; l < g.Len(); l++ {
+			if got, want := mask&(1<<uint(l)) != 0, c < g.RefLen(l); got != want {
+				t.Fatalf("column %d lane %d active=%v, want %v (ref len %d)", c, l, got, want, g.RefLen(l))
+			}
+		}
+		prev = mask
+	}
+	if maskSum != steps {
+		t.Fatalf("Σ popcount(ActiveMask) = %d, want LaneSteps %d", maskSum, steps)
+	}
+
+	// Replay the masks through one simulated warp, one instruction per
+	// lockstep column.
+	spec := KernelSpec{Name: "myers-lanes", Blocks: 1, ThreadsPerBlock: WarpSize, RegsPerThread: 32}
+	m, err := Run(A6000(), spec, func(b *Block) {
+		w := b.Warp(0)
+		for c := 0; c < cols; c++ {
+			w.Exec(g.ActiveMask(c), 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WarpInstructions != uint64(cols) {
+		t.Errorf("warp instructions %d, want Columns() = %d", m.WarpInstructions, cols)
+	}
+	want := float64(steps) / (float64(cols) * WarpSize)
+	if math.Abs(m.WarpUtilization-want) > 1e-12 {
+		t.Errorf("warp utilization %.6f, want LaneSteps/(Columns×%d) = %.6f", m.WarpUtilization, WarpSize, want)
+	}
+	// With 8 of 32 lanes ever filled and ragged retirement, utilization
+	// sits well below the 8-lane ceiling — divergence is visible, not
+	// averaged away.
+	if ceiling := 8.0 / WarpSize; m.WarpUtilization >= ceiling {
+		t.Errorf("warp utilization %.4f not below the %d-lane ceiling %.4f", m.WarpUtilization, 8, ceiling)
+	}
+}
